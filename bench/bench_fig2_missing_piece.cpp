@@ -1,0 +1,100 @@
+// E4 — Fig. 2: flow of peers through the five groups of the transience
+// proof (normal young / infected / one-club / former one-club / gifted).
+//
+// Paper: in the transient regime, starting from a large one-club, the
+// one-club grows linearly at rate ~ Delta_{F-{1}} while infected and
+// gifted peers stay a vanishing fraction; in the stable regime the same
+// initial one-club drains. We print both trajectories, group by group,
+// and compare the measured one-club growth rate against Delta.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/model.hpp"
+#include "core/stability.hpp"
+#include "sim/stats.hpp"
+#include "sim/swarm.hpp"
+
+namespace {
+
+using namespace p2p;
+
+void run_panel(const SwarmParams& params, double horizon) {
+  const auto theory = classify(params);
+  const double delta = delta_S(
+      params, PieceSet::full(params.num_pieces()).without(0));
+  std::printf("model: %s\n", params.to_string().c_str());
+  std::printf("theory: %s, Delta_{F-{1}} = %+.3f (one-club growth rate)\n\n",
+              bench::short_verdict(theory.verdict), delta);
+
+  const PieceSet one_club = PieceSet::full(params.num_pieces()).without(0);
+  OnlineStats early_slopes, late_slopes;
+  for (std::uint64_t seed = 2024; seed < 2027; ++seed) {
+    SwarmSimOptions options;
+    options.rng_seed = seed;
+    SwarmSim sim(params, options);
+    sim.inject_peers(one_club, 300);
+    const bool print_table = seed == 2024;
+    if (print_table) {
+      std::printf("%8s %8s | %9s %9s %9s %9s %9s\n", "time", "N", "young(a)",
+                  "infect(b)", "club(e)", "former(f)", "gifted(g)");
+    }
+    TimeSeries club_series;
+    club_series.push(0.0, static_cast<double>(sim.groups().one_club));
+    const double dt = horizon / 12;
+    sim.run_sampled(horizon, dt, [&](double t) {
+      const GroupCounts& groups = sim.groups();
+      if (print_table) {
+        std::printf("%8.0f %8lld | %9lld %9lld %9lld %9lld %9lld\n", t,
+                    static_cast<long long>(sim.total_peers()),
+                    static_cast<long long>(groups.normal_young),
+                    static_cast<long long>(groups.infected),
+                    static_cast<long long>(groups.one_club),
+                    static_cast<long long>(groups.former_one_club),
+                    static_cast<long long>(groups.gifted));
+      }
+      club_series.push(t, static_cast<double>(groups.one_club));
+    });
+    // Early window captures the drain of a stable flash crowd (which hits
+    // zero and then flattens); the tail the sustained transient growth.
+    early_slopes.add(
+        linear_fit(club_series, 0, club_series.size() / 2).slope);
+    late_slopes.add(tail_fit(club_series, 0.5).slope);
+  }
+  std::printf(
+      "\none-club rate (3 replicas): predicted %+.3f | measured early "
+      "%+.3f, late %+.3f\n"
+      "(stable runs drain to ~0 and flatten, so |early| is the drain rate "
+      "and is capped by emptying; transient runs sustain the late rate)\n",
+      delta, early_slopes.mean(), late_slopes.mean());
+}
+
+}  // namespace
+
+int main() {
+  using namespace p2p;
+  bench::title("E4", "missing piece syndrome: Fig. 2 group populations",
+               "Fig. 2 and Section V/VI; one-club grows at rate "
+               "Delta_{F-{1}} when positive, drains when negative");
+
+  // K = 3; arrivals: empty peers plus some gifted peers carrying piece 1
+  // (so all five groups are populated). Seed small => transient.
+  bench::section("transient regime (small seed)");
+  const SwarmParams transient(
+      3, 0.2, 1.0, 2.0,
+      {{PieceSet{}, 2.0}, {PieceSet::single(0), 0.15}});
+  run_panel(transient, 3000);
+
+  // Same arrivals, strong seed => stable: the same 300-peer one-club
+  // drains.
+  bench::section("stable regime (strong seed), same flash crowd");
+  const SwarmParams stable(
+      3, 2.5, 1.0, 2.0,
+      {{PieceSet{}, 2.0}, {PieceSet::single(0), 0.15}});
+  run_panel(stable, 1200);
+
+  std::printf(
+      "\nshape check: (e) grows ~linearly at Delta in the transient panel "
+      "and collapses in the stable panel; (b)+(g) remain a small fraction "
+      "of N throughout (the branching argument of Section VI).\n");
+  return 0;
+}

@@ -1,0 +1,139 @@
+// M0: microbenchmarks for the hot paths of the library (google-benchmark).
+#include <benchmark/benchmark.h>
+
+#include "coding/coded_swarm.hpp"
+#include "coding/gf.hpp"
+#include "coding/subspace.hpp"
+#include "core/fluid.hpp"
+#include "core/lyapunov.hpp"
+#include "core/model.hpp"
+#include "ctmc/muinf_chain.hpp"
+#include "ctmc/stationary.hpp"
+#include "ctmc/typecount_chain.hpp"
+#include "rand/rng.hpp"
+#include "sim/swarm.hpp"
+
+namespace {
+
+using namespace p2p;
+
+void BM_RngUniform(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.uniform());
+}
+BENCHMARK(BM_RngUniform);
+
+void BM_RngExponential(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.exponential(2.0));
+}
+BENCHMARK(BM_RngExponential);
+
+void BM_SwarmStep(benchmark::State& state) {
+  const auto k = static_cast<int>(state.range(0));
+  SwarmParams params(k, 1.0, 1.0, 2.0, {{PieceSet{}, 3.0}});
+  SwarmSim sim(params, SwarmSimOptions{.rng_seed = 1});
+  sim.run_until(200.0);  // warm to steady state
+  for (auto _ : state) benchmark::DoNotOptimize(sim.step());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SwarmStep)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_TypeCountChainStep(benchmark::State& state) {
+  const auto k = static_cast<int>(state.range(0));
+  SwarmParams params(k, 1.0, 1.0, 2.0, {{PieceSet{}, 3.0}});
+  TypeCountChain chain(params, 1);
+  chain.run_until(200.0);
+  for (auto _ : state) benchmark::DoNotOptimize(chain.step());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TypeCountChainStep)->Arg(4)->Arg(8);
+
+void BM_GfMul(benchmark::State& state) {
+  const GaloisField gf(static_cast<int>(state.range(0)));
+  Rng rng(1);
+  const auto a = static_cast<GaloisField::Elem>(
+      1 + rng.uniform_int(static_cast<std::uint64_t>(gf.size() - 1)));
+  auto b = static_cast<GaloisField::Elem>(
+      1 + rng.uniform_int(static_cast<std::uint64_t>(gf.size() - 1)));
+  for (auto _ : state) {
+    b = gf.mul(a, b == 0 ? 1 : b);
+    benchmark::DoNotOptimize(b);
+  }
+}
+BENCHMARK(BM_GfMul)->Arg(2)->Arg(16)->Arg(64)->Arg(251);
+
+void BM_LyapunovDrift(benchmark::State& state) {
+  const SwarmParams params(static_cast<int>(state.range(0)), 2.0, 1.0, 4.0,
+                           {{PieceSet{}, 1.0}});
+  const LyapunovFunction w(params, LyapunovFunction::suggest(params));
+  TypeCountState heavy(params.num_pieces());
+  heavy.add(PieceSet::full(params.num_pieces()).without(0), 10000);
+  heavy.add(PieceSet{}, 500);
+  for (auto _ : state) benchmark::DoNotOptimize(w.drift(heavy));
+}
+BENCHMARK(BM_LyapunovDrift)->Arg(2)->Arg(4)->Arg(6);
+
+void BM_FluidDerivative(benchmark::State& state) {
+  const SwarmParams params(static_cast<int>(state.range(0)), 2.0, 1.0, 4.0,
+                           {{PieceSet{}, 1.0}});
+  const FluidModel model(params);
+  FluidState y(std::size_t{1} << params.num_pieces(), 3.0);
+  for (auto _ : state) benchmark::DoNotOptimize(model.derivative(y));
+}
+BENCHMARK(BM_FluidDerivative)->Arg(4)->Arg(8)->Arg(12);
+
+void BM_MuInfStep(benchmark::State& state) {
+  MuInfChain chain(5, 1.0, 3);
+  chain.set_state({100000, 4});
+  for (auto _ : state) {
+    chain.step();
+    benchmark::DoNotOptimize(chain.state().peers);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MuInfStep);
+
+void BM_StationarySolveK1(benchmark::State& state) {
+  const auto params = SwarmParams::example1(1.0, 2.0, 1.0, 3.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        solve_truncated_swarm(params, state.range(0)).mean_peers());
+  }
+}
+BENCHMARK(BM_StationarySolveK1)->Arg(20)->Arg(40)->Unit(
+    benchmark::kMillisecond);
+
+void BM_CodedSwarmStep(benchmark::State& state) {
+  CodedSwarmParams params;
+  params.num_pieces = static_cast<int>(state.range(0));
+  params.field_size = 8;
+  params.seed_rate = 2.0;
+  params.contact_rate = 1.0;
+  params.arrivals = {{1.0, 0}};
+  CodedSwarmSim sim(params, 5);
+  sim.run_until(200.0);
+  for (auto _ : state) benchmark::DoNotOptimize(sim.step());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CodedSwarmStep)->Arg(4)->Arg(16);
+
+void BM_SubspaceInsert(benchmark::State& state) {
+  const GaloisField gf(16);
+  const int k = static_cast<int>(state.range(0));
+  Rng rng(1);
+  for (auto _ : state) {
+    Subspace space(gf, k);
+    while (!space.complete()) {
+      space.insert(random_vector(gf, k, rng));
+    }
+    benchmark::DoNotOptimize(space.dim());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(
+                                                   state.range(0)));
+}
+BENCHMARK(BM_SubspaceInsert)->Arg(8)->Arg(16)->Arg(32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

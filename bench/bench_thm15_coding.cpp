@@ -1,0 +1,123 @@
+// E6 — Theorem 15 / Section VIII-B: network coding vs the missing piece
+// syndrome when peers arrive with random coded pieces.
+//
+// Paper headline: with gifted fraction f = lambda1/lambda_total of peers
+// arriving with one uniformly random coded piece (Us = 0, gamma = inf),
+// the coded system is transient for f < q/((q-1)K) and positive recurrent
+// for f > q^2/((q-1)^2 K). For q = 64, K = 200 that bracket is
+// [0.00507, 0.00516]. WITHOUT coding the same system is transient for
+// every f < 1 (Theorem 1) — coding turns a vanishing gift rate into
+// stability.
+#include <cstdio>
+
+#include "analysis/stability_probe.hpp"
+#include "bench_util.hpp"
+#include "coding/coded_swarm.hpp"
+#include "core/coding_stability.hpp"
+#include "core/model.hpp"
+#include "core/stability.hpp"
+#include "sim/stats.hpp"
+
+namespace {
+
+using namespace p2p;
+
+/// Coded swarm: slope of N_t from a coded one-club start.
+double coded_slope(int k, int q, double lambda_total, double f,
+                   std::uint64_t seed, double horizon) {
+  CodedSwarmParams params;
+  params.num_pieces = k;
+  params.field_size = q;
+  params.seed_rate = 0.0;
+  params.contact_rate = 1.0;
+  params.arrivals = {{(1.0 - f) * lambda_total, 0}, {f * lambda_total, 1}};
+  CodedSwarmSim sim(params, seed);
+  // Coded one-club: span{e2..eK} (inside the hyperplane x1 = 0).
+  std::vector<GfVector> basis;
+  for (int i = 1; i < k; ++i) {
+    GfVector v(static_cast<std::size_t>(k), 0);
+    v[static_cast<std::size_t>(i)] = 1;
+    basis.push_back(v);
+  }
+  sim.inject_peers(basis, 200);
+  TimeSeries series;
+  series.push(0.0, static_cast<double>(sim.total_peers()));
+  sim.run_sampled(horizon, horizon / 200, [&](double t) {
+    series.push(t, static_cast<double>(sim.total_peers()));
+  });
+  return tail_fit(series, 0.5).slope / lambda_total;
+}
+
+/// Uncoded counterpart: gifted peers carry one uniformly random *data*
+/// piece. Theorem 1 makes this transient for every f < 1.
+double uncoded_slope(int k, double lambda_total, double f,
+                     std::uint64_t seed, double horizon) {
+  std::vector<ArrivalSpec> arrivals = {{PieceSet{}, (1.0 - f) * lambda_total}};
+  for (int piece = 0; piece < k; ++piece) {
+    arrivals.push_back(
+        {PieceSet::single(piece), f * lambda_total / k});
+  }
+  const SwarmParams params(k, 0.0, 1.0, kInfiniteRate, std::move(arrivals));
+  ProbeOptions options;
+  options.horizon = horizon;
+  options.sample_dt = horizon / 200;
+  options.replicas = 1;
+  options.initial_one_club = 200;
+  options.base_seed = seed;
+  const TimeSeries series = swarm_peer_series(params, options, seed);
+  return tail_fit(series, 0.5).slope / lambda_total;
+}
+
+}  // namespace
+
+int main() {
+  using namespace p2p;
+  bench::title("E6", "network coding vs gifted arrivals",
+               "Theorem 15, Section VIII-B; thresholds q/((q-1)K) and "
+               "q^2/((q-1)^2 K)");
+
+  bench::section("paper-scale thresholds (analytic)");
+  {
+    const auto t = coded_gift_thresholds(64, 200);
+    std::printf("q = 64, K = 200: transient below f = %.5f, recurrent above "
+                "f = %.5f (paper: 0.00507 / 0.00516)\n",
+                t.transient_below, t.recurrent_above);
+    std::printf("exact Eq. (55) recurrence threshold: f = %.5f\n",
+                t.recurrent_above_exact);
+  }
+
+  const int k = 6, q = 8;
+  const double lambda_total = 2.0, horizon = 1500;
+  const auto t = coded_gift_thresholds(q, k);
+  bench::section("simulable scale: q = 8, K = 6");
+  std::printf("thresholds: transient below %.4f, recurrent above %.4f\n\n",
+              t.transient_below, t.recurrent_above);
+  std::printf("%8s %14s %14s %16s\n", "f", "coded slope", "coded verdict",
+              "theory (coded)");
+  for (const double f : {0.02, 0.08, 0.14, 0.20, 0.25, 0.40, 0.70}) {
+    const double slope =
+        0.5 * (coded_slope(k, q, lambda_total, f, 91, horizon) +
+               coded_slope(k, q, lambda_total, f, 92, horizon));
+    const char* theory = f < t.transient_below ? "transient"
+                         : f > t.recurrent_above ? "stable"
+                                                 : "(gap)";
+    std::printf("%8.3f %14.3f %14s %16s\n", f, slope,
+                slope > 0.02 ? "unstable" : "stable", theory);
+  }
+
+  bench::section("uncoded counterpart (one random data piece, Theorem 1)");
+  std::printf("%8s %14s %16s\n", "f", "uncoded slope", "theory (uncoded)");
+  for (const double f : {0.25, 0.70, 0.95}) {
+    const double slope =
+        0.5 * (uncoded_slope(k, lambda_total, f, 93, horizon) +
+               uncoded_slope(k, lambda_total, f, 94, horizon));
+    std::printf("%8.3f %14.3f %16s\n", f, slope, "transient");
+  }
+
+  std::printf(
+      "\nshape check: coded slopes drop to ~0 once f clears the coded "
+      "threshold (~%.2f here); uncoded slopes stay positive even at "
+      "f = 0.95, matching 'transient for any f < 1'.\n",
+      t.recurrent_above);
+  return 0;
+}

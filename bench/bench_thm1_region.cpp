@@ -1,0 +1,97 @@
+// E9 — global cross-validation of the Theorem 1 stability region:
+// random parameter points (K, Us, mu, gamma, typed arrival mix), verdict
+// from the closed form vs verdict from simulation.
+//
+// Points landing too close to the boundary (|margin| < 15% of
+// lambda_total) are resampled: a finite-horizon probe cannot classify the
+// borderline, which Theorem 1 itself leaves open (Section VIII-D).
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "analysis/stability_probe.hpp"
+#include "bench_util.hpp"
+#include "core/model.hpp"
+#include "core/stability.hpp"
+#include "rand/rng.hpp"
+
+namespace {
+
+using namespace p2p;
+
+SwarmParams random_params(Rng& rng) {
+  const int k = static_cast<int>(rng.uniform_int(2, 4));
+  const double us = rng.uniform() * 2.0;
+  const double mu = 1.0;
+  const double gammas[] = {0.7, 1.5, 3.0, kInfiniteRate};
+  const double gamma = gammas[rng.uniform_int(4ULL)];
+  std::vector<ArrivalSpec> arrivals;
+  // Empty arrivals always present; with probability 1/2 add a one-piece
+  // gifted stream, with probability 1/4 a two-piece stream.
+  arrivals.push_back({PieceSet{}, 0.3 + rng.uniform() * 3.0});
+  if (rng.bernoulli(0.5)) {
+    arrivals.push_back(
+        {PieceSet::single(static_cast<int>(
+             rng.uniform_int(static_cast<std::uint64_t>(k)))),
+         rng.uniform() * 1.5});
+  }
+  if (rng.bernoulli(0.25) && k >= 3) {
+    // Two-piece gifted stream (k >= 3 keeps it a proper subset, so it is
+    // legal under immediate departure too).
+    arrivals.push_back({PieceSet::single(0).with(1), rng.uniform() * 1.0});
+  }
+  return SwarmParams(k, us, mu, gamma, std::move(arrivals));
+}
+
+}  // namespace
+
+int main() {
+  using namespace p2p;
+  bench::title("E9", "Theorem 1 region: random-grid agreement matrix",
+               "Theorem 1 (both branches); near-boundary points excluded "
+               "per Section VIII-D");
+
+  Rng rng(20240612);
+  ProbeOptions options;
+  options.horizon = 1200;
+  options.sample_dt = 5;
+  options.replicas = 2;
+  options.initial_one_club = 120;
+
+  int agree = 0, disagree = 0, inconclusive = 0;
+  int row = 0;
+  std::printf("%4s %2s %6s %6s %7s %8s %11s %11s %6s\n", "#", "K", "Us",
+              "gamma", "lambda", "margin", "theory", "probe", "agree");
+  while (row < 24) {
+    const SwarmParams params = random_params(rng);
+    const auto theory = classify(params);
+    if (theory.verdict == Stability::kBorderline) continue;
+    // Margin filter: keep clearly-classified points only.
+    if (!theory.altruistic_branch &&
+        std::abs(theory.margin) < 0.15 * params.total_arrival_rate()) {
+      continue;
+    }
+    ++row;
+    const auto probe = probe_swarm(params, options);
+    const char* verdict = bench::agreement(theory.verdict, probe.verdict);
+    if (verdict[0] == 'y') {
+      ++agree;
+    } else if (verdict[0] == '~') {
+      ++inconclusive;
+    } else {
+      ++disagree;
+    }
+    std::printf("%4d %2d %6.2f %6.2f %7.2f %8.2f %11s %11s %6s\n", row,
+                params.num_pieces(), params.seed_rate(),
+                params.immediate_departure() ? -1.0
+                                             : params.seed_depart_rate(),
+                params.total_arrival_rate(),
+                theory.altruistic_branch ? 0.0 : theory.margin,
+                bench::short_verdict(theory.verdict),
+                bench::short_verdict(probe.verdict), verdict);
+  }
+  std::printf("\nagreement: %d/%d agree, %d inconclusive, %d disagree\n",
+              agree, row, inconclusive, disagree);
+  std::printf("(gamma = -1 denotes immediate departure)\n");
+  return 0;
+}

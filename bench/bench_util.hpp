@@ -1,0 +1,66 @@
+// Shared output helpers for the experiment harnesses (E1..E11).
+//
+// Each bench binary reproduces one artifact of the paper (a figure, a
+// worked example, or a headline claim) and prints a self-contained table:
+// the paper's prediction next to the measured quantity. EXPERIMENTS.md
+// archives one run of each.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+
+#include "analysis/stability_probe.hpp"
+#include "core/stability.hpp"
+
+namespace p2p::bench {
+
+inline void title(const std::string& id, const std::string& what,
+                  const std::string& paper_ref) {
+  std::printf("================================================================\n");
+  std::printf("%s: %s\n", id.c_str(), what.c_str());
+  std::printf("paper: %s\n", paper_ref.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void section(const std::string& name) {
+  std::printf("\n--- %s ---\n", name.c_str());
+}
+
+inline const char* short_verdict(Stability s) {
+  switch (s) {
+    case Stability::kPositiveRecurrent:
+      return "stable";
+    case Stability::kTransient:
+      return "transient";
+    case Stability::kBorderline:
+      return "borderline";
+  }
+  return "?";
+}
+
+inline const char* short_verdict(ProbeVerdict v) {
+  switch (v) {
+    case ProbeVerdict::kStable:
+      return "stable";
+    case ProbeVerdict::kUnstable:
+      return "unstable";
+    case ProbeVerdict::kInconclusive:
+      return "inconclusive";
+  }
+  return "?";
+}
+
+/// "yes" iff theory and measurement agree (borderline counts as agreeing
+/// with anything, inconclusive with nothing but is flagged).
+inline const char* agreement(Stability theory, ProbeVerdict measured) {
+  if (theory == Stability::kBorderline) return "n/a";
+  if (measured == ProbeVerdict::kInconclusive) return "~";
+  const bool match =
+      (theory == Stability::kPositiveRecurrent &&
+       measured == ProbeVerdict::kStable) ||
+      (theory == Stability::kTransient && measured == ProbeVerdict::kUnstable);
+  return match ? "yes" : "NO";
+}
+
+}  // namespace p2p::bench

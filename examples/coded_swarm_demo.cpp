@@ -1,0 +1,68 @@
+// Network coding demo: rescuing a seedless swarm with coded gifts.
+//
+// A content provider cannot run a seed (Us = 0) but can hand each joining
+// peer, with probability f, one random linear combination of the K pieces
+// (e.g. stamped by the tracker). Theorem 15: with coding this stabilizes
+// the swarm once f clears ~q^2/((q-1)^2 K); without coding no f < 1
+// suffices (Theorem 1).
+//
+//   $ ./coded_swarm_demo
+#include <cstdio>
+
+#include "coding/coded_swarm.hpp"
+#include "core/coding_stability.hpp"
+
+int main() {
+  using namespace p2p;
+  const int k = 8, q = 16;
+  const double lambda_total = 2.0;
+
+  const auto thresholds = coded_gift_thresholds(q, k);
+  std::printf("K = %d pieces over GF(%d), lambda = %.1f, no fixed seed\n",
+              k, q, lambda_total);
+  std::printf("Theorem 15 gift thresholds: transient below f = %.4f, "
+              "stable above f = %.4f\n\n",
+              thresholds.transient_below, thresholds.recurrent_above);
+
+  for (const double f : {0.04, 0.30}) {
+    CodedSwarmParams params;
+    params.num_pieces = k;
+    params.field_size = q;
+    params.seed_rate = 0.0;
+    params.contact_rate = 1.0;
+    params.arrivals = {{(1.0 - f) * lambda_total, 0},
+                       {f * lambda_total, 1}};
+    CodedSwarmSim sim(params, 11);
+    // Start from a coded one-club: everyone already spans the hyperplane
+    // orthogonal to e1.
+    std::vector<GfVector> basis;
+    for (int i = 1; i < k; ++i) {
+      GfVector v(static_cast<std::size_t>(k), 0);
+      v[static_cast<std::size_t>(i)] = 1;
+      basis.push_back(v);
+    }
+    sim.inject_peers(basis, 200);
+
+    std::printf("gift fraction f = %.2f (%s by Theorem 15):\n", f,
+                f < thresholds.transient_below   ? "transient"
+                : f > thresholds.recurrent_above ? "stable"
+                                                 : "in the open gap");
+    std::printf("  %8s %8s %14s %14s\n", "time", "N", "enlightened",
+                "departures");
+    sim.run_sampled(1200.0, 200.0, [&](double t) {
+      std::printf("  %8.0f %8lld %14lld %14lld\n", t,
+                  static_cast<long long>(sim.total_peers()),
+                  static_cast<long long>(sim.enlightened_peers()),
+                  static_cast<long long>(sim.total_departures()));
+    });
+    std::printf("  useful/useless transfers: %lld / %lld\n\n",
+                static_cast<long long>(sim.useful_transfers()),
+                static_cast<long long>(sim.useless_transfers()));
+  }
+
+  std::printf(
+      "reading: at f = 0.04 the coded club still starves (too few gifted "
+      "directions); at f = 0.30 gifted vectors escape the club's hyperplane "
+      "often enough that everyone decodes and departs.\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Flash crowd: what the missing piece syndrome looks like from inside.
+//
+// A torrent launches with a burst of 500 peers that all already hold
+// every piece except piece 1 (a "one club", e.g. after the initial seeder
+// throttles). Two operators run the same swarm:
+//   * operator A provisions the fixed seed below Theorem 1's requirement;
+//   * operator B provisions it just above.
+// We watch the Fig. 2 peer groups and the rarest-piece availability.
+//
+//   $ ./flash_crowd
+#include <cstdio>
+
+#include "core/model.hpp"
+#include "core/stability.hpp"
+#include "sim/swarm.hpp"
+
+namespace {
+
+using namespace p2p;
+
+void run(const char* name, const SwarmParams& params) {
+  const auto theory = classify(params);
+  std::printf("\n%s: %s\n  theory: %s, critical piece %d, margin %.3f\n",
+              name, params.to_string().c_str(),
+              to_string(theory.verdict).c_str(), theory.critical_piece + 1,
+              theory.margin);
+
+  SwarmSim sim(params, SwarmSimOptions{.rng_seed = 7});
+  sim.inject_peers(PieceSet::full(params.num_pieces()).without(0), 500);
+
+  std::printf("  %8s %8s %10s %10s %12s %14s\n", "time", "N", "one-club",
+              "seeds", "piece1 avail", "mean sojourn");
+  sim.run_sampled(1500.0, 150.0, [&](double t) {
+    std::printf("  %8.0f %8lld %10lld %10lld %11.1f%% %14.1f\n", t,
+                static_cast<long long>(sim.total_peers()),
+                static_cast<long long>(sim.groups().one_club),
+                static_cast<long long>(sim.peer_seeds()),
+                100.0 * static_cast<double>(sim.holders_of(0)) /
+                    static_cast<double>(std::max<std::int64_t>(
+                        1, sim.total_peers())),
+                sim.sojourn_stats().mean());
+  });
+}
+
+}  // namespace
+
+int main() {
+  using namespace p2p;
+  const int k = 4;
+  const double mu = 1.0, gamma = 2.5, lambda = 2.0;
+  // Theorem 1: need Us > lambda (1 - mu/gamma) = 1.2.
+  const SwarmParams base(k, 0.0, mu, gamma, {{PieceSet{}, lambda}});
+  std::printf("flash crowd of 500 one-club peers; lambda = %.1f, mu = %.1f, "
+              "gamma = %.1f\n",
+              lambda, mu, gamma);
+  std::printf("Theorem 1 seed requirement: Us > %.3f\n",
+              min_stabilizing_seed_rate(base));
+
+  run("operator A (Us = 0.6, under-provisioned)", base.with_seed_rate(0.6));
+  run("operator B (Us = 1.8, provisioned)", base.with_seed_rate(1.8));
+
+  std::printf(
+      "\nreading: under A the one club swallows every newcomer — piece 1 "
+      "availability stays pinned near zero and sojourn times blow up; "
+      "under B the same crowd drains and the swarm settles.\n");
+  return 0;
+}

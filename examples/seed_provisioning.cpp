@@ -1,0 +1,68 @@
+// Seed provisioning: using the stability theory as a capacity planner.
+//
+// Given a forecast arrival rate, how much fixed-seed upload capacity do
+// you need — and how much of it can you trade away by asking completed
+// peers to linger? The paper's answer: dwelling long enough to upload a
+// single extra piece (mean dwell 1/mu) removes the requirement entirely.
+//
+//   $ ./seed_provisioning
+#include <cstdio>
+
+#include "analysis/stability_probe.hpp"
+#include "core/model.hpp"
+#include "core/stability.hpp"
+
+int main() {
+  using namespace p2p;
+  const int k = 8;
+  const double mu = 1.0;
+
+  std::printf("capacity plan for a K = %d piece swarm, mu = %.1f\n\n", k, mu);
+
+  // 1. Seed capacity needed vs load, for a few dwell policies.
+  std::printf("minimum fixed-seed rate Us* by arrival rate and dwell "
+              "policy:\n");
+  std::printf("%10s | %12s %12s %12s %12s\n", "lambda", "no dwell",
+              "dwell 0.25", "dwell 0.5", "dwell 1.0");
+  for (const double lambda : {0.5, 1.0, 2.0, 5.0, 10.0, 50.0}) {
+    std::printf("%10.1f |", lambda);
+    for (const double dwell : {0.0, 0.25, 0.5, 1.0}) {
+      const double gamma = dwell == 0.0 ? kInfiniteRate : 1.0 / dwell;
+      const SwarmParams params(k, 0.0, mu, gamma, {{PieceSet{}, lambda}});
+      std::printf(" %12.3f", min_stabilizing_seed_rate(params));
+    }
+    std::printf("\n");
+  }
+  std::printf("(dwell 1.0 = one mean piece-upload time: requirement is 0 "
+              "at any load — the corollary)\n\n");
+
+  // 2. The dual question: given a seed, what dwell must we ask for?
+  std::printf("minimum mean dwell 1/gamma* by load, with Us = 0.5:\n");
+  std::printf("%10s %14s\n", "lambda", "min dwell");
+  for (const double lambda : {0.4, 1.0, 2.0, 5.0, 20.0}) {
+    const SwarmParams params(k, 0.5, mu, 2.0, {{PieceSet{}, lambda}});
+    const double gamma_star = max_stabilizing_seed_depart_rate(params);
+    if (gamma_star == kInfiniteRate) {
+      std::printf("%10.1f %14s\n", lambda, "none needed");
+    } else {
+      std::printf("%10.1f %14.3f\n", lambda, 1.0 / gamma_star);
+    }
+  }
+
+  // 3. Verify one row of the plan by simulation.
+  std::printf("\nspot check (lambda = 5, dwell 0.5, Us = Us* * 1.3 vs "
+              "* 0.7):\n");
+  const SwarmParams plan(k, 0.0, mu, 2.0, {{PieceSet{}, 5.0}});
+  const double us_star = min_stabilizing_seed_rate(plan);
+  ProbeOptions options;
+  options.horizon = 2000;
+  options.replicas = 3;
+  options.initial_one_club = 200;
+  for (const double factor : {1.3, 0.7}) {
+    const auto probe =
+        probe_swarm(plan.with_seed_rate(us_star * factor), options);
+    std::printf("  Us = %.3f: %s\n", us_star * factor,
+                probe.to_string().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,96 @@
+#include "analysis/confidence.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace p2p {
+
+BatchMeansResult batch_means(std::span<const double> samples,
+                             int num_batches) {
+  P2P_ASSERT(num_batches >= 2);
+  P2P_ASSERT_MSG(samples.size() >= 2 * static_cast<std::size_t>(num_batches),
+                 "need at least 2 samples per batch");
+  const std::size_t batch_size = samples.size() / num_batches;
+  std::vector<double> means(static_cast<std::size_t>(num_batches), 0.0);
+  for (int b = 0; b < num_batches; ++b) {
+    double sum = 0;
+    for (std::size_t i = 0; i < batch_size; ++i) {
+      sum += samples[static_cast<std::size_t>(b) * batch_size + i];
+    }
+    means[static_cast<std::size_t>(b)] = sum / static_cast<double>(batch_size);
+  }
+  BatchMeansResult result;
+  result.batches = num_batches;
+  for (double m : means) result.mean += m;
+  result.mean /= num_batches;
+  double var = 0;
+  for (double m : means) var += (m - result.mean) * (m - result.mean);
+  var /= num_batches - 1;
+  result.sem = std::sqrt(var / num_batches);
+  return result;
+}
+
+BootstrapResult block_bootstrap(
+    std::span<const double> samples,
+    const std::function<double(std::span<const double>)>& statistic,
+    int block_length, int resamples, double confidence, Rng& rng) {
+  P2P_ASSERT(block_length >= 1);
+  P2P_ASSERT(resamples >= 10);
+  P2P_ASSERT(confidence > 0 && confidence < 1);
+  P2P_ASSERT(samples.size() >= static_cast<std::size_t>(block_length));
+
+  BootstrapResult result;
+  result.estimate = statistic(samples);
+  const std::size_t n = samples.size();
+  std::vector<double> stats(static_cast<std::size_t>(resamples));
+  std::vector<double> resample(n);
+  for (int r = 0; r < resamples; ++r) {
+    std::size_t filled = 0;
+    while (filled < n) {
+      const std::size_t start =
+          static_cast<std::size_t>(rng.uniform_int(n));  // circular
+      for (int j = 0; j < block_length && filled < n; ++j, ++filled) {
+        resample[filled] = samples[(start + static_cast<std::size_t>(j)) % n];
+      }
+    }
+    stats[static_cast<std::size_t>(r)] = statistic(resample);
+  }
+  std::sort(stats.begin(), stats.end());
+  const double alpha = (1.0 - confidence) / 2.0;
+  const auto lo_idx = static_cast<std::size_t>(
+      alpha * static_cast<double>(resamples - 1));
+  const auto hi_idx = static_cast<std::size_t>(
+      (1.0 - alpha) * static_cast<double>(resamples - 1));
+  result.lower = stats[lo_idx];
+  result.upper = stats[hi_idx];
+  return result;
+}
+
+double integrated_autocorrelation_time(std::span<const double> samples) {
+  const std::size_t n = samples.size();
+  P2P_ASSERT(n >= 4);
+  double mean = 0;
+  for (double x : samples) mean += x;
+  mean /= static_cast<double>(n);
+  double c0 = 0;
+  for (double x : samples) c0 += (x - mean) * (x - mean);
+  c0 /= static_cast<double>(n);
+  if (c0 <= 0) return 1.0;
+  double tau = 1.0;
+  for (std::size_t lag = 1; lag < n / 2; ++lag) {
+    double ck = 0;
+    for (std::size_t i = 0; i + lag < n; ++i) {
+      ck += (samples[i] - mean) * (samples[i + lag] - mean);
+    }
+    ck /= static_cast<double>(n - lag);
+    const double rho = ck / c0;
+    if (rho <= 0) break;  // initial positive sequence cutoff
+    tau += 2.0 * rho;
+  }
+  return tau;
+}
+
+}  // namespace p2p

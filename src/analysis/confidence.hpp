@@ -1,0 +1,47 @@
+// Autocorrelation-aware uncertainty for simulation output.
+//
+// Samples of N_t along one trajectory are strongly correlated, so the
+// naive SEM wildly understates uncertainty. The standard remedies are
+// implemented here: the method of batch means for steady-state estimates,
+// and a stationary (circular block) bootstrap for general statistics.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+#include "rand/rng.hpp"
+
+namespace p2p {
+
+struct BatchMeansResult {
+  double mean = 0;
+  /// Standard error of the mean estimated from batch-mean variance.
+  double sem = 0;
+  int batches = 0;
+};
+
+/// Method of batch means over equally sized contiguous batches. Requires
+/// at least 2 * num_batches samples; trailing remainder is dropped.
+BatchMeansResult batch_means(std::span<const double> samples,
+                             int num_batches = 20);
+
+struct BootstrapResult {
+  double estimate = 0;
+  double lower = 0;   // percentile CI lower bound
+  double upper = 0;   // percentile CI upper bound
+};
+
+/// Circular block bootstrap percentile CI for a statistic of a
+/// (possibly autocorrelated) sample sequence.
+BootstrapResult block_bootstrap(
+    std::span<const double> samples,
+    const std::function<double(std::span<const double>)>& statistic,
+    int block_length, int resamples, double confidence, Rng& rng);
+
+/// Integrated autocorrelation time estimate (sum of autocorrelations up
+/// to the first nonpositive lag, the "initial positive sequence" cutoff).
+/// 1.0 for iid data; multiply the naive SEM by sqrt(tau) to correct.
+double integrated_autocorrelation_time(std::span<const double> samples);
+
+}  // namespace p2p

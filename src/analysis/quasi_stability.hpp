@@ -1,0 +1,60 @@
+// Quasi-stability analytics (Section IX outlook).
+//
+// A provably-transient swarm can behave well for a long time before the
+// one-club forms; a provably-stable one still has excursions. This module
+// quantifies both:
+//   * one-club onset detection (when some piece's availability collapses
+//     in a large swarm), used to compare piece-selection policies;
+//   * excursion statistics of a population time series over a threshold
+//     (count, durations, peak), the empirical face of positive recurrence.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/model.hpp"
+#include "sim/stats.hpp"
+
+namespace p2p {
+
+struct OnsetOptions {
+  double horizon = 4000;
+  double check_dt = 5;
+  /// Onset declared when total peers exceed this ...
+  std::int64_t min_peers = 200;
+  /// ... and some piece is held by less than this fraction of them.
+  double rarity_fraction = 0.1;
+  std::uint64_t rng_seed = 1;
+};
+
+struct OnsetResult {
+  /// Time of onset; equals the horizon when no onset occurred.
+  double onset_time = 0;
+  bool onset = false;
+  /// The piece whose availability collapsed (-1 if none).
+  int rare_piece = -1;
+  /// Population at onset (or at the horizon).
+  std::int64_t peers_at_onset = 0;
+};
+
+/// Runs a fresh swarm (started empty) under the named policy and reports
+/// the first one-club onset.
+OnsetResult detect_onset(const SwarmParams& params,
+                         const std::string& policy_name,
+                         const OnsetOptions& options);
+
+struct ExcursionStats {
+  /// Number of completed excursions above the threshold.
+  std::int64_t count = 0;
+  double mean_duration = 0;
+  double max_duration = 0;
+  double max_value = 0;
+  /// Fraction of observed time spent above the threshold.
+  double fraction_above = 0;
+};
+
+/// Excursions of `series` strictly above `threshold`. An excursion open
+/// at the end of the series is counted (its duration truncated).
+ExcursionStats excursions_above(const TimeSeries& series, double threshold);
+
+}  // namespace p2p

@@ -1,0 +1,220 @@
+#include "coding/coded_swarm.hpp"
+
+namespace p2p {
+
+CodedSwarmSim::CodedSwarmSim(CodedSwarmParams params, std::uint64_t seed)
+    : params_(std::move(params)),
+      gf_(params_.field_size),
+      rng_(seed) {
+  P2P_ASSERT(params_.num_pieces >= 1);
+  P2P_ASSERT(params_.contact_rate > 0);
+  P2P_ASSERT(params_.seed_rate >= 0);
+  P2P_ASSERT(params_.seed_depart_rate > 0);
+  P2P_ASSERT_MSG(params_.total_arrival_rate() > 0,
+                 "total arrival rate must be positive");
+  arrival_weights_.reserve(params_.arrivals.size());
+  for (const auto& a : params_.arrivals) {
+    P2P_ASSERT(a.rate >= 0);
+    P2P_ASSERT(a.coded_pieces >= 0 && a.coded_pieces <= params_.num_pieces);
+    arrival_weights_.push_back(a.rate);
+  }
+}
+
+void CodedSwarmSim::add_peer(int coded_pieces) {
+  Peer peer{Subspace(gf_, params_.num_pieces), now_, false, -1};
+  for (int i = 0; i < coded_pieces; ++i) {
+    peer.knowledge.insert(random_vector(gf_, params_.num_pieces, rng_));
+  }
+  peer.enlightened = !peer.knowledge.inside_hyperplane(0);
+  if (peer.knowledge.complete() && params_.immediate_departure()) {
+    ++departures_;  // decoded on arrival; departs instantly
+    return;
+  }
+  peers_.push_back(std::move(peer));
+  const std::size_t idx = peers_.size() - 1;
+  if (peers_[idx].enlightened) ++enlightened_;
+  if (peers_[idx].knowledge.complete()) {
+    peers_[idx].seed_pos = static_cast<std::int32_t>(seed_indices_.size());
+    seed_indices_.push_back(static_cast<std::uint32_t>(idx));
+  }
+}
+
+void CodedSwarmSim::inject_peers(const std::vector<GfVector>& basis,
+                                 std::int64_t count) {
+  for (std::int64_t i = 0; i < count; ++i) {
+    Peer peer{Subspace(gf_, params_.num_pieces), now_, false, -1};
+    for (const auto& v : basis) peer.knowledge.insert(v);
+    P2P_ASSERT_MSG(!(peer.knowledge.complete() &&
+                     params_.immediate_departure()),
+                   "cannot inject complete peers when gamma = infinity");
+    peer.enlightened = !peer.knowledge.inside_hyperplane(0);
+    peers_.push_back(std::move(peer));
+    const std::size_t idx = peers_.size() - 1;
+    if (peers_[idx].enlightened) ++enlightened_;
+    if (peers_[idx].knowledge.complete()) {
+      peers_[idx].seed_pos = static_cast<std::int32_t>(seed_indices_.size());
+      seed_indices_.push_back(static_cast<std::uint32_t>(idx));
+    }
+  }
+}
+
+void CodedSwarmSim::remove_peer(std::size_t idx) {
+  Peer& peer = peers_[idx];
+  sojourn_.add(now_ - peer.arrival_time);
+  if (peer.enlightened) --enlightened_;
+  if (peer.seed_pos >= 0) {
+    const auto pos = static_cast<std::size_t>(peer.seed_pos);
+    const std::uint32_t last = seed_indices_.back();
+    seed_indices_[pos] = last;
+    peers_[last].seed_pos = static_cast<std::int32_t>(pos);
+    seed_indices_.pop_back();
+  }
+  const std::size_t last_idx = peers_.size() - 1;
+  if (idx != last_idx) {
+    peers_[idx] = std::move(peers_[last_idx]);
+    if (peers_[idx].seed_pos >= 0) {
+      seed_indices_[static_cast<std::size_t>(peers_[idx].seed_pos)] =
+          static_cast<std::uint32_t>(idx);
+    }
+  }
+  peers_.pop_back();
+  ++departures_;
+}
+
+bool CodedSwarmSim::deliver(std::size_t idx, const GfVector& v) {
+  Peer& peer = peers_[idx];
+  if (!peer.knowledge.insert(v)) {
+    ++useless_;
+    return false;
+  }
+  ++useful_;
+  if (!peer.enlightened && !peer.knowledge.inside_hyperplane(0)) {
+    peer.enlightened = true;
+    ++enlightened_;
+  }
+  if (peer.knowledge.complete()) {
+    if (params_.immediate_departure()) {
+      remove_peer(idx);
+    } else {
+      peer.seed_pos = static_cast<std::int32_t>(seed_indices_.size());
+      seed_indices_.push_back(static_cast<std::uint32_t>(idx));
+    }
+  }
+  return true;
+}
+
+std::size_t CodedSwarmSim::random_peer_index() {
+  P2P_ASSERT(!peers_.empty());
+  return static_cast<std::size_t>(
+      rng_.uniform_int(static_cast<std::uint64_t>(peers_.size())));
+}
+
+void CodedSwarmSim::do_arrival() {
+  ++arrivals_;
+  const std::size_t choice = rng_.discrete(arrival_weights_);
+  add_peer(params_.arrivals[choice].coded_pieces);
+}
+
+void CodedSwarmSim::do_seed_tick() {
+  // The fixed seed knows all K pieces: a random combination is a uniform
+  // random vector of F_q^K.
+  const std::size_t target = random_peer_index();
+  if (peers_[target].knowledge.complete()) {
+    ++useless_;
+    return;
+  }
+  deliver(target, random_vector(gf_, params_.num_pieces, rng_));
+}
+
+void CodedSwarmSim::do_peer_tick() {
+  const std::size_t uploader = random_peer_index();
+  const std::size_t target = random_peer_index();
+  if (uploader == target || peers_[uploader].knowledge.dim() == 0 ||
+      peers_[target].knowledge.complete()) {
+    ++useless_;
+    return;
+  }
+  const GfVector v = peers_[uploader].knowledge.random_element(rng_);
+  deliver(target, v);
+}
+
+void CodedSwarmSim::do_seed_departure() {
+  P2P_ASSERT(!seed_indices_.empty());
+  const std::size_t pos = static_cast<std::size_t>(
+      rng_.uniform_int(static_cast<std::uint64_t>(seed_indices_.size())));
+  remove_peer(seed_indices_[pos]);
+}
+
+double CodedSwarmSim::total_event_rate() const {
+  const auto n = static_cast<double>(peers_.size());
+  const double seed_rate = n >= 1 ? params_.seed_rate : 0.0;
+  const double depart_rate =
+      params_.immediate_departure()
+          ? 0.0
+          : params_.seed_depart_rate *
+                static_cast<double>(seed_indices_.size());
+  return params_.total_arrival_rate() + seed_rate + n * params_.contact_rate +
+         depart_rate;
+}
+
+void CodedSwarmSim::dispatch_event() {
+  const auto n = static_cast<double>(peers_.size());
+  const double rates[4] = {
+      params_.total_arrival_rate(), n >= 1 ? params_.seed_rate : 0.0,
+      n * params_.contact_rate,
+      params_.immediate_departure()
+          ? 0.0
+          : params_.seed_depart_rate *
+                static_cast<double>(seed_indices_.size())};
+  switch (rng_.discrete(rates)) {
+    case 0:
+      do_arrival();
+      break;
+    case 1:
+      do_seed_tick();
+      break;
+    case 2:
+      do_peer_tick();
+      break;
+    case 3:
+      do_seed_departure();
+      break;
+  }
+}
+
+bool CodedSwarmSim::step() {
+  const double total = total_event_rate();
+  if (total <= 0) return false;
+  now_ += rng_.exponential(total);
+  dispatch_event();
+  return true;
+}
+
+void CodedSwarmSim::run_until(double t_end) {
+  while (now_ < t_end) {
+    if (!step()) break;
+  }
+}
+
+void CodedSwarmSim::run_sampled(double t_end, double dt,
+                                const std::function<void(double)>& fn) {
+  // Samples observe the pre-event state (holding time drawn first).
+  double next_sample = now_ + dt;
+  while (now_ < t_end) {
+    const double total = total_event_rate();
+    if (total <= 0) break;
+    const double event_time = now_ + rng_.exponential(total);
+    while (next_sample <= t_end && next_sample < event_time) {
+      fn(next_sample);
+      next_sample += dt;
+    }
+    now_ = event_time;
+    dispatch_event();
+  }
+  while (next_sample <= t_end) {
+    fn(next_sample);
+    next_sample += dt;
+  }
+}
+
+}  // namespace p2p

@@ -1,0 +1,125 @@
+// CodedSwarmSim: the network-coded P2P system of Theorem 15.
+//
+// Same contact structure as the base model (random peer contact at rate mu
+// per peer, fixed seed at rate Us, Exp(gamma) peer-seed dwell), but peers
+// exchange *random linear combinations* of their coded pieces over F_q.
+// A peer's state is the subspace spanned by what it has received; it can
+// decode (and becomes a peer seed) when the subspace reaches dimension K.
+//
+// Arrivals carry `coded_pieces` independent uniformly random vectors of
+// F_q^K (0 = empty peer; 1 = the "gifted" arrivals of Section VIII-B,
+// useless with probability q^-K). The fixed seed transmits uniformly
+// random vectors of F_q^K (a random combination of all K data pieces).
+//
+// The simulator tracks the coded analogue of the one-club: peers whose
+// subspace lies inside the hyperplane {x : x[0] = 0} ("not enlightened").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "coding/gf.hpp"
+#include "coding/subspace.hpp"
+#include "rand/rng.hpp"
+#include "sim/stats.hpp"
+
+namespace p2p {
+
+struct CodedArrival {
+  double rate = 0;
+  /// Number of independent uniform random coded pieces held on arrival.
+  int coded_pieces = 0;
+};
+
+struct CodedSwarmParams {
+  int num_pieces = 1;       // K
+  int field_size = 2;       // q
+  double seed_rate = 0;     // Us
+  double contact_rate = 1;  // mu
+  /// gamma; +infinity = depart on decode.
+  double seed_depart_rate = std::numeric_limits<double>::infinity();
+  std::vector<CodedArrival> arrivals;
+
+  double total_arrival_rate() const {
+    double total = 0;
+    for (const auto& a : arrivals) total += a.rate;
+    return total;
+  }
+  bool immediate_departure() const {
+    return seed_depart_rate == std::numeric_limits<double>::infinity();
+  }
+};
+
+class CodedSwarmSim {
+ public:
+  CodedSwarmSim(CodedSwarmParams params, std::uint64_t seed);
+
+  double now() const { return now_; }
+  std::int64_t total_peers() const {
+    return static_cast<std::int64_t>(peers_.size());
+  }
+  std::int64_t peer_seeds() const {
+    return static_cast<std::int64_t>(seed_indices_.size());
+  }
+  /// Peers whose subspace escapes the hyperplane {x[0] = 0}
+  /// ("enlightened" in the Theorem 15 proof sketch).
+  std::int64_t enlightened_peers() const { return enlightened_; }
+  const CodedSwarmParams& params() const { return params_; }
+
+  /// Injects `count` peers whose subspace is spanned by `basis` (pass an
+  /// empty basis for empty peers). Used to set up coded one-club states.
+  void inject_peers(const std::vector<GfVector>& basis, std::int64_t count);
+
+  bool step();
+  void run_until(double t_end);
+  void run_sampled(double t_end, double dt,
+                   const std::function<void(double)>& fn);
+
+  std::int64_t total_arrivals() const { return arrivals_; }
+  std::int64_t total_departures() const { return departures_; }
+  /// Successful (dimension-increasing) transfers.
+  std::int64_t useful_transfers() const { return useful_; }
+  std::int64_t useless_transfers() const { return useless_; }
+  const OnlineStats& sojourn_stats() const { return sojourn_; }
+
+ private:
+  struct Peer {
+    Subspace knowledge;
+    double arrival_time = 0;
+    bool enlightened = false;
+    std::int32_t seed_pos = -1;
+  };
+
+  void add_peer(int coded_pieces);
+  void remove_peer(std::size_t idx);
+  /// Target receives coded vector v; returns true if useful.
+  bool deliver(std::size_t idx, const GfVector& v);
+  std::size_t random_peer_index();
+
+  void do_arrival();
+  void do_seed_tick();
+  void do_peer_tick();
+  void do_seed_departure();
+  double total_event_rate() const;
+  void dispatch_event();
+
+  CodedSwarmParams params_;
+  GaloisField gf_;
+  Rng rng_;
+  double now_ = 0;
+
+  std::vector<Peer> peers_;
+  std::vector<std::uint32_t> seed_indices_;
+  std::vector<double> arrival_weights_;
+  std::int64_t enlightened_ = 0;
+
+  std::int64_t arrivals_ = 0;
+  std::int64_t departures_ = 0;
+  std::int64_t useful_ = 0;
+  std::int64_t useless_ = 0;
+  OnlineStats sojourn_;
+};
+
+}  // namespace p2p

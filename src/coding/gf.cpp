@@ -1,0 +1,70 @@
+#include "coding/gf.hpp"
+
+namespace p2p {
+
+bool is_prime(int n) {
+  if (n < 2) return false;
+  for (int d = 2; d * d <= n; ++d) {
+    if (n % d == 0) return false;
+  }
+  return true;
+}
+
+bool is_supported_power_of_two(int n) {
+  return n >= 2 && n <= 256 && (n & (n - 1)) == 0;
+}
+
+namespace {
+// Standard primitive polynomials for GF(2^m), m = 1..8, with alpha = x a
+// primitive element (0x11D for GF(256) is the Reed–Solomon convention).
+constexpr std::uint32_t kPrimitivePoly[9] = {
+    0, 0x3, 0x7, 0xB, 0x13, 0x25, 0x43, 0x83, 0x11D};
+}  // namespace
+
+GaloisField::GaloisField(int q) : q_(q) {
+  if (is_supported_power_of_two(q)) {
+    binary_ = true;
+    int m = 0;
+    while ((1 << m) < q) ++m;
+    build_tables(m);
+  } else {
+    P2P_ASSERT_MSG(is_prime(q) && q <= 32749,
+                   "q must be prime (<= 32749) or 2^m with m in [1,8]");
+  }
+}
+
+void GaloisField::build_tables(int m) {
+  const std::uint32_t poly = kPrimitivePoly[m];
+  exp_.assign(static_cast<std::size_t>(q_), 0);
+  log_.assign(static_cast<std::size_t>(q_), 0);
+  std::uint32_t x = 1;
+  for (int i = 0; i < q_ - 1; ++i) {
+    exp_[static_cast<std::size_t>(i)] = static_cast<Elem>(x);
+    log_[x] = i;
+    x <<= 1;
+    if (x & static_cast<std::uint32_t>(q_)) x ^= poly;
+  }
+  P2P_ASSERT_MSG(x == 1, "polynomial is not primitive");
+}
+
+GaloisField::Elem GaloisField::inv(Elem a) const {
+  P2P_ASSERT_MSG(a != 0, "zero has no inverse");
+  if (binary_) {
+    return exp_[static_cast<std::size_t>((q_ - 1 - log_[a]) % (q_ - 1))];
+  }
+  // Fermat: a^(q-2) mod q.
+  return pow(a, static_cast<std::uint64_t>(q_ - 2));
+}
+
+GaloisField::Elem GaloisField::pow(Elem a, std::uint64_t e) const {
+  Elem result = 1;
+  Elem base = a;
+  while (e > 0) {
+    if (e & 1) result = mul(result, base);
+    base = mul(base, base);
+    e >>= 1;
+  }
+  return result;
+}
+
+}  // namespace p2p

@@ -1,0 +1,78 @@
+// Finite-field arithmetic for random linear network coding (Section VIII-B).
+//
+// Supports GF(p) for prime p (modular arithmetic, p <= 2^15 so products fit
+// in 32 bits comfortably) and GF(2^m) for m in [1, 8] (exp/log tables over
+// standard primitive polynomials). That covers every field used by the
+// paper's examples (q = 2 ... 256, including the headline q = 64).
+//
+// Elements are plain uint16_t in [0, q); the field object owns any tables
+// and is immutable after construction, so it can be shared freely.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace p2p {
+
+bool is_prime(int n);
+/// True iff n = 2^m with m in [1, 8].
+bool is_supported_power_of_two(int n);
+
+class GaloisField {
+ public:
+  using Elem = std::uint16_t;
+
+  /// q must be prime (<= 32749) or a power of two in [2, 256].
+  explicit GaloisField(int q);
+
+  int size() const { return q_; }
+
+  Elem add(Elem a, Elem b) const {
+    check(a);
+    check(b);
+    if (binary_) return a ^ b;
+    const int s = a + b;
+    return static_cast<Elem>(s >= q_ ? s - q_ : s);
+  }
+
+  Elem sub(Elem a, Elem b) const {
+    check(a);
+    check(b);
+    if (binary_) return a ^ b;
+    const int d = a - b;
+    return static_cast<Elem>(d < 0 ? d + q_ : d);
+  }
+
+  Elem neg(Elem a) const { return sub(0, a); }
+
+  Elem mul(Elem a, Elem b) const {
+    check(a);
+    check(b);
+    if (a == 0 || b == 0) return 0;
+    if (binary_) {
+      return exp_[(log_[a] + log_[b]) % (q_ - 1)];
+    }
+    return static_cast<Elem>((static_cast<std::uint32_t>(a) * b) %
+                             static_cast<std::uint32_t>(q_));
+  }
+
+  /// Multiplicative inverse; requires a != 0.
+  Elem inv(Elem a) const;
+
+  Elem div(Elem a, Elem b) const { return mul(a, inv(b)); }
+
+  Elem pow(Elem a, std::uint64_t e) const;
+
+ private:
+  void check(Elem a) const { P2P_ASSERT(a < q_); }
+  void build_tables(int m);
+
+  int q_;
+  bool binary_ = false;  // true for GF(2^m): addition is XOR
+  std::vector<Elem> exp_;
+  std::vector<int> log_;
+};
+
+}  // namespace p2p

@@ -1,0 +1,107 @@
+#include "coding/subspace.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace p2p {
+
+GfVector random_vector(const GaloisField& gf, int k, Rng& rng) {
+  GfVector v(static_cast<std::size_t>(k));
+  for (auto& e : v) {
+    e = static_cast<GaloisField::Elem>(
+        rng.uniform_int(static_cast<std::uint64_t>(gf.size())));
+  }
+  return v;
+}
+
+Subspace::Subspace(const GaloisField& gf, int k) : gf_(&gf), k_(k) {
+  P2P_ASSERT(k >= 1);
+}
+
+int Subspace::reduce(GfVector& v) const {
+  P2P_ASSERT(static_cast<int>(v.size()) == k_);
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    const int p = pivots_[r];
+    if (v[static_cast<std::size_t>(p)] == 0) continue;
+    const GaloisField::Elem factor = v[static_cast<std::size_t>(p)];
+    for (int c = 0; c < k_; ++c) {
+      v[static_cast<std::size_t>(c)] = gf_->sub(
+          v[static_cast<std::size_t>(c)],
+          gf_->mul(factor, rows_[r][static_cast<std::size_t>(c)]));
+    }
+  }
+  for (int c = 0; c < k_; ++c) {
+    if (v[static_cast<std::size_t>(c)] != 0) return c;
+  }
+  return -1;
+}
+
+bool Subspace::insert(const GfVector& v) {
+  GfVector w = v;
+  const int pivot = reduce(w);
+  if (pivot < 0) return false;
+  // Normalize the pivot to 1.
+  const GaloisField::Elem inv = gf_->inv(w[static_cast<std::size_t>(pivot)]);
+  for (auto& e : w) e = gf_->mul(e, inv);
+  // Back-eliminate the new pivot column from existing rows (keeps RREF).
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    const GaloisField::Elem factor =
+        rows_[r][static_cast<std::size_t>(pivot)];
+    if (factor == 0) continue;
+    for (int c = 0; c < k_; ++c) {
+      rows_[r][static_cast<std::size_t>(c)] =
+          gf_->sub(rows_[r][static_cast<std::size_t>(c)],
+                   gf_->mul(factor, w[static_cast<std::size_t>(c)]));
+    }
+  }
+  // Insert keeping pivot order.
+  const auto it = std::lower_bound(pivots_.begin(), pivots_.end(), pivot);
+  const auto pos = static_cast<std::size_t>(it - pivots_.begin());
+  pivots_.insert(it, pivot);
+  rows_.insert(rows_.begin() + static_cast<std::ptrdiff_t>(pos), std::move(w));
+  return true;
+}
+
+bool Subspace::contains(const GfVector& v) const {
+  GfVector w = v;
+  return reduce(w) < 0;
+}
+
+GfVector Subspace::random_element(Rng& rng) const {
+  GfVector v(static_cast<std::size_t>(k_), 0);
+  for (const auto& row : rows_) {
+    const auto coeff = static_cast<GaloisField::Elem>(
+        rng.uniform_int(static_cast<std::uint64_t>(gf_->size())));
+    if (coeff == 0) continue;
+    for (int c = 0; c < k_; ++c) {
+      v[static_cast<std::size_t>(c)] =
+          gf_->add(v[static_cast<std::size_t>(c)],
+                   gf_->mul(coeff, row[static_cast<std::size_t>(c)]));
+    }
+  }
+  return v;
+}
+
+bool Subspace::inside_hyperplane(int coord) const {
+  P2P_ASSERT(coord >= 0 && coord < k_);
+  for (const auto& row : rows_) {
+    if (row[static_cast<std::size_t>(coord)] != 0) return false;
+  }
+  return true;
+}
+
+int Subspace::intersection_dim(const Subspace& other) const {
+  P2P_ASSERT(k_ == other.k_ && gf_ == other.gf_);
+  Subspace sum = *this;
+  for (const auto& row : other.rows_) sum.insert(row);
+  return dim() + other.dim() - sum.dim();
+}
+
+double useful_probability(const Subspace& a, const Subspace& b) {
+  if (b.dim() == 0) return 0;
+  const int inter = a.intersection_dim(b);
+  return 1.0 - std::pow(static_cast<double>(a.field().size()),
+                        static_cast<double>(inter - b.dim()));
+}
+
+}  // namespace p2p

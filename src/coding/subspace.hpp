@@ -1,0 +1,72 @@
+// Subspaces of F_q^K — the peer "type" under random linear network coding.
+//
+// A peer's knowledge is the span of the coding vectors it has received;
+// it can decode once the span reaches dimension K. The basis is kept in
+// reduced row-echelon form so membership tests, insertion and sampling of
+// random elements are all O(dim * K) field operations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "coding/gf.hpp"
+#include "rand/rng.hpp"
+
+namespace p2p {
+
+using GfVector = std::vector<GaloisField::Elem>;
+
+/// A uniformly random vector in F_q^K (may be the zero vector, with
+/// probability q^-K — the paper's "useless gift").
+GfVector random_vector(const GaloisField& gf, int k, Rng& rng);
+
+class Subspace {
+ public:
+  /// The zero subspace of F_q^k. The field reference must outlive this.
+  Subspace(const GaloisField& gf, int k);
+
+  int ambient_dim() const { return k_; }
+  int dim() const { return static_cast<int>(rows_.size()); }
+  bool complete() const { return dim() == k_; }
+
+  /// Reduces `v` against the basis; if the remainder is nonzero, extends
+  /// the basis (dim grows by 1) and returns true. Exactly the "useful
+  /// coded piece" test of Section VIII-B.
+  bool insert(const GfVector& v);
+
+  bool contains(const GfVector& v) const;
+
+  /// A uniformly random element of the subspace (random coefficients over
+  /// the basis) — what a peer transmits on contact. For dim 0 returns the
+  /// zero vector.
+  GfVector random_element(Rng& rng) const;
+
+  /// True iff this subspace is contained in {x : x[coord] = 0}. The
+  /// "one club" of the coded system is the set of peers whose subspace
+  /// lies inside such a hyperplane.
+  bool inside_hyperplane(int coord) const;
+
+  /// dim(this ∩ other), via rank of the stacked bases:
+  /// dim(A) + dim(B) - dim(A + B).
+  int intersection_dim(const Subspace& other) const;
+
+  const std::vector<GfVector>& basis() const { return rows_; }
+  const GaloisField& field() const { return *gf_; }
+
+ private:
+  /// Reduces v in place against the RREF basis; returns the column of the
+  /// first nonzero entry, or -1 if reduced to zero.
+  int reduce(GfVector& v) const;
+
+  const GaloisField* gf_;
+  int k_;
+  /// RREF rows ordered by pivot column; pivots_[i] is row i's pivot.
+  std::vector<GfVector> rows_;
+  std::vector<int> pivots_;
+};
+
+/// P{random element of B is useful to A} = 1 - q^{dim(A∩B) - dim(B)}
+/// (Section VIII-B). Exposed for tests/benches.
+double useful_probability(const Subspace& a, const Subspace& b);
+
+}  // namespace p2p

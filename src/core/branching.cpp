@@ -1,0 +1,59 @@
+#include "core/branching.hpp"
+
+#include <cmath>
+
+namespace p2p {
+
+AbsMeans abs_means(const AbsParams& params) {
+  P2P_ASSERT(params.xi >= 0 && params.xi < 1);
+  P2P_ASSERT(params.contact_rate > 0);
+  P2P_ASSERT(params.seed_depart_rate > 0);
+  const double xi = params.xi;
+  const double mg = params.seed_depart_rate == kInfiniteRate
+                        ? 0.0
+                        : params.contact_rate / params.seed_depart_rate;
+  // u = mean type-(f) offspring of a (b) peer; v = of an (f) peer.
+  const double u = (params.num_pieces - 1) / (1.0 - xi) + mg;
+  const double v = mg;
+  AbsMeans means;
+  means.finite = xi * u + v < 1.0;
+  if (!means.finite) return means;
+  // Minimal nonnegative solution of m = 1 + M m with the rank-one matrix
+  // M = [xi u, u; xi v, v]:
+  const double scale = (1.0 + xi) / (1.0 - xi * u - v);
+  means.m_b = 1.0 + scale * u;
+  means.m_f = 1.0 + scale * v;
+  return means;
+}
+
+std::optional<double> gifted_mean_descendants(const AbsParams& params,
+                                              int pieces_on_arrival) {
+  P2P_ASSERT(pieces_on_arrival >= 0 &&
+             pieces_on_arrival <= params.num_pieces);
+  const AbsMeans means = abs_means(params);
+  if (!means.finite) return std::nullopt;
+  const double mg = params.seed_depart_rate == kInfiniteRate
+                        ? 0.0
+                        : params.contact_rate / params.seed_depart_rate;
+  const double lifetime_uploads =
+      (params.num_pieces - pieces_on_arrival) / (1.0 - params.xi) + mg;
+  return lifetime_uploads * (params.xi * means.m_b + means.m_f);
+}
+
+std::optional<double> dominating_upload_rate(const SwarmParams& params,
+                                             int piece, double xi) {
+  AbsParams abs{params.num_pieces(), params.contact_rate(),
+                params.seed_depart_rate(), xi};
+  const AbsMeans means = abs_means(abs);
+  if (!means.finite) return std::nullopt;
+  double rate = params.seed_rate() * (xi * means.m_b + means.m_f);
+  for (const auto& a : params.arrivals()) {
+    if (a.type.contains(piece) && a.rate > 0) {
+      auto mg = gifted_mean_descendants(abs, a.type.size());
+      rate += a.rate * *mg;
+    }
+  }
+  return rate;
+}
+
+}  // namespace p2p

@@ -1,0 +1,61 @@
+// The autonomous branching system (ABS) of Section VI.
+//
+// The transience proof couples the spread of the missing piece (piece one)
+// to a two-type branching process: type (b) "infected" peers (got piece one
+// after arrival, still downloading K-1 pieces at rate mu(1-xi)) and type
+// (f) former one-club peers (peer seeds dwelling Exp(gamma)). Both spawn
+// type-(b) offspring at rate xi*mu and type-(f) offspring at rate mu while
+// alive. Gifted peers (arrive holding piece one with |C| pieces) spawn the
+// same way during a lifetime of (K-|C|)/(mu(1-xi)) + 1/gamma on average.
+//
+// This header exposes the closed-form mean family sizes (m_b, m_f, m_g)
+// and the aggregate appearance rate of the dominating process \hat{D}
+// (Corollary 3). The matching stochastic simulator lives in
+// queueing/branching_sim.hpp; tests cross-validate the two.
+#pragma once
+
+#include <optional>
+
+#include "core/model.hpp"
+
+namespace p2p {
+
+struct AbsParams {
+  int num_pieces = 1;   // K
+  double contact_rate;  // mu
+  double seed_depart_rate;  // gamma (may be +infinity)
+  double xi = 0;        // coupling slack parameter, in [0, 1)
+};
+
+struct AbsMeans {
+  /// 1 + mean number of descendants of a group-(b) peer.
+  double m_b = 0;
+  /// 1 + mean number of descendants of a group-(f) peer.
+  double m_f = 0;
+  /// True iff the branching process is subcritical (finite means), i.e.
+  /// xi((K-1)/(1-xi) + mu/gamma) + mu/gamma < 1 (Eq. (6)).
+  bool finite = false;
+};
+
+/// Solves the 2x2 mean system of Section VI. Requires mu < gamma for
+/// finiteness (mu/gamma < 1 necessary).
+AbsMeans abs_means(const AbsParams& params);
+
+/// Mean total number of descendants of a gifted peer arriving with
+/// `pieces_on_arrival` pieces (|C| in the paper), excluding itself:
+///   m_g(C) = ((K - |C|)/(1 - xi) + mu/gamma) (xi m_b + m_f).
+/// Returns nullopt when the branching process is supercritical.
+std::optional<double> gifted_mean_descendants(const AbsParams& params,
+                                              int pieces_on_arrival);
+
+/// Long-run appearance rate of the dominating compound Poisson process
+/// \hat{\hat{D}} in Corollary 3:
+///   Us (xi m_b + m_f) + sum_{C: piece in C} lambda_C m_g(C).
+/// As xi -> 0 this converges to the per-piece threshold of Theorem 1,
+///   [Us + sum_{C: k in C} lambda_C (K - |C| + mu/gamma)] / (1 - mu/gamma),
+/// which is what makes the coupling argument tight. Returns nullopt when
+/// supercritical.
+std::optional<double> dominating_upload_rate(const SwarmParams& params,
+                                             int piece, double xi);
+
+}  // namespace p2p

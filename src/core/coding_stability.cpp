@@ -1,0 +1,62 @@
+#include "core/coding_stability.hpp"
+
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace p2p {
+
+double coded_contact_rate(int field_size, double contact_rate) {
+  P2P_ASSERT(field_size >= 2);
+  return (1.0 - 1.0 / field_size) * contact_rate;
+}
+
+std::string CodedGiftThresholds::to_string() const {
+  return "CodedGiftThresholds{transient_below=" +
+         std::to_string(transient_below) +
+         ", recurrent_above=" + std::to_string(recurrent_above) +
+         ", recurrent_above_exact=" + std::to_string(recurrent_above_exact) +
+         "}";
+}
+
+CodedGiftThresholds coded_gift_thresholds(int field_size, int num_pieces) {
+  P2P_ASSERT(field_size >= 2);
+  P2P_ASSERT(num_pieces >= 1);
+  const double q = field_size;
+  const double k = num_pieces;
+  CodedGiftThresholds t;
+  t.transient_below = q / ((q - 1) * k);
+  t.recurrent_above = q * q / ((q - 1) * (q - 1) * k);
+  const double frac = 1.0 - 1.0 / q;
+  t.recurrent_above_exact = 1.0 / (frac * frac * (k - 1 + q / (q - 1)));
+  return t;
+}
+
+double coded_transience_threshold(int field_size, int num_pieces,
+                                  double seed_rate, double lambda1,
+                                  double mu_over_gamma) {
+  P2P_ASSERT(field_size >= 2);
+  P2P_ASSERT(mu_over_gamma >= 0 && mu_over_gamma < 1);
+  // Arrivals whose vector falls outside a fixed hyperplane V- have rate
+  // lambda1 (1 - 1/q) and dim(V) = 1, contributing K - 1 + 1 = K each.
+  const double frac = 1.0 - 1.0 / field_size;
+  return (seed_rate + lambda1 * frac * num_pieces) / (1.0 - mu_over_gamma);
+}
+
+double coded_recurrence_threshold(int field_size, int num_pieces,
+                                  double seed_rate, double lambda1,
+                                  double mu, double gamma) {
+  P2P_ASSERT(field_size >= 2);
+  const double q = field_size;
+  const double frac = 1.0 - 1.0 / q;
+  const double mu_tilde = frac * mu;
+  const double g = gamma == std::numeric_limits<double>::infinity()
+                       ? 0.0
+                       : mu_tilde / gamma;
+  P2P_ASSERT_MSG(g < 1, "requires mu~ < gamma");
+  return (seed_rate +
+          lambda1 * frac * (num_pieces - 1 + q / (q - 1))) *
+         frac / (1.0 - g);
+}
+
+}  // namespace p2p

@@ -1,0 +1,59 @@
+// Theorem 15: stability of the network-coded system.
+//
+// With random linear network coding over F_q, a peer's state is the
+// subspace V of F_q^K spanned by the coding vectors it holds; a random
+// combination from B is useful to A with probability
+// 1 - q^{dim(V_A ∩ V_B) - dim(V_B)} >= 1 - 1/q whenever V_B !⊂ V_A.
+// The effective contact rate is mu~ = (1 - 1/q) mu.
+//
+// This header provides the closed-form pieces of Theorem 15 for the
+// "gifted arrivals" family studied in Section VIII-B: peers arrive empty
+// at rate lambda0 and with one uniformly random coded piece at rate
+// lambda1 (Us = 0 allowed, gamma = infinity allowed). The headline
+// numbers: with f = lambda1 / (lambda0 + lambda1),
+//   transient          if f < q / ((q-1) K)
+//   positive recurrent if f > q^2 / ((q-1)^2 K)
+// (the latter a clean relaxation of the exact Eq. (55) threshold, also
+// provided). Without coding, Theorem 1 makes the same system transient
+// for every f < 1.
+#pragma once
+
+#include <string>
+
+namespace p2p {
+
+/// Effective useful-contact rate mu~ = (1 - 1/q) mu.
+double coded_contact_rate(int field_size, double contact_rate);
+
+struct CodedGiftThresholds {
+  /// Transient when f is strictly below this (Theorem 15(a)).
+  double transient_below = 0;
+  /// Positive recurrent when f is strictly above this (paper's clean
+  /// bound q^2/((q-1)^2 K)).
+  double recurrent_above = 0;
+  /// Exact sufficient threshold from Eq. (55):
+  /// 1 / [ (1-1/q)^2 (K - 1 + q/(q-1)) ]; always <= recurrent_above.
+  double recurrent_above_exact = 0;
+  std::string to_string() const;
+};
+
+/// Thresholds on the gifted fraction f for the lambda0/lambda1 family with
+/// Us = 0, gamma = infinity. Requires field_size >= 2, num_pieces >= 1.
+CodedGiftThresholds coded_gift_thresholds(int field_size, int num_pieces);
+
+/// Theorem 15 transience condition for the general gifted family with a
+/// fixed seed and finite gamma (0 < mu < gamma): the system is transient
+/// if lambda_total > [Us + lambda1 (1 - 1/q) K] / (1 - mu/gamma).
+/// Returns that threshold.
+double coded_transience_threshold(int field_size, int num_pieces,
+                                  double seed_rate, double lambda1,
+                                  double mu_over_gamma);
+
+/// Theorem 15 recurrence condition (Eq. (55)) for the same family:
+/// positive recurrent if lambda_total is below
+///   [Us + lambda1 (1-1/q)(K - 1 + q/(q-1))] (1 - 1/q) / (1 - mu~/gamma).
+double coded_recurrence_threshold(int field_size, int num_pieces,
+                                  double seed_rate, double lambda1,
+                                  double mu, double gamma);
+
+}  // namespace p2p

@@ -1,0 +1,109 @@
+#include "core/fluid.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace p2p {
+
+FluidModel::FluidModel(SwarmParams params) : params_(std::move(params)) {
+  P2P_ASSERT_MSG(params_.num_pieces() <= 16,
+                 "fluid model supports K <= 16 (dense 2^K state)");
+}
+
+double FluidModel::total(const FluidState& y) {
+  double n = 0;
+  for (double v : y) n += v;
+  return n;
+}
+
+FluidState FluidModel::point_mass(PieceSet type, double count) const {
+  FluidState y(std::size_t{1} << params_.num_pieces(), 0.0);
+  y[type.mask()] = count;
+  return y;
+}
+
+FluidState FluidModel::derivative(const FluidState& y) const {
+  const int k = params_.num_pieces();
+  const std::size_t num_types = std::size_t{1} << k;
+  P2P_ASSERT(y.size() == num_types);
+
+  FluidState clamped = y;
+  for (double& v : clamped) v = std::max(0.0, v);
+  const double n = total(clamped);
+
+  FluidState dy(num_types, 0.0);
+  for (const auto& a : params_.arrivals()) {
+    if (params_.immediate_departure() && a.type == PieceSet::full(k)) {
+      continue;
+    }
+    dy[a.type.mask()] += a.rate;
+  }
+  if (!params_.immediate_departure()) {
+    dy[num_types - 1] -=
+        params_.seed_depart_rate() * clamped[num_types - 1];
+  }
+  if (n <= 0) return dy;
+
+  // Pre-aggregate uploader mass per (piece, |S - C|) is state-dependent on
+  // C, so we evaluate Gamma directly per (C, i): the fluid analogue of
+  // Eq. (1).
+  for (std::size_t m = 0; m + 1 < num_types; ++m) {
+    if (clamped[m] <= 0) continue;
+    const PieceSet c{m};
+    for (int piece : c.complement(k)) {
+      double peers = 0;
+      for (std::size_t s = 0; s < num_types; ++s) {
+        if (((s >> piece) & 1U) == 0 || clamped[s] <= 0) continue;
+        peers += clamped[s] / static_cast<double>(PieceSet{s}.minus(c).size());
+      }
+      const double rate =
+          clamped[m] / n *
+          (params_.seed_rate() / (k - c.size()) +
+           params_.contact_rate() * peers);
+      if (rate <= 0) continue;
+      dy[m] -= rate;
+      const PieceSet next = c.with(piece);
+      if (!(params_.immediate_departure() &&
+            next == PieceSet::full(k))) {
+        dy[next.mask()] += rate;
+      }
+    }
+  }
+  return dy;
+}
+
+FluidState FluidModel::integrate(
+    const FluidState& y0, double horizon, double dt,
+    const std::function<void(double, const FluidState&)>& observer) const {
+  P2P_ASSERT(dt > 0 && horizon >= 0);
+  FluidState y = y0;
+  if (observer) observer(0.0, y);
+  const auto clamp = [](FluidState& state) {
+    for (double& v : state) v = std::max(0.0, v);
+  };
+  clamp(y);
+  double t = 0;
+  while (t < horizon) {
+    const double h = std::min(dt, horizon - t);
+    // Classic RK4.
+    const FluidState k1 = derivative(y);
+    FluidState y2 = y;
+    for (std::size_t i = 0; i < y.size(); ++i) y2[i] += 0.5 * h * k1[i];
+    const FluidState k2 = derivative(y2);
+    FluidState y3 = y;
+    for (std::size_t i = 0; i < y.size(); ++i) y3[i] += 0.5 * h * k2[i];
+    const FluidState k3 = derivative(y3);
+    FluidState y4 = y;
+    for (std::size_t i = 0; i < y.size(); ++i) y4[i] += h * k3[i];
+    const FluidState k4 = derivative(y4);
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      y[i] += h / 6.0 * (k1[i] + 2 * k2[i] + 2 * k3[i] + k4[i]);
+    }
+    clamp(y);
+    t += h;
+    if (observer) observer(t, y);
+  }
+  return y;
+}
+
+}  // namespace p2p

@@ -1,0 +1,59 @@
+// Mean-field (fluid) approximation of the type-count chain.
+//
+// Related work the paper builds on (Massoulié & Vojnovic [11], and the
+// worked examples of Section IV) reasons about the large-swarm limit: the
+// expected drift of x becomes the ODE
+//
+//   dy_C/dt = lambda_C
+//             + sum_{i in C} Gamma_{C-i, C}(y) - sum_{i not in C}
+//               Gamma_{C, C+i}(y)
+//             - gamma y_F [C = F]
+//
+// with Gamma the aggregate rates of Eq. (1) evaluated at real-valued
+// populations y. The fluid path tracks the simulated mean closely once
+// populations are large, and its one-club growth rate converges to
+// Delta_S — the quantity Theorem 1 signs. We integrate with classic RK4
+// and adaptive substepping on the (smooth) right-hand side.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/model.hpp"
+
+namespace p2p {
+
+/// Real-valued population vector indexed by piece-set mask (size 2^K).
+using FluidState = std::vector<double>;
+
+class FluidModel {
+ public:
+  explicit FluidModel(SwarmParams params);
+
+  int num_pieces() const { return params_.num_pieces(); }
+  const SwarmParams& params() const { return params_; }
+
+  /// Right-hand side dy/dt at state y. y must have size 2^K and be
+  /// componentwise >= 0 (small negative values from integration error are
+  /// clamped internally).
+  FluidState derivative(const FluidState& y) const;
+
+  /// RK4 integration from `y0` over [0, horizon] with fixed step `dt`;
+  /// invokes observer(t, y) after every step (and at t = 0). States are
+  /// clamped at zero (populations cannot go negative).
+  FluidState integrate(
+      const FluidState& y0, double horizon, double dt,
+      const std::function<void(double, const FluidState&)>& observer =
+          nullptr) const;
+
+  /// Total population sum of y.
+  static double total(const FluidState& y);
+
+  /// A fluid state with `count` peers of the given type.
+  FluidState point_mass(PieceSet type, double count) const;
+
+ private:
+  SwarmParams params_;
+};
+
+}  // namespace p2p

@@ -1,0 +1,122 @@
+// Transition generator Q of the aggregate chain (Section III).
+//
+// Positive entries out of state x:
+//   * q(x, x + e_C) = lambda_C                       (exogenous arrival)
+//   * q(x, x - e_F) = gamma x_F                      (peer-seed departure)
+//   * q(x, x - e_C + e_{C+i}) = Gamma_{C, C+i}       (piece download)
+// with, for n >= 1 and i not in C (Eq. (1)):
+//   Gamma_{C, C+i} = (x_C / n) [ Us / (K - |C|)
+//                                + mu * sum_{S: i in S} x_S / |S - C| ].
+// When gamma = infinity, a download completing a collection (C + i = F) is
+// a departure instead.
+//
+// Both the exact Lyapunov drift (core/lyapunov.hpp) and the truncated
+// stationary solver (ctmc/stationary.hpp) enumerate transitions through
+// this header; the Gillespie samplers use equivalent event-level sampling
+// and are cross-checked against it in tests.
+#pragma once
+
+#include "core/model.hpp"
+#include "core/state.hpp"
+
+namespace p2p {
+
+enum class TransitionKind {
+  kArrival,    // a type `to` peer arrives
+  kDownload,   // a type `from` peer becomes type `to`
+  kDeparture,  // a peer departs (from = F for dwell departures; from with
+               // |from| = K-1 for gamma = infinity completions)
+};
+
+struct Transition {
+  TransitionKind kind;
+  PieceSet from;  // meaningful for kDownload / kDeparture
+  PieceSet to;    // meaningful for kArrival / kDownload
+  double rate;
+};
+
+/// Applies `t` to `state` in place.
+inline void apply_transition(const Transition& t, TypeCountState& state) {
+  switch (t.kind) {
+    case TransitionKind::kArrival:
+      state.add(t.to, +1);
+      break;
+    case TransitionKind::kDownload:
+      state.transfer(t.from, t.to);
+      break;
+    case TransitionKind::kDeparture:
+      state.add(t.from, -1);
+      break;
+  }
+}
+
+/// Aggregate download rate Gamma_{C, C+i} at state x (Eq. (1)).
+inline double download_rate(const SwarmParams& params,
+                            const TypeCountState& state, PieceSet c,
+                            int piece) {
+  P2P_ASSERT(!c.contains(piece));
+  const std::int64_t n = state.total_peers();
+  if (n < 1 || state.count(c) == 0) return 0;
+  const int k = params.num_pieces();
+  double per_target = params.seed_rate() / (k - c.size());
+  // sum over uploader types S containing `piece` of x_S / |S - C|.
+  double peers = 0;
+  const std::size_t num_types = state.num_types();
+  for (std::size_t m = 0; m < num_types; ++m) {
+    if (((m >> piece) & 1U) == 0 || state.count(m) == 0) continue;
+    const PieceSet s{m};
+    peers += static_cast<double>(state.count(m)) / s.minus(c).size();
+  }
+  per_target += params.contact_rate() * peers;
+  return static_cast<double>(state.count(c)) / static_cast<double>(n) *
+         per_target;
+}
+
+/// Enumerates every positive-rate transition out of `state`, invoking
+/// fn(const Transition&). Rates follow the generator above exactly.
+template <typename Fn>
+void for_each_transition(const SwarmParams& params,
+                         const TypeCountState& state, Fn&& fn) {
+  const int k = params.num_pieces();
+  const PieceSet full = PieceSet::full(k);
+
+  for (const auto& a : params.arrivals()) {
+    if (a.rate <= 0) continue;
+    if (params.immediate_departure() && a.type == full) continue;
+    fn(Transition{TransitionKind::kArrival, PieceSet{}, a.type, a.rate});
+  }
+
+  if (!params.immediate_departure() && state.seeds() > 0) {
+    fn(Transition{TransitionKind::kDeparture, full, PieceSet{},
+                  params.seed_depart_rate() *
+                      static_cast<double>(state.seeds())});
+  }
+
+  if (state.total_peers() < 1) return;
+  const std::size_t num_types = state.num_types();
+  for (std::size_t m = 0; m + 1 < num_types; ++m) {  // skip full mask
+    if (state.count(m) == 0) continue;
+    const PieceSet c{m};
+    for (int piece : c.complement(k)) {
+      const double rate = download_rate(params, state, c, piece);
+      if (rate <= 0) continue;
+      const PieceSet next = c.with(piece);
+      if (params.immediate_departure() && next == full) {
+        fn(Transition{TransitionKind::kDeparture, c, PieceSet{}, rate});
+      } else {
+        fn(Transition{TransitionKind::kDownload, c, next, rate});
+      }
+    }
+  }
+}
+
+/// Total outflow rate -q(x, x); useful for uniformization.
+inline double total_transition_rate(const SwarmParams& params,
+                                    const TypeCountState& state) {
+  double total = 0;
+  for_each_transition(params, state,
+                      [&](const Transition& t) { total += t.rate; });
+  return total;
+}
+
+}  // namespace p2p

@@ -1,0 +1,185 @@
+#include "core/lyapunov.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace p2p {
+
+double lyapunov_phi(double h, double d, double beta) {
+  P2P_ASSERT(h >= 0);
+  if (h <= 2 * d) return 2 * d + 1 / (2 * beta) - h;
+  if (h <= 2 * d + 1 / beta) {
+    const double t = h - 2 * d - 1 / beta;
+    return beta / 2 * t * t;
+  }
+  return 0;
+}
+
+double lyapunov_phi_prime(double h, double d, double beta) {
+  P2P_ASSERT(h >= 0);
+  if (h <= 2 * d) return -1;
+  if (h <= 2 * d + 1 / beta) return beta * (h - 2 * d - 1 / beta);
+  return 0;
+}
+
+LyapunovFunction::LyapunovFunction(SwarmParams params, LyapunovParams lp)
+    : params_(std::move(params)), lp_(lp) {
+  P2P_ASSERT(lp_.r > 0 && lp_.r < 1);
+  P2P_ASSERT(lp_.d > 1);
+  P2P_ASSERT(lp_.beta > 0 && lp_.beta < 0.5);
+  P2P_ASSERT(lp_.alpha > 0 && lp_.alpha < 1);
+  if (altruistic()) {
+    if (lp_.p > 0) {
+      p_ = lp_.p;
+    } else {
+      // Smallest p with lambda_{E_C} - p (Us + lambda*_{H_C}) < 0 for all
+      // C != F (Eq. (44)), padded by 2x.
+      const int k = params_.num_pieces();
+      const double g = params_.contact_rate() / params_.seed_depart_rate();
+      double p_needed = 0;
+      const PieceSet full = PieceSet::full(k);
+      for_each_subset(full, [&](PieceSet c) {
+        if (c == full) return;
+        double inside = 0, helping = params_.seed_rate();
+        for (const auto& a : params_.arrivals()) {
+          if (a.type.is_subset_of(c)) {
+            inside += a.rate;
+          } else {
+            helping += a.rate * (k - a.type.size() + g);
+          }
+        }
+        P2P_ASSERT_MSG(helping > 0,
+                       "Eq. (44) requires Us + lambda*_{H_C} > 0; some piece "
+                       "cannot enter the system");
+        p_needed = std::max(p_needed, inside / helping);
+      });
+      p_ = 2 * p_needed + 1;
+    }
+  }
+}
+
+bool LyapunovFunction::altruistic() const {
+  return params_.seed_depart_rate() <= params_.contact_rate();
+}
+
+double LyapunovFunction::e_term(const TypeCountState& state,
+                                PieceSet c) const {
+  double e = 0;
+  for_each_subset(c, [&](PieceSet sub) {
+    e += static_cast<double>(state.count(sub));
+  });
+  return e;
+}
+
+double LyapunovFunction::h_term(const TypeCountState& state,
+                                PieceSet c) const {
+  const int k = params_.num_pieces();
+  const double g = params_.mu_over_gamma();
+  double h = 0;
+  for (std::size_t m = 0; m < state.num_types(); ++m) {
+    if (state.count(m) == 0) continue;
+    const PieceSet type{m};
+    if (type.is_subset_of(c)) continue;
+    if (altruistic()) {
+      h += (k + 1 - type.size()) * static_cast<double>(state.count(m));
+    } else {
+      h += (k - type.size() + g) * static_cast<double>(state.count(m));
+    }
+  }
+  if (!altruistic()) h /= 1.0 - g;
+  return h;
+}
+
+double LyapunovFunction::value(const TypeCountState& state) const {
+  const int k = params_.num_pieces();
+  const std::size_t num_types = state.num_types();
+
+  // E_C for all C at once: subset-sum (zeta) transform over the mask
+  // lattice, O(K 2^K).
+  std::vector<double> e(num_types);
+  for (std::size_t m = 0; m < num_types; ++m) {
+    e[m] = static_cast<double>(state.count(m));
+  }
+  for (int bit = 0; bit < k; ++bit) {
+    for (std::size_t m = 0; m < num_types; ++m) {
+      if ((m >> bit) & 1U) e[m] += e[m ^ (std::size_t{1} << bit)];
+    }
+  }
+
+  // H_C for all C: total weighted count minus subset-sum of the weights.
+  const double g = params_.mu_over_gamma();
+  std::vector<double> hsub(num_types);
+  double wtotal = 0;
+  for (std::size_t m = 0; m < num_types; ++m) {
+    const PieceSet type{m};
+    const double weight = altruistic() ? (k + 1 - type.size())
+                                       : (k - type.size() + g);
+    hsub[m] = weight * static_cast<double>(state.count(m));
+    wtotal += hsub[m];
+  }
+  for (int bit = 0; bit < k; ++bit) {
+    for (std::size_t m = 0; m < num_types; ++m) {
+      if ((m >> bit) & 1U) hsub[m] += hsub[m ^ (std::size_t{1} << bit)];
+    }
+  }
+
+  const double weight_coeff = altruistic() ? p_ : lp_.alpha;
+  const double n = static_cast<double>(state.total_peers());
+  double w = 0;
+  for (std::size_t m = 0; m < num_types; ++m) {
+    const PieceSet c{m};
+    const double rpow = std::pow(lp_.r, c.size());
+    if (m + 1 == num_types) {  // C = F
+      if (!params_.immediate_departure()) w += rpow * n * n / 2;
+      continue;
+    }
+    double h = wtotal - hsub[m];
+    if (!altruistic()) h /= 1.0 - g;
+    w += rpow * (e[m] * e[m] / 2 +
+                 weight_coeff * e[m] * lyapunov_phi(h, lp_.d, lp_.beta));
+  }
+  return w;
+}
+
+double LyapunovFunction::drift(const TypeCountState& state) const {
+  const double w0 = value(state);
+  double drift = 0;
+  TypeCountState scratch = state;
+  for_each_transition(params_, state, [&](const Transition& t) {
+    apply_transition(t, scratch);
+    drift += t.rate * (value(scratch) - w0);
+    // Undo.
+    switch (t.kind) {
+      case TransitionKind::kArrival:
+        scratch.add(t.to, -1);
+        break;
+      case TransitionKind::kDownload:
+        scratch.transfer(t.to, t.from);
+        break;
+      case TransitionKind::kDeparture:
+        scratch.add(t.from, +1);
+        break;
+    }
+  });
+  return drift;
+}
+
+LyapunovParams LyapunovFunction::suggest(const SwarmParams& params) {
+  LyapunovParams lp;
+  const int k = params.num_pieces();
+  const double g = params.mu_over_gamma();
+  lp.alpha = 0.9;
+  if (g < 1) {
+    const double jump = (k + g) / (1 - g);
+    lp.beta = std::min(0.01, (1 / lp.alpha - 1) / (jump * jump));
+    lp.d = std::max({2 * (1 + g) / (1 - g), static_cast<double>(k) + 2.0,
+                     10.0});
+  } else {
+    lp.beta = std::min(0.01, 0.5 / ((k + 1.0) * (k + 1.0)));
+    lp.d = std::max(static_cast<double>(k) + 2.0, 10.0);
+  }
+  lp.r = 0.1;
+  return lp;
+}
+
+}  // namespace p2p

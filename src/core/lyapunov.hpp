@@ -1,0 +1,81 @@
+// The Foster–Lyapunov function of Section VII, evaluated exactly.
+//
+// For 0 < mu < gamma <= infinity (Eq. (11)/(12)):
+//   W(x) = sum_C r^{|C|} T_C,
+//   T_C  = E_C^2 / 2 + alpha E_C phi(H_C)   (C != F),
+//   T_F  = n^2 / 2                          (only when gamma < infinity),
+// with
+//   E_C = sum_{C' subseteq C} x_{C'}                  (peers that can still
+//                                                      become type C)
+//   H_C = 1/(1-mu/gamma) sum_{C' !subseteq C}
+//            (K - |C'| + mu/gamma) x_{C'}             (stored helping
+//                                                      potential for C)
+//   phi = the C^1 piecewise quadratic of Section VII (parameters d, beta):
+//         phi(h) = 2d + 1/(2 beta) - h          on [0, 2d],
+//                  (beta/2)(h - 2d - 1/beta)^2  on (2d, 2d + 1/beta],
+//                  0                            beyond.
+//
+// For 0 < gamma <= mu (Eq. (43)) the variant W' replaces alpha by a
+// constant p satisfying Eq. (44) and uses H'_C = sum_{C' !subseteq C}
+// (K + 1 - |C'|) x_{C'}.
+//
+// The drift QW(x) = sum_{x'} q(x,x')[W(x') - W(x)] is evaluated by exact
+// enumeration of the generator (core/generator.hpp). Tests and the E10
+// ablation bench verify the Foster–Lyapunov inequality QW <= -xi n on
+// heavy-load states, and show the alpha E_C phi(H_C) term is what rescues
+// the drift when the helping potential H_S is small (Remark 11).
+#pragma once
+
+#include "core/generator.hpp"
+#include "core/model.hpp"
+#include "core/state.hpp"
+
+namespace p2p {
+
+struct LyapunovParams {
+  double r = 0.1;      // per-|C| geometric weight, in (0, 1/2)
+  double d = 10.0;     // phi knee location parameter, > 1
+  double beta = 0.01;  // phi curvature, in (0, 1/2)
+  double alpha = 0.9;  // weight of the potential term, in (1/2, 1)
+  /// Scale constant p for the gamma <= mu variant; <= 0 means "derive the
+  /// smallest p satisfying Eq. (44) automatically".
+  double p = -1.0;
+};
+
+/// phi and phi' with parameters (d, beta).
+double lyapunov_phi(double h, double d, double beta);
+double lyapunov_phi_prime(double h, double d, double beta);
+
+class LyapunovFunction {
+ public:
+  LyapunovFunction(SwarmParams params, LyapunovParams lp);
+
+  /// W(x) (or W'(x) when gamma <= mu).
+  double value(const TypeCountState& state) const;
+
+  /// Exact drift QW(x) by transition enumeration.
+  double drift(const TypeCountState& state) const;
+
+  /// E_C(x): number of peers whose type is a subset of C.
+  double e_term(const TypeCountState& state, PieceSet c) const;
+  /// H_C(x) (or H'_C when gamma <= mu): stored helping potential.
+  double h_term(const TypeCountState& state, PieceSet c) const;
+
+  const LyapunovParams& lyapunov_params() const { return lp_; }
+  const SwarmParams& swarm_params() const { return params_; }
+
+  /// Suggested parameters satisfying the structural side conditions of
+  /// Lemma 12 / Lemma 13 (d large enough, beta (K+g)^2/(1-g)^2 <= 1/alpha
+  /// - 1, ...). These are workable defaults for numeric exploration, not
+  /// the asymptotic constants of the proof.
+  static LyapunovParams suggest(const SwarmParams& params);
+
+ private:
+  bool altruistic() const;  // gamma <= mu branch (variant W')
+
+  SwarmParams params_;
+  LyapunovParams lp_;
+  double p_ = 1.0;  // resolved Eq. (44) constant (altruistic branch)
+};
+
+}  // namespace p2p

@@ -1,0 +1,71 @@
+// TypeCountState: the aggregate state vector x = (x_C : C subseteq F) of
+// the Zhu–Hajek Markov chain — the number of peers currently holding each
+// piece subset. Dense array indexed by bitmask; practical for K <= 16.
+//
+// When gamma = infinity the paper drops the F coordinate; we keep the slot
+// (it simply stays zero) so one representation serves both regimes.
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/piece_set.hpp"
+
+namespace p2p {
+
+class TypeCountState {
+ public:
+  explicit TypeCountState(int num_pieces)
+      : num_pieces_(num_pieces),
+        counts_(std::size_t{1} << num_pieces, 0) {
+    P2P_ASSERT_MSG(num_pieces >= 1 && num_pieces <= 16,
+                   "TypeCountState supports K in [1, 16]");
+  }
+
+  int num_pieces() const { return num_pieces_; }
+  std::size_t num_types() const { return counts_.size(); }
+
+  std::int64_t count(PieceSet type) const { return counts_[type.mask()]; }
+  std::int64_t count(std::uint64_t mask) const { return counts_[mask]; }
+
+  void add(PieceSet type, std::int64_t delta) {
+    counts_[type.mask()] += delta;
+    total_ += delta;
+    P2P_ASSERT(counts_[type.mask()] >= 0);
+  }
+
+  /// Moves one peer from type `from` to type `to` (a piece download).
+  void transfer(PieceSet from, PieceSet to) {
+    P2P_ASSERT(counts_[from.mask()] >= 1);
+    counts_[from.mask()] -= 1;
+    counts_[to.mask()] += 1;
+  }
+
+  /// Total number of peers n (including peer seeds).
+  std::int64_t total_peers() const { return total_; }
+
+  /// Number of peer seeds x_F.
+  std::int64_t seeds() const { return counts_.back(); }
+
+  /// Number of peers holding piece `piece`.
+  std::int64_t holders_of(int piece) const {
+    std::int64_t holders = 0;
+    for (std::size_t m = 0; m < counts_.size(); ++m) {
+      if ((m >> piece) & 1U) holders += counts_[m];
+    }
+    return holders;
+  }
+
+  const std::vector<std::int64_t>& raw() const { return counts_; }
+
+  bool operator==(const TypeCountState&) const = default;
+
+ private:
+  int num_pieces_;
+  std::vector<std::int64_t> counts_;
+  std::int64_t total_ = 0;
+};
+
+}  // namespace p2p

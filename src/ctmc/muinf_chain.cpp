@@ -1,0 +1,103 @@
+#include "ctmc/muinf_chain.hpp"
+
+namespace p2p {
+
+MuInfChain::MuInfChain(int num_pieces, double lambda_per_piece,
+                       std::uint64_t seed)
+    : num_pieces_(num_pieces), lambda_(lambda_per_piece), rng_(seed) {
+  P2P_ASSERT(num_pieces >= 2);
+  P2P_ASSERT(lambda_per_piece > 0);
+}
+
+void MuInfChain::set_state(MuInfState s) {
+  P2P_ASSERT(s.peers >= 0);
+  P2P_ASSERT((s.peers == 0 && s.pieces == 0) ||
+             (s.peers >= 1 && s.pieces >= 1 && s.pieces <= num_pieces_ - 1));
+  state_ = s;
+}
+
+std::int64_t MuInfChain::sample_heads_before_tails(Rng& rng,
+                                                   int tails_needed) {
+  std::int64_t heads = 0;
+  int tails = 0;
+  while (tails < tails_needed) {
+    if (rng.bernoulli(0.5)) {
+      ++heads;
+    } else {
+      ++tails;
+    }
+  }
+  return heads;
+}
+
+void MuInfChain::step() {
+  const double total_rate = lambda_ * num_pieces_;
+  now_ += rng_.exponential(total_rate);
+
+  if (state_.peers == 0) {
+    state_ = {1, 1};
+    return;
+  }
+  const int k = state_.pieces;
+  // Which piece does the arriving peer carry? Uniform over K pieces.
+  const auto piece_index =
+      static_cast<int>(rng_.uniform_int(static_cast<std::uint64_t>(
+          num_pieces_)));
+  const bool carried_by_club = piece_index < k;
+
+  if (carried_by_club) {
+    state_.peers += 1;  // instantly absorbs the club's pieces
+    return;
+  }
+  if (k < num_pieces_ - 1) {
+    // New piece spreads to everyone instantly; nobody completes.
+    state_ = {state_.peers + 1, k + 1};
+    return;
+  }
+  // Top layer: race between uploads of the missing piece (heads) and the
+  // newcomer's K-1 downloads (tails).
+  std::int64_t heads = 0;
+  int tails = 0;
+  while (true) {
+    if (tails == num_pieces_ - 1) {
+      // Newcomer completed and departs; `heads` club members departed too.
+      state_ = {state_.peers - heads, num_pieces_ - 1};
+      P2P_ASSERT(state_.peers >= 1);
+      return;
+    }
+    if (heads == state_.peers) {
+      // Club emptied before the newcomer finished.
+      state_ = {1, 1 + tails};
+      return;
+    }
+    if (rng_.bernoulli(0.5)) {
+      ++heads;
+    } else {
+      ++tails;
+    }
+  }
+}
+
+void MuInfChain::run_until(double t_end) {
+  while (now_ < t_end) step();
+}
+
+void MuInfChain::run_sampled(
+    double t_end, double dt,
+    const std::function<void(double, const MuInfState&)>& fn) {
+  double next_sample = now_ + dt;
+  while (now_ < t_end) {
+    const MuInfState before = state_;
+    step();
+    while (next_sample <= now_ && next_sample <= t_end) {
+      fn(next_sample, before);
+      next_sample += dt;
+    }
+  }
+  while (next_sample <= t_end) {
+    fn(next_sample, state_);
+    next_sample += dt;
+  }
+}
+
+}  // namespace p2p

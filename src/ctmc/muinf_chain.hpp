@@ -1,0 +1,70 @@
+// The mu = infinity watched chain of Section VIII-D (Fig. 3).
+//
+// Setting: symmetric single-piece arrivals (lambda_C = lambda for |C| = 1,
+// else 0), no fixed seed, gamma = infinity, and the mu -> infinity limit of
+// the process watched on "slow" states (all peers share one type). The
+// state space is {(0,0)} ∪ {(n,k) : n >= 1, 1 <= k <= K-1}: n peers all
+// holding the same k pieces.
+//
+// Transitions:
+//   (0,0)  --K lambda-->  (1,1)
+//   (n,k), k < K-1:
+//       --k lambda-->      (n+1, k)    (arrival holds a piece the club has)
+//       --(K-k) lambda-->  (n+1, k+1)  (new piece spreads instantly to all)
+//   (n,K-1):
+//       --(K-1) lambda-->  (n+1, K-1)
+//       --lambda-->        missing-piece arrival: the newcomer uploads the
+//         missing piece (each upload completes a club member, who departs)
+//         and downloads the K-1 club pieces at equal rates. Fair-coin race:
+//         heads = upload, tails = download. Stops when downloads reach K-1
+//         (newcomer completes and departs; state (n - heads, K-1)) or when
+//         heads reach n (club emptied; state (1, 1 + tails)).
+//
+// The top layer performs a zero-drift random walk (E[Z] = K-1 with
+// Z ~ #heads before the (K-1)-th tail), which is why the symmetric system
+// sits exactly on the stability boundary and is null recurrent.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "rand/rng.hpp"
+#include "util/assert.hpp"
+
+namespace p2p {
+
+struct MuInfState {
+  std::int64_t peers = 0;  // n
+  int pieces = 0;          // k: pieces every peer holds (0 iff n = 0)
+  bool operator==(const MuInfState&) const = default;
+};
+
+class MuInfChain {
+ public:
+  /// K >= 2 (for K = 1 the slow states have no layers; not modeled here).
+  MuInfChain(int num_pieces, double lambda_per_piece, std::uint64_t seed);
+
+  const MuInfState& state() const { return state_; }
+  void set_state(MuInfState s);
+  double now() const { return now_; }
+  int num_pieces() const { return num_pieces_; }
+
+  /// One transition of the watched chain.
+  void step();
+  void run_until(double t_end);
+  void run_sampled(double t_end, double dt,
+                   const std::function<void(double, const MuInfState&)>& fn);
+
+  /// Samples Z: number of heads before the (K-1)-th tail of a fair coin
+  /// (negative binomial). Exposed for tests; E[Z] = K-1.
+  static std::int64_t sample_heads_before_tails(Rng& rng, int tails_needed);
+
+ private:
+  int num_pieces_;
+  double lambda_;
+  MuInfState state_;
+  Rng rng_;
+  double now_ = 0;
+};
+
+}  // namespace p2p

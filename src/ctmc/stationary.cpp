@@ -1,0 +1,134 @@
+#include "ctmc/stationary.hpp"
+
+#include <cmath>
+#include <deque>
+
+namespace p2p {
+
+std::vector<double> stationary_distribution(const FiniteCtmc& chain,
+                                            double tol, int max_sweeps) {
+  const auto n = static_cast<std::size_t>(chain.num_states);
+  P2P_ASSERT(n >= 1);
+
+  // Build per-target incoming adjacency and outflow totals.
+  std::vector<double> outflow(n, 0.0);
+  for (const auto& e : chain.edges) {
+    P2P_ASSERT(e.rate > 0);
+    P2P_ASSERT(e.from != e.to);
+    outflow[static_cast<std::size_t>(e.from)] += e.rate;
+  }
+  // Uniformization constant.
+  double big_lambda = 0;
+  for (double r : outflow) big_lambda = std::max(big_lambda, r);
+  big_lambda *= 1.001;
+  P2P_ASSERT(big_lambda > 0);
+
+  // Incoming edges grouped by target (CSR-ish).
+  std::vector<std::int32_t> in_count(n, 0);
+  for (const auto& e : chain.edges) ++in_count[static_cast<std::size_t>(e.to)];
+  std::vector<std::size_t> offset(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) offset[i + 1] = offset[i] +
+      static_cast<std::size_t>(in_count[i]);
+  std::vector<std::int32_t> in_from(chain.edges.size());
+  std::vector<double> in_prob(chain.edges.size());
+  {
+    std::vector<std::size_t> cursor(offset.begin(), offset.end() - 1);
+    for (const auto& e : chain.edges) {
+      const auto t = static_cast<std::size_t>(e.to);
+      in_from[cursor[t]] = e.from;
+      in_prob[cursor[t]] = e.rate / big_lambda;
+      ++cursor[t];
+    }
+  }
+  // Self-loop probability of the uniformized kernel.
+  std::vector<double> stay(n);
+  for (std::size_t i = 0; i < n; ++i) stay[i] = 1.0 - outflow[i] / big_lambda;
+
+  // Gauss–Seidel: pi_j <- (sum_{i->j} pi_i P_ij) / (1 - P_jj).
+  std::vector<double> pi(n, 1.0 / static_cast<double>(n));
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double change = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      double inflow = 0;
+      for (std::size_t idx = offset[j]; idx < offset[j + 1]; ++idx) {
+        inflow += pi[static_cast<std::size_t>(in_from[idx])] * in_prob[idx];
+      }
+      const double denom = 1.0 - stay[j];
+      const double next = denom > 0 ? inflow / denom : pi[j];
+      change += std::abs(next - pi[j]);
+      pi[j] = next;
+    }
+    // Normalize each sweep (GS drifts in scale).
+    double total = 0;
+    for (double p : pi) total += p;
+    P2P_ASSERT(total > 0);
+    for (double& p : pi) p /= total;
+    if (change < tol) break;
+  }
+  return pi;
+}
+
+double TruncatedSwarmChain::mean_peers() const {
+  double mean = 0;
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    mean += pi[i] * static_cast<double>(states[i].total_peers());
+  }
+  return mean;
+}
+
+double TruncatedSwarmChain::mean_count(PieceSet type) const {
+  double mean = 0;
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    mean += pi[i] * static_cast<double>(states[i].count(type));
+  }
+  return mean;
+}
+
+double TruncatedSwarmChain::peer_count_pmf(std::int64_t n) const {
+  double p = 0;
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    if (states[i].total_peers() == n) p += pi[i];
+  }
+  return p;
+}
+
+TruncatedSwarmChain solve_truncated_swarm(const SwarmParams& params,
+                                          std::int64_t max_peers, double tol,
+                                          int max_sweeps) {
+  TruncatedSwarmChain out;
+  std::map<std::vector<std::int64_t>, std::int32_t> index;
+  std::deque<std::int32_t> frontier;
+
+  auto intern = [&](const TypeCountState& s) -> std::int32_t {
+    auto [it, inserted] = index.try_emplace(
+        s.raw(), static_cast<std::int32_t>(out.states.size()));
+    if (inserted) {
+      out.states.push_back(s);
+      frontier.push_back(it->second);
+    }
+    return it->second;
+  };
+
+  intern(TypeCountState(params.num_pieces()));
+  while (!frontier.empty()) {
+    const std::int32_t from = frontier.front();
+    frontier.pop_front();
+    // Copy: out.states may reallocate during intern().
+    const TypeCountState state = out.states[static_cast<std::size_t>(from)];
+    for_each_transition(params, state, [&](const Transition& t) {
+      if (t.kind == TransitionKind::kArrival &&
+          state.total_peers() >= max_peers) {
+        return;  // truncation: drop arrivals at the cap
+      }
+      TypeCountState next = state;
+      apply_transition(t, next);
+      const std::int32_t to = intern(next);
+      out.ctmc.edges.push_back({from, to, t.rate});
+    });
+  }
+  out.ctmc.num_states = static_cast<std::int32_t>(out.states.size());
+  out.pi = stationary_distribution(out.ctmc, tol, max_sweeps);
+  return out;
+}
+
+}  // namespace p2p

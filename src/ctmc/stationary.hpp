@@ -1,0 +1,64 @@
+// Stationary distribution of a finite (truncated) CTMC.
+//
+// Used to validate simulators and to compute exact E[N] for small piece
+// counts: the infinite Zhu–Hajek chain is truncated by capping the peer
+// population (arrivals that would exceed the cap are dropped), states are
+// enumerated by BFS from the empty state, and pi Q = 0 is solved by
+// Gauss–Seidel sweeps on the uniformized kernel.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/generator.hpp"
+#include "core/model.hpp"
+#include "core/state.hpp"
+
+namespace p2p {
+
+/// A finite CTMC given by transition triplets (from, to, rate>0) over
+/// states 0..num_states-1. The chain must be irreducible on the reachable
+/// class of `initial_state` for the solver to be meaningful.
+struct FiniteCtmc {
+  struct Edge {
+    std::int32_t from = 0;
+    std::int32_t to = 0;
+    double rate = 0;
+  };
+  std::int32_t num_states = 0;
+  std::vector<Edge> edges;
+};
+
+/// Solves pi Q = 0, sum pi = 1 by Gauss–Seidel on the embedded
+/// uniformized chain. Returns the stationary vector (size num_states).
+/// `tol` is the L1 change per sweep at which iteration stops.
+std::vector<double> stationary_distribution(const FiniteCtmc& chain,
+                                            double tol = 1e-13,
+                                            int max_sweeps = 20000);
+
+/// The truncated Zhu–Hajek chain: all states reachable from empty with at
+/// most `max_peers` peers; arrivals beyond the cap are dropped.
+struct TruncatedSwarmChain {
+  FiniteCtmc ctmc;
+  /// Enumerated states, indexed consistently with the CTMC.
+  std::vector<TypeCountState> states;
+  /// Stationary distribution.
+  std::vector<double> pi;
+
+  /// E[N] under pi.
+  double mean_peers() const;
+  /// E[x_C] under pi.
+  double mean_count(PieceSet type) const;
+  /// P{N = n} under pi.
+  double peer_count_pmf(std::int64_t n) const;
+};
+
+/// Builds and solves the truncated chain. Practical for K <= 3 and caps of
+/// a few dozen peers (state count grows like C(cap + 2^K, 2^K)).
+TruncatedSwarmChain solve_truncated_swarm(const SwarmParams& params,
+                                          std::int64_t max_peers,
+                                          double tol = 1e-13,
+                                          int max_sweeps = 20000);
+
+}  // namespace p2p

@@ -1,0 +1,112 @@
+#include "ctmc/transient_solver.hpp"
+
+#include <cmath>
+
+namespace p2p {
+
+TransientSolver::TransientSolver(const FiniteCtmc& chain)
+    : num_states_(chain.num_states) {
+  P2P_ASSERT(num_states_ >= 1);
+  const auto n = static_cast<std::size_t>(num_states_);
+  std::vector<double> outflow(n, 0.0);
+  std::vector<std::int32_t> out_count(n, 0);
+  for (const auto& e : chain.edges) {
+    P2P_ASSERT(e.rate > 0);
+    P2P_ASSERT(e.from != e.to);
+    outflow[static_cast<std::size_t>(e.from)] += e.rate;
+    ++out_count[static_cast<std::size_t>(e.from)];
+  }
+  big_lambda_ = 0;
+  for (double r : outflow) big_lambda_ = std::max(big_lambda_, r);
+  if (big_lambda_ <= 0) big_lambda_ = 1.0;  // absorbing-only chain
+  big_lambda_ *= 1.0001;
+
+  offset_.assign(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    offset_[i + 1] = offset_[i] + static_cast<std::size_t>(out_count[i]);
+  }
+  to_.resize(chain.edges.size());
+  prob_.resize(chain.edges.size());
+  std::vector<std::size_t> cursor(offset_.begin(), offset_.end() - 1);
+  for (const auto& e : chain.edges) {
+    const auto f = static_cast<std::size_t>(e.from);
+    to_[cursor[f]] = e.to;
+    prob_[cursor[f]] = e.rate / big_lambda_;
+    ++cursor[f];
+  }
+  stay_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) stay_[i] = 1.0 - outflow[i] / big_lambda_;
+}
+
+std::vector<double> TransientSolver::apply_kernel(
+    const std::vector<double>& in) const {
+  const auto n = static_cast<std::size_t>(num_states_);
+  std::vector<double> out(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double mass = in[i];
+    if (mass == 0) continue;
+    out[i] += mass * stay_[i];
+    for (std::size_t idx = offset_[i]; idx < offset_[i + 1]; ++idx) {
+      out[static_cast<std::size_t>(to_[idx])] += mass * prob_[idx];
+    }
+  }
+  return out;
+}
+
+std::vector<double> TransientSolver::distribution_at(
+    const std::vector<double>& initial, double t, double tolerance) const {
+  P2P_ASSERT(t >= 0);
+  P2P_ASSERT(initial.size() == static_cast<std::size_t>(num_states_));
+  const double a = big_lambda_ * t;
+  std::vector<double> acc(initial.size(), 0.0);
+  std::vector<double> current = initial;
+  // Poisson weights computed iteratively; stop when the accumulated weight
+  // reaches 1 - tolerance.
+  double weight = std::exp(-a);
+  double cumulative = 0;
+  // For large a, exp(-a) underflows; scale by working in a loop that
+  // starts contributing near j ~ a. Simpler: use logs.
+  const bool use_logs = a > 700;
+  double log_weight = -a;
+  // Hard cap: beyond a + 12 sqrt(a) the Poisson tail is < 1e-30; the
+  // cumulative-weight test alone can stall just below 1 - tolerance from
+  // floating-point accumulation error.
+  const auto j_max = static_cast<std::int64_t>(
+      a + 12.0 * std::sqrt(a + 100.0) + 200.0);
+  for (std::int64_t j = 0;; ++j) {
+    const double w = use_logs ? std::exp(log_weight) : weight;
+    if (w > 0) {
+      for (std::size_t i = 0; i < acc.size(); ++i) {
+        acc[i] += w * current[i];
+      }
+      cumulative += w;
+    }
+    if (cumulative >= 1.0 - tolerance || j >= j_max) break;
+    P2P_ASSERT_MSG(j < 50'000'000, "uniformization series too long");
+    current = apply_kernel(current);
+    if (use_logs) {
+      log_weight += std::log(a / static_cast<double>(j + 1));
+    } else {
+      weight *= a / static_cast<double>(j + 1);
+    }
+  }
+  // Renormalize the truncated series.
+  double total = 0;
+  for (double p : acc) total += p;
+  if (total > 0) {
+    for (double& p : acc) p /= total;
+  }
+  return acc;
+}
+
+double TransientSolver::expectation_at(const std::vector<double>& initial,
+                                       const std::vector<double>& values,
+                                       double t, double tolerance) const {
+  const auto dist = distribution_at(initial, t, tolerance);
+  P2P_ASSERT(values.size() == dist.size());
+  double mean = 0;
+  for (std::size_t i = 0; i < dist.size(); ++i) mean += dist[i] * values[i];
+  return mean;
+}
+
+}  // namespace p2p

@@ -1,0 +1,50 @@
+// Transient distribution of a finite CTMC via uniformization.
+//
+// pi(t) = sum_{j>=0} Pois(Lambda t){j} * pi(0) P^j, with P the uniformized
+// kernel. Gives *exact* (to series truncation) time-t distributions and
+// expectations for small truncated swarm chains — the strongest possible
+// oracle for validating the simulators' transient behaviour, complementing
+// the stationary solver.
+#pragma once
+
+#include <vector>
+
+#include "ctmc/stationary.hpp"
+
+namespace p2p {
+
+class TransientSolver {
+ public:
+  /// The chain must have num_states >= 1. Edges with from == to are not
+  /// allowed (as in FiniteCtmc).
+  explicit TransientSolver(const FiniteCtmc& chain);
+
+  /// Distribution at time t >= 0 starting from `initial` (a probability
+  /// vector of size num_states). `tolerance` bounds the neglected Poisson
+  /// tail mass.
+  std::vector<double> distribution_at(const std::vector<double>& initial,
+                                      double t,
+                                      double tolerance = 1e-12) const;
+
+  /// E[f(X_t)] for per-state values f.
+  double expectation_at(const std::vector<double>& initial,
+                        const std::vector<double>& values, double t,
+                        double tolerance = 1e-12) const;
+
+  std::int32_t num_states() const { return num_states_; }
+  double uniformization_rate() const { return big_lambda_; }
+
+ private:
+  /// One application of the uniformized kernel: out = in * P.
+  std::vector<double> apply_kernel(const std::vector<double>& in) const;
+
+  std::int32_t num_states_;
+  double big_lambda_ = 0;
+  // CSR by source: P's off-diagonal entries.
+  std::vector<std::size_t> offset_;
+  std::vector<std::int32_t> to_;
+  std::vector<double> prob_;
+  std::vector<double> stay_;
+};
+
+}  // namespace p2p

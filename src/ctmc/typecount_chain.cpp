@@ -1,0 +1,227 @@
+#include "ctmc/typecount_chain.hpp"
+
+#include <cmath>
+
+namespace p2p {
+
+TypeCountChain::TypeCountChain(SwarmParams params, std::uint64_t seed)
+    : params_(std::move(params)),
+      state_(params_.num_pieces()),
+      rng_(seed) {
+  arrival_weights_.reserve(params_.arrivals().size());
+  for (const auto& a : params_.arrivals()) {
+    arrival_weights_.push_back(a.rate);
+  }
+}
+
+void TypeCountChain::set_state(const TypeCountState& state) {
+  P2P_ASSERT(state.num_pieces() == params_.num_pieces());
+  if (params_.immediate_departure()) {
+    P2P_ASSERT_MSG(state.seeds() == 0,
+                   "gamma = infinity forbids peer seeds in the state");
+  }
+  state_ = state;
+}
+
+PieceSet TypeCountChain::random_peer_type() {
+  const std::int64_t n = state_.total_peers();
+  P2P_ASSERT(n >= 1);
+  std::int64_t target = static_cast<std::int64_t>(
+      rng_.uniform_int(static_cast<std::uint64_t>(n)));
+  for (std::size_t m = 0; m < state_.num_types(); ++m) {
+    const std::int64_t c = state_.count(m);
+    if (target < c) return PieceSet{m};
+    target -= c;
+  }
+  P2P_ASSERT(false);
+  return PieceSet{};
+}
+
+void TypeCountChain::complete_download(PieceSet c, PieceSet useful) {
+  P2P_ASSERT(!useful.empty());
+  const int piece = useful.nth(static_cast<int>(
+      rng_.uniform_int(static_cast<std::uint64_t>(useful.size()))));
+  const PieceSet next = c.with(piece);
+  ++downloads_seen_;
+  if (params_.immediate_departure() &&
+      next == PieceSet::full(params_.num_pieces())) {
+    state_.add(c, -1);
+    ++departures_seen_;
+  } else {
+    state_.transfer(c, next);
+  }
+}
+
+void TypeCountChain::do_arrival() {
+  const std::size_t idx = rng_.discrete(arrival_weights_);
+  state_.add(params_.arrivals()[idx].type, +1);
+  ++arrivals_seen_;
+}
+
+void TypeCountChain::do_seed_tick() {
+  // Fixed seed contacts a uniform peer; uploads a uniform needed piece.
+  const PieceSet c = random_peer_type();
+  const PieceSet needed = c.complement(params_.num_pieces());
+  if (needed.empty()) {
+    ++silent_ticks_seen_;
+    return;  // contacted a peer seed; tick wasted
+  }
+  complete_download(c, needed);
+}
+
+void TypeCountChain::do_peer_tick() {
+  // A uniform peer contacts a uniform peer (possibly of the same type, in
+  // which case nothing transfers — matching Eq. (1) exactly).
+  const PieceSet uploader = random_peer_type();
+  const PieceSet target = random_peer_type();
+  const PieceSet useful = uploader.minus(target);
+  if (useful.empty()) {
+    ++silent_ticks_seen_;
+    return;
+  }
+  complete_download(target, useful);
+}
+
+void TypeCountChain::do_seed_departure() {
+  P2P_ASSERT(state_.seeds() >= 1);
+  state_.add(PieceSet::full(params_.num_pieces()), -1);
+  ++departures_seen_;
+}
+
+double TypeCountChain::total_event_rate() const {
+  const auto n = static_cast<double>(state_.total_peers());
+  const double seed_rate = n >= 1 ? params_.seed_rate() : 0.0;
+  const double depart_rate =
+      params_.immediate_departure()
+          ? 0.0
+          : params_.seed_depart_rate() * static_cast<double>(state_.seeds());
+  return params_.total_arrival_rate() + seed_rate +
+         n * params_.contact_rate() + depart_rate;
+}
+
+void TypeCountChain::dispatch_event() {
+  const auto n = static_cast<double>(state_.total_peers());
+  const double rates[4] = {
+      params_.total_arrival_rate(), n >= 1 ? params_.seed_rate() : 0.0,
+      n * params_.contact_rate(),
+      params_.immediate_departure()
+          ? 0.0
+          : params_.seed_depart_rate() * static_cast<double>(state_.seeds())};
+  switch (rng_.discrete(rates)) {
+    case 0:
+      do_arrival();
+      break;
+    case 1:
+      do_seed_tick();
+      break;
+    case 2:
+      do_peer_tick();
+      break;
+    case 3:
+      do_seed_departure();
+      break;
+  }
+}
+
+bool TypeCountChain::step() {
+  const double total = total_event_rate();
+  if (total <= 0) return false;
+  now_ += rng_.exponential(total);
+  dispatch_event();
+  return true;
+}
+
+void TypeCountChain::run_until(double t_end) {
+  while (now_ < t_end) {
+    if (!step()) break;
+  }
+}
+
+void TypeCountChain::run_sampled(
+    double t_end, double dt,
+    const std::function<void(double, const TypeCountState&)>& sample) {
+  // Samples observe the pre-event state (holding time drawn first).
+  double next_sample = now_ + dt;
+  while (now_ < t_end) {
+    const double total = total_event_rate();
+    if (total <= 0) break;
+    const double event_time = now_ + rng_.exponential(total);
+    while (next_sample <= t_end && next_sample < event_time) {
+      sample(next_sample, state_);
+      next_sample += dt;
+    }
+    now_ = event_time;
+    dispatch_event();
+  }
+  while (next_sample <= t_end) {
+    sample(next_sample, state_);
+    next_sample += dt;
+  }
+}
+
+bool ExactGeneratorSampler::step() {
+  // Collect all transitions with their rates, then sample one.
+  std::vector<Transition> transitions;
+  double total = 0;
+  for_each_transition(params_, state_, [&](const Transition& t) {
+    transitions.push_back(t);
+    total += t.rate;
+  });
+  if (total <= 0) return false;
+  now_ += rng_.exponential(total);
+  double u = rng_.uniform() * total;
+  for (const auto& t : transitions) {
+    if (u < t.rate) {
+      apply_transition(t, state_);
+      return true;
+    }
+    u -= t.rate;
+  }
+  apply_transition(transitions.back(), state_);
+  return true;
+}
+
+void ExactGeneratorSampler::run_until(double t_end) {
+  while (now_ < t_end) {
+    if (!step()) break;
+  }
+}
+
+void ExactGeneratorSampler::run_sampled(
+    double t_end, double dt,
+    const std::function<void(double, const TypeCountState&)>& sample) {
+  // Pre-event sampling, mirroring TypeCountChain::run_sampled.
+  double next_sample = now_ + dt;
+  while (now_ < t_end) {
+    std::vector<Transition> transitions;
+    double total = 0;
+    for_each_transition(params_, state_, [&](const Transition& t) {
+      transitions.push_back(t);
+      total += t.rate;
+    });
+    if (total <= 0) break;
+    const double event_time = now_ + rng_.exponential(total);
+    while (next_sample <= t_end && next_sample < event_time) {
+      sample(next_sample, state_);
+      next_sample += dt;
+    }
+    now_ = event_time;
+    double u = rng_.uniform() * total;
+    bool applied = false;
+    for (const auto& t : transitions) {
+      if (u < t.rate) {
+        apply_transition(t, state_);
+        applied = true;
+        break;
+      }
+      u -= t.rate;
+    }
+    if (!applied) apply_transition(transitions.back(), state_);
+  }
+  while (next_sample <= t_end) {
+    sample(next_sample, state_);
+    next_sample += dt;
+  }
+}
+
+}  // namespace p2p

@@ -1,0 +1,113 @@
+// Exact stochastic simulation of the aggregate type-count chain.
+//
+// Two samplers with provably the same law:
+//
+//  * TypeCountChain — event-level Gillespie matching the model's verbal
+//    description: arrival / seed tick / peer tick / seed departure events,
+//    with uniform peer contact and uniform useful piece choice, including
+//    *silent* ticks (contacting a peer you cannot help wastes the tick,
+//    exactly as in Section III). O(occupied types) per event.
+//
+//  * ExactGeneratorSampler — textbook Gillespie over the enumerated
+//    generator Q (core/generator.hpp). O(2^K * K) per event; used in tests
+//    to cross-validate TypeCountChain distributionally.
+//
+// Peer-level dynamics (piece-selection policies, Fig. 2 group tracking,
+// network coding) live in src/sim and src/coding; this chain is the
+// fastest way to study the aggregate process for moderate K.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/generator.hpp"
+#include "core/model.hpp"
+#include "core/state.hpp"
+#include "rand/rng.hpp"
+
+namespace p2p {
+
+class TypeCountChain {
+ public:
+  TypeCountChain(SwarmParams params, std::uint64_t seed);
+
+  /// Replaces the current population (time is not reset).
+  void set_state(const TypeCountState& state);
+  const TypeCountState& state() const { return state_; }
+  double now() const { return now_; }
+  std::int64_t total_peers() const { return state_.total_peers(); }
+
+  /// Advances by one event (which may be silent). Returns false only if
+  /// the total event rate is zero (cannot happen: lambda_total > 0).
+  bool step();
+
+  /// Runs until simulated time reaches `t_end`.
+  void run_until(double t_end);
+
+  /// Runs until `t_end`, invoking `sample(t, state)` every `dt` of
+  /// simulated time (including at t_end).
+  void run_sampled(double t_end, double dt,
+                   const std::function<void(double, const TypeCountState&)>&
+                       sample);
+
+  const SwarmParams& params() const { return params_; }
+
+  /// Cumulative counts, for rate sanity checks in tests.
+  std::int64_t arrivals_seen() const { return arrivals_seen_; }
+  std::int64_t downloads_seen() const { return downloads_seen_; }
+  std::int64_t departures_seen() const { return departures_seen_; }
+  std::int64_t silent_ticks_seen() const { return silent_ticks_seen_; }
+
+ private:
+  /// Samples a peer uniformly at random (returns its type); n >= 1.
+  PieceSet random_peer_type();
+
+  void do_arrival();
+  void do_seed_tick();
+  void do_peer_tick();
+  void do_seed_departure();
+  double total_event_rate() const;
+  void dispatch_event();
+  /// Target (type c) downloads a uniform piece of `useful`; handles
+  /// completion/departure bookkeeping.
+  void complete_download(PieceSet c, PieceSet useful);
+
+  SwarmParams params_;
+  TypeCountState state_;
+  Rng rng_;
+  double now_ = 0;
+  std::vector<double> arrival_weights_;
+  std::int64_t arrivals_seen_ = 0;
+  std::int64_t downloads_seen_ = 0;
+  std::int64_t departures_seen_ = 0;
+  std::int64_t silent_ticks_seen_ = 0;
+};
+
+/// Reference sampler over the enumerated generator (slow, exact).
+class ExactGeneratorSampler {
+ public:
+  ExactGeneratorSampler(SwarmParams params, std::uint64_t seed)
+      : params_(std::move(params)),
+        state_(params_.num_pieces()),
+        rng_(seed) {}
+
+  void set_state(const TypeCountState& state) { state_ = state; }
+  const TypeCountState& state() const { return state_; }
+  double now() const { return now_; }
+
+  bool step();
+  void run_until(double t_end);
+  /// Samples the pre-event state every `dt` up to t_end.
+  void run_sampled(double t_end, double dt,
+                   const std::function<void(double, const TypeCountState&)>&
+                       sample);
+
+ private:
+  SwarmParams params_;
+  TypeCountState state_;
+  Rng rng_;
+  double now_ = 0;
+};
+
+}  // namespace p2p

@@ -1,0 +1,73 @@
+#include "queueing/branching_sim.hpp"
+
+#include <limits>
+#include <vector>
+
+namespace p2p {
+
+double AbsBranchingSim::lifetime(int stages, Rng& rng) const {
+  const double download_rate = params_.contact_rate * (1.0 - params_.xi);
+  double life = 0;
+  for (int i = 0; i < stages; ++i) life += rng.exponential(download_rate);
+  if (params_.seed_depart_rate !=
+      std::numeric_limits<double>::infinity()) {
+    life += rng.exponential(params_.seed_depart_rate);
+  }
+  return life;
+}
+
+void AbsBranchingSim::explore(double root_lifetime, BranchingFamily& family,
+                              Rng& rng, std::int64_t cap) const {
+  // Work-list of unexpanded individuals' lifetimes paired with whether the
+  // spawned children have been counted; we only need lifetimes because
+  // spawn counts given a lifetime L are Poisson(xi mu L) and Poisson(mu L).
+  std::vector<double> pending = {root_lifetime};
+  while (!pending.empty()) {
+    if (family.total() >= cap) {
+      family.saturated = true;
+      return;
+    }
+    const double life = pending.back();
+    pending.pop_back();
+    const std::int64_t spawn_b =
+        rng.poisson(params_.xi * params_.contact_rate * life);
+    const std::int64_t spawn_f = rng.poisson(params_.contact_rate * life);
+    family.total_b += spawn_b;
+    family.total_f += spawn_f;
+    for (std::int64_t i = 0; i < spawn_b; ++i) {
+      pending.push_back(lifetime(params_.num_pieces - 1, rng));
+    }
+    for (std::int64_t i = 0; i < spawn_f; ++i) {
+      pending.push_back(lifetime(0, rng));
+    }
+  }
+}
+
+BranchingFamily AbsBranchingSim::family_of_b(Rng& rng,
+                                             std::int64_t cap) const {
+  BranchingFamily family;
+  family.total_b = 1;  // the root
+  explore(lifetime(params_.num_pieces - 1, rng), family, rng, cap);
+  return family;
+}
+
+BranchingFamily AbsBranchingSim::family_of_f(Rng& rng,
+                                             std::int64_t cap) const {
+  BranchingFamily family;
+  family.total_f = 1;  // the root
+  explore(lifetime(0, rng), family, rng, cap);
+  return family;
+}
+
+BranchingFamily AbsBranchingSim::family_of_gifted(int pieces_on_arrival,
+                                                  Rng& rng,
+                                                  std::int64_t cap) const {
+  P2P_ASSERT(pieces_on_arrival >= 0 &&
+             pieces_on_arrival <= params_.num_pieces);
+  BranchingFamily family;
+  explore(lifetime(params_.num_pieces - pieces_on_arrival, rng), family, rng,
+          cap);
+  return family;
+}
+
+}  // namespace p2p

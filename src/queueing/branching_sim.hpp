@@ -1,0 +1,64 @@
+// Stochastic simulator for the autonomous branching system of Section VI.
+//
+// Individuals are of type (b) — infected peers still downloading K-1
+// pieces at rate mu(1-xi), then dwelling Exp(gamma) — or type (f) — former
+// one-club peer seeds dwelling Exp(gamma). Both spawn type-(b) offspring
+// at rate xi*mu and type-(f) offspring at rate mu while alive; gifted
+// roots with |C| pieces live (K-|C|)/(mu(1-xi)) + Exp(gamma) and spawn the
+// same way. All clocks independent.
+//
+// Tests cross-validate the empirical family sizes against the closed-form
+// means m_b, m_f, m_g of core/branching.hpp, and the E11 bench replays the
+// dominating compound Poisson process of Corollary 3.
+#pragma once
+
+#include <cstdint>
+
+#include "core/branching.hpp"
+#include "rand/rng.hpp"
+
+namespace p2p {
+
+struct BranchingFamily {
+  /// Number of type-(b) / type-(f) individuals in the family, including
+  /// the root when the root is of that type (so for a (b) root,
+  /// total_b + total_f realizes m_b; for a gifted root, total_b + total_f
+  /// realizes m_g, the root itself not counted).
+  std::int64_t total_b = 0;
+  std::int64_t total_f = 0;
+  /// True if the exploration hit `cap` individuals and stopped early
+  /// (supercritical or near-critical sample).
+  bool saturated = false;
+  std::int64_t total() const { return total_b + total_f; }
+};
+
+class AbsBranchingSim {
+ public:
+  explicit AbsBranchingSim(AbsParams params) : params_(params) {
+    P2P_ASSERT(params_.xi >= 0 && params_.xi < 1);
+    P2P_ASSERT(params_.contact_rate > 0);
+    P2P_ASSERT(params_.seed_depart_rate > 0);
+  }
+
+  /// Family of one type-(b) root (root counted in total_b).
+  BranchingFamily family_of_b(Rng& rng, std::int64_t cap = 1 << 20) const;
+  /// Family of one type-(f) root (root counted in total_f).
+  BranchingFamily family_of_f(Rng& rng, std::int64_t cap = 1 << 20) const;
+  /// Descendants of a gifted root arriving with `pieces_on_arrival`
+  /// pieces (root not counted).
+  BranchingFamily family_of_gifted(int pieces_on_arrival, Rng& rng,
+                                   std::int64_t cap = 1 << 20) const;
+
+ private:
+  enum class Kind { kB, kF };
+  /// Lifetime of an individual that must complete `stages` downloads.
+  double lifetime(int stages, Rng& rng) const;
+  /// Expands the family of `root_lifetime`-lived ancestor, spawning down
+  /// the generations. Adds to `family`; respects cap.
+  void explore(double root_lifetime, BranchingFamily& family, Rng& rng,
+               std::int64_t cap) const;
+
+  AbsParams params_;
+};
+
+}  // namespace p2p

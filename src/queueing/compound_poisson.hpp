@@ -1,0 +1,93 @@
+// Compound Poisson processes — the dominating counting process of
+// Corollary 3 — plus Kingman's moment bound (Proposition 20).
+//
+// \hat{\hat{D}}_t counts, at each root arrival, the total descendant batch
+// of that root all at once. The generic simulator here takes an arbitrary
+// batch-size sampler; core/branching.hpp supplies the ABS batch laws.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "rand/rng.hpp"
+#include "sim/stats.hpp"
+#include "util/assert.hpp"
+
+namespace p2p {
+
+class CompoundPoissonProcess {
+ public:
+  using BatchSampler = std::function<double(Rng&)>;
+
+  CompoundPoissonProcess(double event_rate, BatchSampler batch,
+                         std::uint64_t seed)
+      : event_rate_(event_rate), batch_(std::move(batch)), rng_(seed) {
+    P2P_ASSERT(event_rate > 0);
+  }
+
+  double now() const { return now_; }
+  double value() const { return value_; }
+  std::int64_t events() const { return events_; }
+
+  /// Advances one jump.
+  void step() {
+    now_ += rng_.exponential(event_rate_);
+    value_ += batch_(rng_);
+    ++events_;
+  }
+
+  void run_until(double t_end) {
+    // Pre-draw the next jump time so value() is right-continuous at t_end.
+    while (true) {
+      const double gap = rng_peek_.has_value()
+                             ? *rng_peek_
+                             : (rng_peek_ = rng_.exponential(event_rate_),
+                                *rng_peek_);
+      if (now_ + gap > t_end) {
+        *rng_peek_ -= (t_end - now_);
+        now_ = t_end;
+        return;
+      }
+      now_ += gap;
+      rng_peek_.reset();
+      value_ += batch_(rng_);
+      ++events_;
+    }
+  }
+
+ private:
+  double event_rate_;
+  BatchSampler batch_;
+  Rng rng_;
+  double now_ = 0;
+  double value_ = 0;
+  std::int64_t events_ = 0;
+  std::optional<double> rng_peek_;
+};
+
+/// Kingman's bound (Prop. 20): for a compound Poisson C with jump rate
+/// alpha, jump mean m1 and mean square m2, and any B > 0 and
+/// eps > alpha m1:
+///   P{ C_t < B + eps t for all t } >= 1 - alpha m2 / (2 B (eps - alpha m1)).
+/// Returns that lower bound (may be negative, in which case it is vacuous).
+inline double kingman_lower_bound(double alpha, double m1, double m2,
+                                  double budget, double eps) {
+  P2P_ASSERT(alpha > 0 && budget > 0);
+  P2P_ASSERT_MSG(eps > alpha * m1, "requires eps > alpha * m1");
+  return 1.0 - alpha * m2 / (2.0 * budget * (eps - alpha * m1));
+}
+
+/// Lemma 21: for an M/GI/infinity queue started empty with arrival rate
+/// lambda and mean service m, for B, eps > 0:
+///   P{ M_t >= B + eps t for some t } <= e^{lambda(m+1)} 2^{-B} / (1-2^{-eps}).
+/// Returns that upper bound.
+inline double mginf_excursion_upper_bound(double lambda, double mean_service,
+                                          double budget, double eps) {
+  P2P_ASSERT(lambda > 0 && mean_service >= 0 && budget > 0 && eps > 0);
+  return std::exp(lambda * (mean_service + 1.0)) * std::pow(2.0, -budget) /
+         (1.0 - std::pow(2.0, -eps));
+}
+
+}  // namespace p2p

@@ -1,0 +1,65 @@
+#include "queueing/mg_inf.hpp"
+
+#include <limits>
+
+namespace p2p {
+
+MgInfQueue::MgInfQueue(double arrival_rate, ServiceSampler service,
+                       std::uint64_t seed)
+    : arrival_rate_(arrival_rate), service_(std::move(service)), rng_(seed) {
+  P2P_ASSERT(arrival_rate > 0);
+  next_arrival_ = rng_.exponential(arrival_rate_);
+}
+
+void MgInfQueue::step() {
+  const double next_departure = departures_.empty()
+                                    ? std::numeric_limits<double>::infinity()
+                                    : departures_.top();
+  if (next_arrival_ <= next_departure) {
+    now_ = next_arrival_;
+    ++arrivals_;
+    departures_.push(now_ + service_(rng_));
+    next_arrival_ = now_ + rng_.exponential(arrival_rate_);
+  } else {
+    now_ = next_departure;
+    departures_.pop();
+  }
+}
+
+void MgInfQueue::run_until(double t_end) {
+  while (std::min(next_arrival_,
+                  departures_.empty()
+                      ? std::numeric_limits<double>::infinity()
+                      : departures_.top()) <= t_end) {
+    step();
+  }
+  now_ = t_end;
+}
+
+TimeSeries MgInfQueue::sample_until(double t_end, double dt) {
+  TimeSeries series;
+  double next_sample = now_ + dt;
+  while (next_sample <= t_end) {
+    run_until(next_sample);
+    series.push(now_, static_cast<double>(in_system()));
+    next_sample += dt;
+  }
+  return series;
+}
+
+MgInfQueue::ServiceSampler MgInfQueue::erlang_plus_exp(int stages,
+                                                       double stage_rate,
+                                                       double dwell_rate) {
+  P2P_ASSERT(stages >= 0);
+  P2P_ASSERT(stage_rate > 0);
+  return [stages, stage_rate, dwell_rate](Rng& rng) {
+    double total = 0;
+    for (int i = 0; i < stages; ++i) total += rng.exponential(stage_rate);
+    if (dwell_rate != std::numeric_limits<double>::infinity()) {
+      total += rng.exponential(dwell_rate);
+    }
+    return total;
+  };
+}
+
+}  // namespace p2p

@@ -1,0 +1,175 @@
+// Random-number substrate for the simulators.
+//
+// We use xoshiro256** (public-domain algorithm by Blackman & Vigna) seeded
+// through splitmix64, rather than std::mt19937_64: it is faster, has a
+// cleaner jump/split story for independent replica streams, and its exact
+// output sequence is stable across standard libraries, which keeps
+// simulation results reproducible bit-for-bit.
+//
+// All distribution helpers are methods so call sites need only carry one
+// object. Sampling is allocation free.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace p2p {
+
+/// splitmix64 step; used for seeding and stream derivation.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : s_) word = splitmix64(sm);
+  }
+
+  /// Derives an independent stream for replica `i` (distinct seeds via
+  /// splitmix64 of the current state and index; streams are statistically
+  /// independent for practical purposes).
+  Rng split(std::uint64_t i) const {
+    std::uint64_t sm = s_[0] ^ (0x9E3779B97F4A7C15ULL * (i + 1)) ^ s_[3];
+    return Rng(splitmix64(sm));
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  /// xoshiro256** next().
+  result_type operator()() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in (0, 1] — safe as an argument to log().
+  double uniform_pos() { return 1.0 - uniform(); }
+
+  /// Uniform integer in [0, n). Requires n >= 1. Unbiased (Lemire's method
+  /// with rejection).
+  std::uint64_t uniform_int(std::uint64_t n) {
+    P2P_ASSERT(n >= 1);
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    auto l = static_cast<std::uint64_t>(m);
+    if (l < n) {
+      const std::uint64_t t = -n % n;
+      while (l < t) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * n;
+        l = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform int in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    P2P_ASSERT(lo <= hi);
+    return lo + static_cast<std::int64_t>(
+                    uniform_int(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  bool bernoulli(double p) { return uniform() < p; }
+
+  /// Exponential with rate `rate` (mean 1/rate). Requires rate > 0.
+  double exponential(double rate) {
+    P2P_ASSERT(rate > 0);
+    return -std::log(uniform_pos()) / rate;
+  }
+
+  /// Poisson with mean `mean`. Inversion for small means, PTRS-style
+  /// normal-approximation rejection not needed at our scales; for large
+  /// means we fall back to summing a normal approximation via the
+  /// Atkinson method-free approach: split mean into chunks.
+  std::int64_t poisson(double mean) {
+    P2P_ASSERT(mean >= 0);
+    std::int64_t total = 0;
+    // Chunk to keep exp(-m) representable and the loop short.
+    while (mean > 30.0) {
+      // A Poisson(m) equals in law the count of Exp(1) interarrivals that
+      // fit in m. For the chunk, use a Gamma-free split: Poisson(15) chunk.
+      total += poisson_inversion(15.0);
+      mean -= 15.0;
+    }
+    return total + poisson_inversion(mean);
+  }
+
+  /// Samples an index in [0, weights.size()) proportionally to weights.
+  /// Zero-weight entries are never selected. Requires a positive total.
+  std::size_t discrete(std::span<const double> weights) {
+    double total = 0;
+    for (double w : weights) {
+      P2P_ASSERT(w >= 0);
+      total += w;
+    }
+    P2P_ASSERT(total > 0);
+    double u = uniform() * total;
+    for (std::size_t i = 0; i + 1 < weights.size(); ++i) {
+      if (u < weights[i]) return i;
+      u -= weights[i];
+    }
+    // Land on the last strictly positive entry (guards fp rounding).
+    std::size_t i = weights.size();
+    while (i-- > 0) {
+      if (weights[i] > 0) return i;
+    }
+    P2P_ASSERT(false);
+    return 0;
+  }
+
+  /// Geometric: number of failures before the first success with success
+  /// probability p in (0, 1].
+  std::int64_t geometric_failures(double p) {
+    P2P_ASSERT(p > 0 && p <= 1);
+    if (p == 1.0) return 0;
+    return static_cast<std::int64_t>(
+        std::floor(std::log(uniform_pos()) / std::log1p(-p)));
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::int64_t poisson_inversion(double mean) {
+    if (mean <= 0) return 0;
+    const double l = std::exp(-mean);
+    std::int64_t k = 0;
+    double p = 1.0;
+    do {
+      ++k;
+      p *= uniform_pos();
+    } while (p > l);
+    return k - 1;
+  }
+
+  std::uint64_t s_[4] = {};
+};
+
+}  // namespace p2p

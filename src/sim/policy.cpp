@@ -1,0 +1,59 @@
+#include "sim/policy.hpp"
+
+#include <limits>
+
+namespace p2p {
+
+namespace {
+
+/// Picks a uniformly random piece among those in `useful` whose holder
+/// count is extremal (min if `want_min`, else max).
+int extremal_pick(PieceSet useful, const SwarmView& view, Rng& rng,
+                  bool want_min) {
+  std::int64_t best = want_min ? std::numeric_limits<std::int64_t>::max()
+                               : std::numeric_limits<std::int64_t>::min();
+  int chosen = -1;
+  int ties = 0;
+  for (int piece : useful) {
+    const std::int64_t holders = view.holders[piece];
+    const bool better = want_min ? holders < best : holders > best;
+    if (better) {
+      best = holders;
+      chosen = piece;
+      ties = 1;
+    } else if (holders == best) {
+      // Reservoir-sample among ties.
+      ++ties;
+      if (rng.uniform_int(static_cast<std::uint64_t>(ties)) == 0) {
+        chosen = piece;
+      }
+    }
+  }
+  P2P_ASSERT(chosen >= 0);
+  return chosen;
+}
+
+}  // namespace
+
+int RarestFirstPolicy::select(PieceSet useful, PieceSet,
+                              const SwarmView& view, Rng& rng) {
+  return extremal_pick(useful, view, rng, /*want_min=*/true);
+}
+
+int MostCommonFirstPolicy::select(PieceSet useful, PieceSet,
+                                  const SwarmView& view, Rng& rng) {
+  return extremal_pick(useful, view, rng, /*want_min=*/false);
+}
+
+std::unique_ptr<PieceSelectionPolicy> make_policy(const std::string& name) {
+  if (name == "random-useful") return std::make_unique<RandomUsefulPolicy>();
+  if (name == "rarest-first") return std::make_unique<RarestFirstPolicy>();
+  if (name == "most-common-first") {
+    return std::make_unique<MostCommonFirstPolicy>();
+  }
+  if (name == "sequential") return std::make_unique<SequentialPolicy>();
+  P2P_ASSERT_MSG(false, "unknown piece selection policy");
+  return nullptr;
+}
+
+}  // namespace p2p

@@ -1,0 +1,84 @@
+// Piece selection policies (Section VIII-A, family H).
+//
+// Whenever an uploader (peer or fixed seed) contacts a target it can help,
+// a policy chooses which useful piece to transfer. Theorem 14 says the
+// stability region is the same for every policy in H — the only
+// requirement is *usefulness*: if a useful piece exists, a useful piece is
+// sent. The policies here let the benches verify that insensitivity and
+// compare quasi-stability lifetimes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "rand/rng.hpp"
+#include "util/piece_set.hpp"
+
+namespace p2p {
+
+/// Read-only snapshot of swarm-wide piece availability, for policies that
+/// estimate rarity (the paper allows selection to depend on the full
+/// network state).
+struct SwarmView {
+  int num_pieces = 0;
+  /// holders[i] = number of peers currently holding piece i.
+  std::span<const std::int64_t> holders;
+  std::int64_t total_peers = 0;
+};
+
+class PieceSelectionPolicy {
+ public:
+  virtual ~PieceSelectionPolicy() = default;
+
+  /// Chooses a piece from `useful` (never empty) to upload to a peer
+  /// currently holding `target_has`. Must return a member of `useful`.
+  virtual int select(PieceSet useful, PieceSet target_has,
+                     const SwarmView& view, Rng& rng) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Uniformly random useful piece — the baseline policy of Theorem 1.
+class RandomUsefulPolicy final : public PieceSelectionPolicy {
+ public:
+  int select(PieceSet useful, PieceSet, const SwarmView&, Rng& rng) override {
+    return useful.nth(static_cast<int>(
+        rng.uniform_int(static_cast<std::uint64_t>(useful.size()))));
+  }
+  std::string name() const override { return "random-useful"; }
+};
+
+/// Globally rarest useful piece (ties broken uniformly) — an idealized
+/// rarest-first with perfect availability information.
+class RarestFirstPolicy final : public PieceSelectionPolicy {
+ public:
+  int select(PieceSet useful, PieceSet, const SwarmView& view,
+             Rng& rng) override;
+  std::string name() const override { return "rarest-first"; }
+};
+
+/// Most common useful piece — the adversarial counterpart of rarest-first;
+/// still in H, so still the same stability region.
+class MostCommonFirstPolicy final : public PieceSelectionPolicy {
+ public:
+  int select(PieceSet useful, PieceSet, const SwarmView& view,
+             Rng& rng) override;
+  std::string name() const override { return "most-common-first"; }
+};
+
+/// Lowest-indexed useful piece ("in-order streaming"); deterministic.
+class SequentialPolicy final : public PieceSelectionPolicy {
+ public:
+  int select(PieceSet useful, PieceSet, const SwarmView&, Rng&) override {
+    return useful.lowest();
+  }
+  std::string name() const override { return "sequential"; }
+};
+
+/// Factory by name: "random-useful", "rarest-first", "most-common-first",
+/// "sequential". Aborts on unknown names.
+std::unique_ptr<PieceSelectionPolicy> make_policy(const std::string& name);
+
+}  // namespace p2p

@@ -1,0 +1,48 @@
+#include "sim/stats.hpp"
+
+namespace p2p {
+
+LinearFit linear_fit(const TimeSeries& series, std::size_t first,
+                     std::size_t last) {
+  P2P_ASSERT(last <= series.size());
+  P2P_ASSERT(last - first >= 2);
+  const auto n = static_cast<double>(last - first);
+  double sx = 0, sy = 0;
+  for (std::size_t i = first; i < last; ++i) {
+    sx += series.t[i];
+    sy += series.v[i];
+  }
+  const double mx = sx / n, my = sy / n;
+  double sxx = 0, sxy = 0;
+  for (std::size_t i = first; i < last; ++i) {
+    const double dx = series.t[i] - mx;
+    sxx += dx * dx;
+    sxy += dx * (series.v[i] - my);
+  }
+  LinearFit fit;
+  P2P_ASSERT(sxx > 0);
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  double ss_res = 0, ss_tot = 0;
+  for (std::size_t i = first; i < last; ++i) {
+    const double resid =
+        series.v[i] - (fit.intercept + fit.slope * series.t[i]);
+    ss_res += resid * resid;
+    const double dy = series.v[i] - my;
+    ss_tot += dy * dy;
+  }
+  fit.r_squared = ss_tot > 0 ? 1.0 - ss_res / ss_tot : 1.0;
+  if (last - first > 2) {
+    fit.slope_stderr = std::sqrt(ss_res / (n - 2) / sxx);
+  }
+  return fit;
+}
+
+LinearFit tail_fit(const TimeSeries& series, double tail_fraction) {
+  P2P_ASSERT(tail_fraction > 0 && tail_fraction <= 1);
+  const auto first = static_cast<std::size_t>(
+      static_cast<double>(series.size()) * (1.0 - tail_fraction));
+  return linear_fit(series, first, series.size());
+}
+
+}  // namespace p2p

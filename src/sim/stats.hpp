@@ -1,0 +1,85 @@
+// Small statistics helpers shared by the simulators, benches and tests.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace p2p {
+
+/// Welford online mean/variance accumulator.
+class OnlineStats {
+ public:
+  void add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+  }
+
+  std::int64_t count() const { return count_; }
+  double mean() const { return mean_; }
+  double variance() const {
+    return count_ >= 2 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  /// Standard error of the mean.
+  double sem() const {
+    return count_ >= 1 ? stddev() / std::sqrt(static_cast<double>(count_))
+                       : 0.0;
+  }
+
+ private:
+  std::int64_t count_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+};
+
+/// A sampled time series (t_i, v_i), t_i strictly increasing.
+struct TimeSeries {
+  std::vector<double> t;
+  std::vector<double> v;
+
+  void push(double time, double value) {
+    P2P_ASSERT(t.empty() || time > t.back());
+    t.push_back(time);
+    v.push_back(value);
+  }
+  std::size_t size() const { return t.size(); }
+
+  /// Time average over the recorded span (trapezoidal).
+  double time_average() const {
+    if (t.size() < 2) return v.empty() ? 0.0 : v.front();
+    double area = 0;
+    for (std::size_t i = 1; i < t.size(); ++i) {
+      area += 0.5 * (v[i] + v[i - 1]) * (t[i] - t[i - 1]);
+    }
+    return area / (t.back() - t.front());
+  }
+
+  double max_value() const {
+    double m = v.empty() ? 0.0 : v.front();
+    for (double x : v) m = std::max(m, x);
+    return m;
+  }
+};
+
+struct LinearFit {
+  double slope = 0;
+  double intercept = 0;
+  /// Standard error of the slope estimate (OLS, iid residuals).
+  double slope_stderr = 0;
+  double r_squared = 0;
+};
+
+/// Ordinary least squares y = a + b x over the samples with index in
+/// [first, last). Requires at least 2 points.
+LinearFit linear_fit(const TimeSeries& series, std::size_t first,
+                     std::size_t last);
+
+/// Fit over the tail fraction (e.g. 0.5 = second half) of the series.
+LinearFit tail_fit(const TimeSeries& series, double tail_fraction = 0.5);
+
+}  // namespace p2p

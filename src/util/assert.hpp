@@ -1,0 +1,34 @@
+// Lightweight always-on assertion macro for invariant checking.
+//
+// Simulation correctness depends on structural invariants (piece sets only
+// grow, group populations partition the swarm, ...). These checks are cheap
+// relative to event processing, so they stay enabled in release builds.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace p2p::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "P2P_ASSERT failed: %s\n  at %s:%d\n  %s\n", expr, file,
+               line, msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace p2p::detail
+
+#define P2P_ASSERT(expr)                                              \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      ::p2p::detail::assert_fail(#expr, __FILE__, __LINE__, nullptr); \
+    }                                                                 \
+  } while (false)
+
+#define P2P_ASSERT_MSG(expr, msg)                                  \
+  do {                                                             \
+    if (!(expr)) {                                                 \
+      ::p2p::detail::assert_fail(#expr, __FILE__, __LINE__, msg);  \
+    }                                                              \
+  } while (false)

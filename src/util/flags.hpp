@@ -1,0 +1,121 @@
+// Minimal command-line flag parsing for the example drivers.
+//
+// Supports --name=value and --name value, typed getters with defaults,
+// and an auto-generated usage listing. No external dependencies; strict:
+// unknown flags abort with the usage text (so typos never silently run a
+// different experiment).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <string>
+
+namespace p2p {
+
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    program_ = argc > 0 ? argv[0] : "";
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        fail("positional arguments are not supported: " + arg);
+      }
+      arg = arg.substr(2);
+      const auto eq = arg.find('=');
+      if (eq != std::string::npos) {
+        values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) !=
+                                     0) {
+        values_[arg] = argv[++i];
+      } else {
+        values_[arg] = "true";  // bare boolean flag
+      }
+    }
+  }
+
+  double get_double(const std::string& name, double fallback,
+                    const std::string& help) {
+    describe(name, std::to_string(fallback), help);
+    const auto it = values_.find(name);
+    if (it == values_.end()) return fallback;
+    consumed_.insert(name);
+    char* end = nullptr;
+    const double v = std::strtod(it->second.c_str(), &end);
+    if (end == it->second.c_str() || *end != '\0') {
+      fail("flag --" + name + " expects a number, got '" + it->second + "'");
+    }
+    return v;
+  }
+
+  int get_int(const std::string& name, int fallback,
+              const std::string& help) {
+    return static_cast<int>(
+        get_double(name, static_cast<double>(fallback), help));
+  }
+
+  std::string get_string(const std::string& name, const std::string& fallback,
+                         const std::string& help) {
+    describe(name, fallback, help);
+    const auto it = values_.find(name);
+    if (it == values_.end()) return fallback;
+    consumed_.insert(name);
+    return it->second;
+  }
+
+  bool get_bool(const std::string& name, bool fallback,
+                const std::string& help) {
+    describe(name, fallback ? "true" : "false", help);
+    const auto it = values_.find(name);
+    if (it == values_.end()) return fallback;
+    consumed_.insert(name);
+    return it->second != "false" && it->second != "0";
+  }
+
+  /// Call after all getters: aborts with usage on unknown flags or --help.
+  void finish() {
+    if (values_.count("help")) {
+      print_usage();
+      std::exit(0);
+    }
+    for (const auto& [name, value] : values_) {
+      if (!consumed_.count(name)) {
+        fail("unknown flag --" + name);
+      }
+    }
+  }
+
+ private:
+  struct Description {
+    std::string fallback;
+    std::string help;
+  };
+
+  void describe(const std::string& name, const std::string& fallback,
+                const std::string& help) {
+    described_[name] = {fallback, help};
+  }
+
+  void print_usage() const {
+    std::fprintf(stderr, "usage: %s [--flag=value ...]\n", program_.c_str());
+    for (const auto& [name, d] : described_) {
+      std::fprintf(stderr, "  --%-16s %s (default %s)\n", name.c_str(),
+                   d.help.c_str(), d.fallback.c_str());
+    }
+  }
+
+  [[noreturn]] void fail(const std::string& message) {
+    std::fprintf(stderr, "error: %s\n", message.c_str());
+    print_usage();
+    std::exit(2);
+  }
+
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  std::map<std::string, Description> described_;
+  std::set<std::string> consumed_;
+};
+
+}  // namespace p2p

@@ -1,0 +1,141 @@
+// Second-order properties of the ABS (Section VI): the paper uses that
+// family-size second moments are finite for small xi and increasing in
+// xi, and that the dominating process \hat{\hat D} is compound Poisson
+// with the branching family as batch law (Corollary 3 feeds Kingman's
+// bound with exactly these moments).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/branching.hpp"
+#include "queueing/branching_sim.hpp"
+#include "queueing/compound_poisson.hpp"
+#include "sim/stats.hpp"
+
+namespace p2p {
+namespace {
+
+OnlineStats family_sizes(const AbsParams& params, int trials,
+                         std::uint64_t seed) {
+  AbsBranchingSim sim(params);
+  Rng rng(seed);
+  OnlineStats stats;
+  for (int i = 0; i < trials; ++i) {
+    const auto fam = sim.family_of_b(rng);
+    EXPECT_FALSE(fam.saturated);
+    stats.add(static_cast<double>(fam.total()));
+  }
+  return stats;
+}
+
+TEST(AbsMoments, SecondMomentFiniteAndIncreasingInXi) {
+  const int trials = 30000;
+  double prev_second_moment = 0;
+  for (const double xi : {0.0, 0.05, 0.1}) {
+    const AbsParams params{3, 1.0, 4.0, xi};
+    const auto stats = family_sizes(params, trials, 7);
+    const double second = stats.variance() + stats.mean() * stats.mean();
+    EXPECT_TRUE(std::isfinite(second));
+    EXPECT_GT(second, prev_second_moment);
+    prev_second_moment = second;
+  }
+}
+
+TEST(AbsMoments, VarianceShrinksWithShorterDwell) {
+  // Larger gamma (shorter dwell) => fewer offspring => smaller family
+  // variance.
+  const auto long_dwell = family_sizes({3, 1.0, 2.0, 0.0}, 30000, 9);
+  const auto short_dwell = family_sizes({3, 1.0, 10.0, 0.0}, 30000, 9);
+  EXPECT_GT(long_dwell.variance(), short_dwell.variance());
+}
+
+TEST(AbsMoments, DominatingProcessIsCompoundPoissonWithFamilyBatches) {
+  // Build \hat{\hat D} for a seed-only system (no gifted arrivals): roots
+  // appear at rate Us (group f) and xi Us (group b); each root
+  // contributes its whole family at once. The long-run rate must equal
+  // Us (xi m_b + m_f).
+  const double us = 0.7, xi = 0.05;
+  const AbsParams abs{3, 1.0, 4.0, xi};
+  const AbsMeans means = abs_means(abs);
+  ASSERT_TRUE(means.finite);
+
+  AbsBranchingSim family_sim(abs);
+  Rng family_rng(11);
+  CompoundPoissonProcess proc(
+      us * (1.0 + xi),
+      [&](Rng& rng) {
+        // With probability xi/(1+xi) the root is group (b), else (f).
+        const bool is_b = rng.bernoulli(xi / (1.0 + xi));
+        const auto fam = is_b ? family_sim.family_of_b(family_rng)
+                              : family_sim.family_of_f(family_rng);
+        return static_cast<double>(fam.total());
+      },
+      13);
+  proc.run_until(20000.0);
+  const double expected_rate = us * (xi * means.m_b + means.m_f);
+  EXPECT_NEAR(proc.value() / proc.now(), expected_rate,
+              0.05 * expected_rate);
+}
+
+TEST(AbsMoments, KingmanAppliesToTheDominatingProcess) {
+  // Corollary 3's actual use: with eps above the mean rate, the
+  // probability of ever exceeding B + eps t is small; check empirically
+  // with the real family batch law.
+  const AbsParams abs{2, 1.0, 5.0, 0.02};
+  const AbsMeans means = abs_means(abs);
+  ASSERT_TRUE(means.finite);
+  const double us = 1.0;
+  const double rate = us * (1.0 + abs.xi);
+  AbsBranchingSim family_sim(abs);
+
+  int exceeded = 0;
+  const int reps = 200;
+  const double budget = 40.0;
+  for (int r = 0; r < reps; ++r) {
+    Rng family_rng(100 + static_cast<std::uint64_t>(r));
+    CompoundPoissonProcess proc(
+        rate,
+        [&](Rng& rng) {
+          const bool is_b = rng.bernoulli(abs.xi / (1.0 + abs.xi));
+          const auto fam = is_b ? family_sim.family_of_b(family_rng)
+                                : family_sim.family_of_f(family_rng);
+          return static_cast<double>(fam.total());
+        },
+        300 + static_cast<std::uint64_t>(r));
+    // eps = 2x the mean growth rate.
+    const double eps = 2.0 * us * (abs.xi * means.m_b + means.m_f);
+    bool hit = false;
+    while (proc.now() < 300.0 && !hit) {
+      proc.step();
+      hit = proc.value() >= budget + eps * proc.now();
+    }
+    exceeded += hit;
+  }
+  EXPECT_LT(exceeded, reps / 10);
+}
+
+TEST(AbsMoments, FamilySizeDistributionHasGeometricTail) {
+  // Subcritical branching: P{family > n} decays ~ exponentially; check
+  // the empirical ccdf halves within a bounded span (a loose tail test
+  // that would fail for a heavy-tailed law).
+  const AbsParams abs{2, 1.0, 3.0, 0.0};
+  AbsBranchingSim sim(abs);
+  Rng rng(17);
+  std::vector<int> counts(200, 0);
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) {
+    const auto total = sim.family_of_b(rng).total();
+    if (total < 200) ++counts[static_cast<std::size_t>(total)];
+  }
+  auto ccdf = [&](int n) {
+    int c = 0;
+    for (int i = n; i < 200; ++i) c += counts[static_cast<std::size_t>(i)];
+    return static_cast<double>(c) / trials;
+  };
+  ASSERT_GT(ccdf(10), 0.0);
+  EXPECT_LT(ccdf(30), 0.5 * ccdf(10));
+  EXPECT_LT(ccdf(60), 0.5 * ccdf(30));
+}
+
+}  // namespace
+}  // namespace p2p

@@ -1,0 +1,175 @@
+// ABS branching process (Section VI): closed-form means vs the equations,
+// limits as xi -> 0, the link to Theorem 1's thresholds, and Monte-Carlo
+// agreement with the stochastic family simulator.
+#include "core/branching.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "queueing/branching_sim.hpp"
+#include "sim/stats.hpp"
+
+namespace p2p {
+namespace {
+
+TEST(AbsMeans, SolvesTheTwoByTwoSystem) {
+  const AbsParams params{4, 1.0, 3.0, 0.05};
+  const AbsMeans m = abs_means(params);
+  ASSERT_TRUE(m.finite);
+  const double xi = params.xi;
+  const double u = (params.num_pieces - 1) / (1 - xi) +
+                   params.contact_rate / params.seed_depart_rate;
+  const double v = params.contact_rate / params.seed_depart_rate;
+  // Fixed-point equations: m_b = 1 + xi*u*m_b + u*m_f and
+  // m_f = 1 + xi*v*m_b + v*m_f.
+  EXPECT_NEAR(m.m_b, 1 + xi * u * m.m_b + u * m.m_f, 1e-9);
+  EXPECT_NEAR(m.m_f, 1 + xi * v * m.m_b + v * m.m_f, 1e-9);
+}
+
+TEST(AbsMeans, XiZeroLimitsMatchPaper) {
+  // m_b -> K/(1 - mu/gamma), m_f -> 1/(1 - mu/gamma).
+  const AbsParams params{5, 1.0, 4.0, 0.0};
+  const AbsMeans m = abs_means(params);
+  ASSERT_TRUE(m.finite);
+  EXPECT_NEAR(m.m_b, 5.0 / (1 - 0.25), 1e-9);
+  EXPECT_NEAR(m.m_f, 1.0 / (1 - 0.25), 1e-9);
+}
+
+TEST(AbsMeans, InfiniteGammaMeansNoDwell) {
+  const AbsParams params{3, 1.0, kInfiniteRate, 0.0};
+  const AbsMeans m = abs_means(params);
+  ASSERT_TRUE(m.finite);
+  EXPECT_NEAR(m.m_b, 3.0, 1e-9);  // K one-club uploads while downloading
+  EXPECT_NEAR(m.m_f, 1.0, 1e-9);  // departs immediately, no offspring
+}
+
+TEST(AbsMeans, SupercriticalDetected) {
+  // Eq. (6) fails when mu/gamma >= 1 - eps for xi moderate.
+  const AbsParams params{4, 1.0, 1.05, 0.3};
+  EXPECT_FALSE(abs_means(params).finite);
+}
+
+TEST(AbsMeans, MonotoneInXi) {
+  const AbsParams base{4, 1.0, 3.0, 0.0};
+  double prev_b = abs_means(base).m_b;
+  for (double xi : {0.01, 0.05, 0.1, 0.15}) {
+    AbsParams p = base;
+    p.xi = xi;
+    const AbsMeans m = abs_means(p);
+    ASSERT_TRUE(m.finite);
+    EXPECT_GT(m.m_b, prev_b);
+    prev_b = m.m_b;
+  }
+}
+
+TEST(GiftedMeans, XiZeroMatchesClosedForm) {
+  // m_g(C) -> (K - |C| + mu/gamma) / (1 - mu/gamma).
+  const AbsParams params{6, 1.0, 5.0, 0.0};
+  for (int c = 0; c <= 6; ++c) {
+    const auto mg = gifted_mean_descendants(params, c);
+    ASSERT_TRUE(mg.has_value());
+    EXPECT_NEAR(*mg, (6.0 - c + 0.2) / (1 - 0.2), 1e-9) << "|C| = " << c;
+  }
+}
+
+TEST(DominatingRate, XiZeroEqualsTheoremOneThreshold) {
+  // E[\hat{\hat D}_t]/t at xi = 0 equals
+  // [Us + sum_{C: k in C} lambda_C (K - |C| + mu/gamma)] / (1 - mu/gamma),
+  // which is piece_threshold minus the lambda mass with the piece
+  // (Theorem 1's equivalent form).
+  const SwarmParams params(
+      3, 0.7, 1.0, 4.0,
+      {{PieceSet{}, 1.0}, {PieceSet::single(0), 0.5},
+       {PieceSet::single(0).with(2), 0.25}});
+  const auto rate = dominating_upload_rate(params, 0, 0.0);
+  ASSERT_TRUE(rate.has_value());
+  const double g = 0.25;
+  const double expected =
+      (0.7 + 0.5 * (3 - 1 + g) + 0.25 * (3 - 2 + g)) / (1 - g);
+  EXPECT_NEAR(*rate, expected, 1e-9);
+}
+
+TEST(DominatingRate, ContinuousInXiNearZero) {
+  const SwarmParams params(3, 0.7, 1.0, 4.0,
+                           {{PieceSet{}, 1.0}, {PieceSet::single(0), 0.5}});
+  const auto at_zero = dominating_upload_rate(params, 0, 0.0);
+  const auto near_zero = dominating_upload_rate(params, 0, 1e-4);
+  ASSERT_TRUE(at_zero && near_zero);
+  EXPECT_NEAR(*at_zero, *near_zero, 0.01 * *at_zero);
+}
+
+// --- Monte-Carlo cross-validation of the family simulator ---
+
+class BranchingSimTest
+    : public ::testing::TestWithParam<std::tuple<int, double, double>> {};
+
+TEST_P(BranchingSimTest, EmpiricalFamilySizesMatchMeans) {
+  const auto [k, gamma, xi] = GetParam();
+  const AbsParams params{k, 1.0, gamma, xi};
+  const AbsMeans means = abs_means(params);
+  ASSERT_TRUE(means.finite);
+  AbsBranchingSim sim(params);
+  Rng rng(99);
+  OnlineStats fam_b, fam_f;
+  const int trials = 40000;
+  for (int i = 0; i < trials; ++i) {
+    const auto fb = sim.family_of_b(rng);
+    ASSERT_FALSE(fb.saturated);
+    fam_b.add(static_cast<double>(fb.total()));
+    const auto ff = sim.family_of_f(rng);
+    ASSERT_FALSE(ff.saturated);
+    fam_f.add(static_cast<double>(ff.total()));
+  }
+  EXPECT_NEAR(fam_b.mean(), means.m_b, 5.0 * fam_b.sem() + 0.02);
+  EXPECT_NEAR(fam_f.mean(), means.m_f, 5.0 * fam_f.sem() + 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, BranchingSimTest,
+    ::testing::Values(std::make_tuple(1, 4.0, 0.0),
+                      std::make_tuple(3, 4.0, 0.0),
+                      std::make_tuple(3, 4.0, 0.05),
+                      std::make_tuple(2, kInfiniteRate, 0.1)));
+
+TEST(BranchingSim, GiftedFamilyMatchesMean) {
+  const AbsParams params{4, 1.0, 5.0, 0.02};
+  const auto expected = gifted_mean_descendants(params, 2);
+  ASSERT_TRUE(expected.has_value());
+  AbsBranchingSim sim(params);
+  Rng rng(101);
+  OnlineStats fam;
+  for (int i = 0; i < 40000; ++i) {
+    const auto f = sim.family_of_gifted(2, rng);
+    ASSERT_FALSE(f.saturated);
+    fam.add(static_cast<double>(f.total()));
+  }
+  EXPECT_NEAR(fam.mean(), *expected, 5.0 * fam.sem() + 0.02);
+}
+
+TEST(BranchingSim, SupercriticalSaturates) {
+  // mu close to gamma: mean offspring ~ 1 per (f) peer; with xi > 0 the
+  // process is supercritical and some family must hit the cap.
+  const AbsParams params{3, 1.0, 1.01, 0.2};
+  ASSERT_FALSE(abs_means(params).finite);
+  AbsBranchingSim sim(params);
+  Rng rng(103);
+  bool saturated = false;
+  for (int i = 0; i < 200 && !saturated; ++i) {
+    saturated = sim.family_of_b(rng, /*cap=*/20000).saturated;
+  }
+  EXPECT_TRUE(saturated);
+}
+
+TEST(BranchingSim, RootsAreCounted) {
+  const AbsParams params{2, 1.0, 10.0, 0.0};
+  AbsBranchingSim sim(params);
+  Rng rng(105);
+  const auto fb = sim.family_of_b(rng);
+  EXPECT_GE(fb.total_b, 1);  // at least the root
+  const auto ff = sim.family_of_f(rng);
+  EXPECT_GE(ff.total_f, 1);
+}
+
+}  // namespace
+}  // namespace p2p

@@ -1,0 +1,167 @@
+// CodedSwarmSim (Theorem 15 system): invariants, decode/departure logic,
+// and the headline behaviour — gifted arrivals + coding stabilize a swarm
+// that is transient without coding.
+#include "coding/coded_swarm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/coding_stability.hpp"
+
+namespace p2p {
+namespace {
+
+CodedSwarmParams basic(int k, int q) {
+  CodedSwarmParams params;
+  params.num_pieces = k;
+  params.field_size = q;
+  params.seed_rate = 1.0;
+  params.contact_rate = 1.0;
+  params.arrivals = {{1.0, 0}};
+  return params;
+}
+
+TEST(CodedSwarm, ConservationOfPeers) {
+  CodedSwarmSim sim(basic(4, 4), 1);
+  sim.run_until(300.0);
+  EXPECT_EQ(sim.total_peers(), sim.total_arrivals() - sim.total_departures());
+}
+
+TEST(CodedSwarm, NoSeedsWithImmediateDeparture) {
+  CodedSwarmSim sim(basic(3, 2), 2);
+  for (int i = 0; i < 30000; ++i) {
+    sim.step();
+    ASSERT_EQ(sim.peer_seeds(), 0);
+  }
+  EXPECT_GT(sim.total_departures(), 0);
+}
+
+TEST(CodedSwarm, SeedsDwellWithFiniteGamma) {
+  auto params = basic(3, 4);
+  params.seed_depart_rate = 0.5;
+  CodedSwarmSim sim(params, 3);
+  sim.run_until(300.0);
+  EXPECT_GT(sim.peer_seeds(), 0);
+}
+
+TEST(CodedSwarm, EnlightenedNeverExceedsPopulation) {
+  auto params = basic(4, 8);
+  params.arrivals = {{1.0, 0}, {0.3, 1}};
+  CodedSwarmSim sim(params, 4);
+  for (int i = 0; i < 20000; ++i) {
+    sim.step();
+    ASSERT_GE(sim.enlightened_peers(), 0);
+    ASSERT_LE(sim.enlightened_peers(), sim.total_peers());
+  }
+}
+
+TEST(CodedSwarm, GiftedArrivalsSometimesUseless) {
+  // Over GF(2) with K = 1, a "gifted" arrival's random vector is zero with
+  // probability 1/2; those peers cannot decode on arrival.
+  auto params = basic(1, 2);
+  params.seed_rate = 0.0;
+  params.arrivals = {{1.0, 1}};
+  params.seed_depart_rate = 0.5;  // keep decoded peers around as seeds
+  CodedSwarmSim sim(params, 5);
+  sim.run_until(200.0);
+  // Some arrivals decoded instantly (vector = 1), some not (vector = 0).
+  EXPECT_GT(sim.total_peers(), 0);
+  EXPECT_GT(sim.peer_seeds(), 0);
+  EXPECT_LT(sim.peer_seeds(), sim.total_peers());
+}
+
+TEST(CodedSwarm, InjectedOneClubIsNotEnlightened) {
+  const GaloisField gf(4);
+  auto params = basic(4, 4);
+  CodedSwarmSim sim(params, 6);
+  // Basis e1, e2, e3 (all inside the hyperplane x0 = 0).
+  std::vector<GfVector> basis;
+  for (int i = 1; i < 4; ++i) {
+    GfVector v(4, 0);
+    v[static_cast<std::size_t>(i)] = 1;
+    basis.push_back(v);
+  }
+  sim.inject_peers(basis, 50);
+  EXPECT_EQ(sim.total_peers(), 50);
+  EXPECT_EQ(sim.enlightened_peers(), 0);
+}
+
+TEST(CodedSwarm, SeedUploadsEnlighten) {
+  // Only the fixed seed can supply vectors outside the hyperplane; with
+  // Us > 0 the injected one-club gets enlightened over time.
+  auto params = basic(3, 4);
+  params.seed_rate = 5.0;
+  params.arrivals = {{0.01, 0}};
+  CodedSwarmSim sim(params, 7);
+  std::vector<GfVector> basis;
+  for (int i = 1; i < 3; ++i) {
+    GfVector v(3, 0);
+    v[static_cast<std::size_t>(i)] = 1;
+    basis.push_back(v);
+  }
+  sim.inject_peers(basis, 30);
+  sim.run_until(50.0);
+  EXPECT_GT(sim.useful_transfers(), 0);
+  EXPECT_GT(sim.total_departures(), 0);
+}
+
+TEST(CodedSwarm, StableWithStrongSeed) {
+  auto params = basic(3, 4);
+  params.seed_rate = 3.0;  // >> lambda = 1
+  CodedSwarmSim sim(params, 8);
+  sim.run_until(2000.0);
+  EXPECT_LT(sim.total_peers(), 300);
+}
+
+// The paper's headline (Section VIII-B): with gifted fraction f above the
+// coded threshold, the coded system is stable *without any seed*, while
+// the uncoded system would be transient for every f < 1.
+TEST(CodedSwarm, GiftedFractionAboveThresholdStabilizes) {
+  const int k = 6, q = 8;
+  const auto thresholds = coded_gift_thresholds(q, k);
+  // f well above the recurrence threshold.
+  const double f = std::min(0.9, 3.0 * thresholds.recurrent_above);
+  CodedSwarmParams params;
+  params.num_pieces = k;
+  params.field_size = q;
+  params.seed_rate = 0.0;
+  params.contact_rate = 1.0;
+  params.arrivals = {{(1.0 - f) * 2.0, 0}, {f * 2.0, 1}};
+  CodedSwarmSim sim(params, 9);
+  sim.run_until(3000.0);
+  EXPECT_LT(sim.total_peers(), 500)
+      << "coded system with f = " << f << " should be stable";
+}
+
+TEST(CodedSwarm, GiftedFractionFarBelowThresholdGrows) {
+  const int k = 12, q = 2;
+  const auto thresholds = coded_gift_thresholds(q, k);
+  const double f = thresholds.transient_below * 0.1;
+  CodedSwarmParams params;
+  params.num_pieces = k;
+  params.field_size = q;
+  params.seed_rate = 0.0;
+  params.contact_rate = 1.0;
+  params.arrivals = {{(1.0 - f) * 4.0, 0}, {f * 4.0, 1}};
+  CodedSwarmSim sim(params, 10);
+  // Start from a coded one-club to expose the missing "direction".
+  std::vector<GfVector> basis;
+  for (int i = 1; i < k; ++i) {
+    GfVector v(static_cast<std::size_t>(k), 0);
+    v[static_cast<std::size_t>(i)] = 1;
+    basis.push_back(v);
+  }
+  sim.inject_peers(basis, 300);
+  sim.run_until(600.0);
+  EXPECT_GT(sim.total_peers(), 900);
+}
+
+TEST(CodedSwarmDeath, RejectsZeroArrivalRate) {
+  CodedSwarmParams params;
+  params.num_pieces = 2;
+  params.field_size = 2;
+  params.arrivals = {{0.0, 0}};
+  EXPECT_DEATH(CodedSwarmSim(params, 1), "arrival");
+}
+
+}  // namespace
+}  // namespace p2p

@@ -1,0 +1,103 @@
+// Theorem 15 closed forms: thresholds for the gifted-arrival family,
+// consistency between the exact and relaxed recurrence bounds, the paper's
+// q = 64, K = 200 headline numbers, and the q -> infinity gap collapse.
+#include "core/coding_stability.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace p2p {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(CodedStability, MuTilde) {
+  EXPECT_NEAR(coded_contact_rate(2, 1.0), 0.5, 1e-12);
+  EXPECT_NEAR(coded_contact_rate(64, 2.0), 2.0 * 63 / 64, 1e-12);
+}
+
+TEST(CodedStability, PaperHeadlineNumbers) {
+  // Section VIII-B: q = 64, K = 200 => transient if f <= 0.00507,
+  // positive recurrent if f >= 0.00516.
+  const auto t = coded_gift_thresholds(64, 200);
+  EXPECT_NEAR(t.transient_below, 0.00507, 5e-5);
+  EXPECT_NEAR(t.recurrent_above, 0.00516, 5e-5);
+  // The paper quotes 1.016/K and 1.032/K.
+  EXPECT_NEAR(t.transient_below * 200, 64.0 / 63.0, 1e-9);
+  EXPECT_NEAR(t.recurrent_above * 200, (64.0 / 63.0) * (64.0 / 63.0), 1e-9);
+}
+
+TEST(CodedStability, ExactRecurrentBoundIsTighter) {
+  for (int q : {2, 4, 8, 64}) {
+    for (int k : {2, 10, 100}) {
+      const auto t = coded_gift_thresholds(q, k);
+      EXPECT_LE(t.recurrent_above_exact, t.recurrent_above + 1e-12)
+          << "q=" << q << " k=" << k;
+      EXPECT_GE(t.recurrent_above_exact, t.transient_below - 1e-12);
+    }
+  }
+}
+
+TEST(CodedStability, GapShrinksAsQGrows) {
+  const int k = 50;
+  double prev_gap = kInf;
+  for (int q : {2, 4, 8, 16, 64, 256}) {
+    const auto t = coded_gift_thresholds(q, k);
+    const double gap = t.recurrent_above - t.transient_below;
+    EXPECT_GT(gap, 0.0);
+    EXPECT_LT(gap, prev_gap);
+    prev_gap = gap;
+  }
+  // At q = 256 the bracket is within ~1% of 1/K.
+  const auto t = coded_gift_thresholds(256, k);
+  EXPECT_NEAR(t.transient_below * k, 1.0, 0.01);
+  EXPECT_NEAR(t.recurrent_above * k, 1.0, 0.01);
+}
+
+TEST(CodedStability, TransienceThresholdReducesToTheorem1Form) {
+  // With gamma = infinity (g = 0) and Us: threshold =
+  // Us + lambda1 (1 - 1/q) K.
+  const double th = coded_transience_threshold(4, 10, 0.5, 2.0, 0.0);
+  EXPECT_NEAR(th, 0.5 + 2.0 * 0.75 * 10, 1e-12);
+  // Dwell scaling: dividing by (1 - mu/gamma).
+  const double th_dwell = coded_transience_threshold(4, 10, 0.5, 2.0, 0.5);
+  EXPECT_NEAR(th_dwell, th / 0.5, 1e-12);
+}
+
+TEST(CodedStability, RecurrenceThresholdMatchesEq55) {
+  const int q = 8, k = 12;
+  const double us = 0.3, lambda1 = 1.5, mu = 2.0, gamma = 10.0;
+  const double frac = 1.0 - 1.0 / q;
+  const double mu_tilde = frac * mu;
+  const double expected =
+      (us + lambda1 * frac * (k - 1 + static_cast<double>(q) / (q - 1))) *
+      frac / (1.0 - mu_tilde / gamma);
+  EXPECT_NEAR(coded_recurrence_threshold(q, k, us, lambda1, mu, gamma),
+              expected, 1e-12);
+}
+
+TEST(CodedStability, RecurrenceThresholdInfiniteGamma) {
+  const double th = coded_recurrence_threshold(4, 6, 0.0, 1.0, 1.0, kInf);
+  const double frac = 0.75;
+  EXPECT_NEAR(th, frac * (6 - 1 + 4.0 / 3.0) * frac, 1e-12);
+}
+
+TEST(CodedStability, ConsistencyWithGiftThresholds) {
+  // For Us = 0, gamma = inf, lambda_total = 1: the exact recurrence bound
+  // on f solves lambda_total = coded_recurrence_threshold(lambda1 = f).
+  const int q = 8, k = 20;
+  const auto t = coded_gift_thresholds(q, k);
+  const double f = t.recurrent_above_exact;
+  EXPECT_NEAR(coded_recurrence_threshold(q, k, 0.0, f, 1.0, kInf), 1.0,
+              1e-9);
+}
+
+TEST(CodedStabilityDeath, RejectsBadFieldSize) {
+  EXPECT_DEATH(coded_gift_thresholds(1, 10), "");
+  EXPECT_DEATH(coded_contact_rate(0, 1.0), "");
+}
+
+}  // namespace
+}  // namespace p2p

@@ -1,0 +1,114 @@
+// Batch means, block bootstrap and integrated autocorrelation time.
+#include "analysis/confidence.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "rand/rng.hpp"
+
+namespace p2p {
+namespace {
+
+std::vector<double> iid_normal_like(std::size_t n, Rng& rng) {
+  // Sum of 12 uniforms - 6: mean 0, variance 1.
+  std::vector<double> xs(n);
+  for (auto& x : xs) {
+    double s = 0;
+    for (int i = 0; i < 12; ++i) s += rng.uniform();
+    x = s - 6.0;
+  }
+  return xs;
+}
+
+std::vector<double> ar1(std::size_t n, double rho, Rng& rng) {
+  std::vector<double> xs(n);
+  double x = 0;
+  for (auto& out : xs) {
+    double s = 0;
+    for (int i = 0; i < 12; ++i) s += rng.uniform();
+    x = rho * x + (s - 6.0);
+    out = x;
+  }
+  return xs;
+}
+
+TEST(BatchMeans, IidMatchesNaiveSem) {
+  Rng rng(1);
+  const auto xs = iid_normal_like(20000, rng);
+  const auto result = batch_means(xs, 20);
+  // Naive SEM for iid: sigma/sqrt(n) = 1/sqrt(20000) ~ 0.00707.
+  EXPECT_NEAR(result.mean, 0.0, 0.03);
+  EXPECT_NEAR(result.sem, 1.0 / std::sqrt(20000.0), 0.004);
+}
+
+TEST(BatchMeans, CorrelatedDataInflatesSem) {
+  Rng rng(2);
+  const double rho = 0.95;
+  const auto xs = ar1(50000, rho, rng);
+  const auto result = batch_means(xs, 25);
+  // AR(1): tau = (1+rho)/(1-rho) = 39; SEM ~ sqrt(tau * var / n), var =
+  // 1/(1-rho^2). Just check it is far above the naive iid SEM of the
+  // series' marginal variance.
+  const double naive =
+      std::sqrt(1.0 / (1 - rho * rho) / 50000.0);
+  EXPECT_GT(result.sem, 3.0 * naive);
+}
+
+TEST(BatchMeansDeath, RequiresEnoughSamples) {
+  std::vector<double> xs(10, 1.0);
+  EXPECT_DEATH(batch_means(xs, 20), "");
+}
+
+TEST(Autocorrelation, IidIsAboutOne) {
+  Rng rng(3);
+  const auto xs = iid_normal_like(20000, rng);
+  EXPECT_NEAR(integrated_autocorrelation_time(xs), 1.0, 0.25);
+}
+
+TEST(Autocorrelation, Ar1MatchesTheory) {
+  Rng rng(4);
+  const double rho = 0.8;
+  const auto xs = ar1(100000, rho, rng);
+  // tau = (1+rho)/(1-rho) = 9.
+  EXPECT_NEAR(integrated_autocorrelation_time(xs), 9.0, 2.0);
+}
+
+TEST(Bootstrap, MeanCiCoversTruthOnIid) {
+  Rng rng(5);
+  int covered = 0;
+  const int trials = 50;
+  for (int trial = 0; trial < trials; ++trial) {
+    const auto xs = iid_normal_like(2000, rng);
+    const auto result = block_bootstrap(
+        xs,
+        [](std::span<const double> s) {
+          double m = 0;
+          for (double x : s) m += x;
+          return m / static_cast<double>(s.size());
+        },
+        /*block_length=*/10, /*resamples=*/200, /*confidence=*/0.9, rng);
+    covered += result.lower <= 0.0 && 0.0 <= result.upper;
+    EXPECT_LT(result.lower, result.upper);
+  }
+  // 90% nominal coverage; allow wide slack for 50 trials.
+  EXPECT_GE(covered, 38);
+}
+
+TEST(Bootstrap, EstimateIsPlugIn) {
+  Rng rng(6);
+  const std::vector<double> xs = {1, 2, 3, 4, 5};
+  const auto result = block_bootstrap(
+      xs,
+      [](std::span<const double> s) {
+        double m = 0;
+        for (double x : s) m += x;
+        return m / static_cast<double>(s.size());
+      },
+      2, 50, 0.9, rng);
+  EXPECT_NEAR(result.estimate, 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace p2p

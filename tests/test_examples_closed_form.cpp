@@ -1,0 +1,142 @@
+// The three worked examples of Section IV, as closed forms implemented
+// independently of the library, swept against the Theorem 1 classifier on
+// randomized grids. Any divergence between the hand-derived example
+// condition and the general classifier fails here.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "core/stability.hpp"
+#include "rand/rng.hpp"
+
+namespace p2p {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+Stability example1_closed_form(double lambda0, double us, double mu,
+                               double gamma) {
+  if (gamma <= mu) {
+    return us > 0 ? Stability::kPositiveRecurrent : Stability::kTransient;
+  }
+  const double g = gamma == kInf ? 0.0 : mu / gamma;
+  const double critical = us / (1.0 - g);
+  if (lambda0 < critical) return Stability::kPositiveRecurrent;
+  if (lambda0 > critical) return Stability::kTransient;
+  return Stability::kBorderline;
+}
+
+Stability example2_closed_form(double l12, double l34) {
+  if (l12 < 2 * l34 && l34 < 2 * l12) return Stability::kPositiveRecurrent;
+  if (l12 > 2 * l34 || l34 > 2 * l12) return Stability::kTransient;
+  return Stability::kBorderline;
+}
+
+Stability example3_closed_form(double l1, double l2, double l3, double mu,
+                               double gamma) {
+  if (gamma <= mu) return Stability::kPositiveRecurrent;  // pieces enter
+  const double g = gamma == kInf ? 0.0 : mu / gamma;
+  const double factor = (2.0 + g) / (1.0 - g);
+  const double lhs[3] = {l2 + l3, l1 + l3, l1 + l2};
+  const double rhs[3] = {l1 * factor, l2 * factor, l3 * factor};
+  bool all_strict = true, any_reversed = false;
+  for (int i = 0; i < 3; ++i) {
+    all_strict &= lhs[i] < rhs[i];
+    any_reversed |= lhs[i] > rhs[i];
+  }
+  if (all_strict) return Stability::kPositiveRecurrent;
+  if (any_reversed) return Stability::kTransient;
+  return Stability::kBorderline;
+}
+
+TEST(ClosedFormGrid, Example1RandomSweep) {
+  Rng rng(101);
+  for (int trial = 0; trial < 400; ++trial) {
+    const double lambda0 = 0.05 + rng.uniform() * 5.0;
+    const double us = rng.uniform() * 3.0;
+    const double mu = 0.2 + rng.uniform() * 2.0;
+    const double gammas[] = {mu * 0.5, mu * 0.99, mu * 1.5, mu * 4.0, kInf};
+    const double gamma = gammas[rng.uniform_int(5ULL)];
+    if (us == 0.0 && gamma > mu) continue;  // degenerate: nothing enters
+    const auto params = SwarmParams::example1(lambda0, us, mu, gamma);
+    EXPECT_EQ(classify(params).verdict,
+              example1_closed_form(lambda0, us, mu, gamma))
+        << params.to_string();
+  }
+}
+
+TEST(ClosedFormGrid, Example2RandomSweep) {
+  Rng rng(102);
+  for (int trial = 0; trial < 400; ++trial) {
+    const double l12 = 0.05 + rng.uniform() * 4.0;
+    const double l34 = 0.05 + rng.uniform() * 4.0;
+    const double mu = 0.2 + rng.uniform() * 2.0;
+    const auto params = SwarmParams::example2(l12, l34, mu);
+    EXPECT_EQ(classify(params).verdict, example2_closed_form(l12, l34))
+        << params.to_string();
+  }
+}
+
+TEST(ClosedFormGrid, Example2ExactBoundaryIsBorderline) {
+  EXPECT_EQ(classify(SwarmParams::example2(2.0, 1.0, 0.7)).verdict,
+            Stability::kBorderline);
+  EXPECT_EQ(classify(SwarmParams::example2(0.5, 1.0, 0.7)).verdict,
+            Stability::kBorderline);
+}
+
+TEST(ClosedFormGrid, Example3RandomSweep) {
+  Rng rng(103);
+  for (int trial = 0; trial < 400; ++trial) {
+    const double l1 = 0.05 + rng.uniform() * 3.0;
+    const double l2 = 0.05 + rng.uniform() * 3.0;
+    const double l3 = 0.05 + rng.uniform() * 3.0;
+    const double mu = 0.2 + rng.uniform() * 2.0;
+    const double gammas[] = {mu * 0.7, mu * 1.3, mu * 3.0, kInf};
+    const double gamma = gammas[rng.uniform_int(4ULL)];
+    const auto params = SwarmParams::example3(l1, l2, l3, mu, gamma);
+    EXPECT_EQ(classify(params).verdict,
+              example3_closed_form(l1, l2, l3, mu, gamma))
+        << params.to_string();
+  }
+}
+
+TEST(ClosedFormGrid, Example3SymmetricImmediateDepartureIsBorderline) {
+  // The [11] special case (Section VIII-D): symmetric rates sit exactly
+  // on the boundary.
+  const auto params = SwarmParams::example3(1.3, 1.3, 1.3, 1.0, kInf);
+  EXPECT_EQ(classify(params).verdict, Stability::kBorderline);
+}
+
+TEST(ClosedFormGrid, MarginIsContinuousAcrossGamma) {
+  // The per-piece margin should vary continuously in gamma down to the
+  // branch switch at gamma = mu (where the altruistic branch takes over).
+  const double mu = 1.0;
+  double previous = -kInf;
+  for (double gamma = 4.0; gamma > mu + 0.05; gamma -= 0.05) {
+    const auto params = SwarmParams::example1(2.0, 1.0, mu, gamma);
+    const auto report = classify(params);
+    EXPECT_GT(report.margin, previous - 1e-9);  // monotone in dwell time
+    previous = report.margin;
+  }
+}
+
+TEST(ClosedFormGrid, ScalingInvariance) {
+  // Scaling all rates (lambda, Us, mu, gamma) by the same factor rescales
+  // time only: the verdict must be invariant.
+  Rng rng(104);
+  for (int trial = 0; trial < 100; ++trial) {
+    const double l12 = 0.1 + rng.uniform() * 3.0;
+    const double l34 = 0.1 + rng.uniform() * 3.0;
+    const double scale = 0.1 + rng.uniform() * 10.0;
+    const SwarmParams a(4, 0.3, 1.0, 2.0,
+                        {{PieceSet::single(0).with(1), l12},
+                         {PieceSet::single(2).with(3), l34}});
+    const SwarmParams b(4, 0.3 * scale, 1.0 * scale, 2.0 * scale,
+                        {{PieceSet::single(0).with(1), l12 * scale},
+                         {PieceSet::single(2).with(3), l34 * scale}});
+    EXPECT_EQ(classify(a).verdict, classify(b).verdict);
+  }
+}
+
+}  // namespace
+}  // namespace p2p

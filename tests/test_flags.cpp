@@ -1,0 +1,78 @@
+// Command-line flag parser used by the example drivers.
+#include "util/flags.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace p2p {
+namespace {
+
+Flags make(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return Flags(static_cast<int>(args.size()),
+               const_cast<char**>(args.data()));
+}
+
+TEST(Flags, EqualsSyntax) {
+  Flags f = make({"--k=5", "--rate=2.5", "--name=abc"});
+  EXPECT_EQ(f.get_int("k", 1, ""), 5);
+  EXPECT_NEAR(f.get_double("rate", 0.0, ""), 2.5, 1e-12);
+  EXPECT_EQ(f.get_string("name", "", ""), "abc");
+  f.finish();
+}
+
+TEST(Flags, SpaceSyntax) {
+  Flags f = make({"--k", "7", "--rate", "0.25"});
+  EXPECT_EQ(f.get_int("k", 1, ""), 7);
+  EXPECT_NEAR(f.get_double("rate", 0.0, ""), 0.25, 1e-12);
+  f.finish();
+}
+
+TEST(Flags, DefaultsWhenAbsent) {
+  Flags f = make({});
+  EXPECT_EQ(f.get_int("k", 42, ""), 42);
+  EXPECT_EQ(f.get_string("policy", "random-useful", ""), "random-useful");
+  EXPECT_FALSE(f.get_bool("verbose", false, ""));
+  f.finish();
+}
+
+TEST(Flags, BareBooleanIsTrue) {
+  Flags f = make({"--verbose"});
+  EXPECT_TRUE(f.get_bool("verbose", false, ""));
+  f.finish();
+}
+
+TEST(Flags, BooleanFalseSpellings) {
+  Flags f = make({"--a=false", "--b=0", "--c=yes"});
+  EXPECT_FALSE(f.get_bool("a", true, ""));
+  EXPECT_FALSE(f.get_bool("b", true, ""));
+  EXPECT_TRUE(f.get_bool("c", false, ""));
+  f.finish();
+}
+
+TEST(FlagsDeath, UnknownFlagAborts) {
+  EXPECT_DEATH(
+      {
+        Flags f = make({"--oops=1"});
+        f.get_int("k", 1, "");
+        f.finish();
+      },
+      "unknown flag");
+}
+
+TEST(FlagsDeath, NonNumericValueAborts) {
+  EXPECT_DEATH(
+      {
+        Flags f = make({"--k=abc"});
+        f.get_int("k", 1, "");
+      },
+      "expects a number");
+}
+
+TEST(FlagsDeath, PositionalArgumentAborts) {
+  EXPECT_DEATH(make({"positional"}), "positional");
+}
+
+}  // namespace
+}  // namespace p2p

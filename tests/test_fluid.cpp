@@ -1,0 +1,162 @@
+// Fluid (mean-field) model: conservation, fixed points, agreement with
+// large-population simulation, and the one-club growth rate Delta_S.
+#include "core/fluid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/generator.hpp"
+#include "core/stability.hpp"
+#include "sim/stats.hpp"
+#include "sim/swarm.hpp"
+
+namespace p2p {
+namespace {
+
+TEST(Fluid, DerivativeAtEmptyIsArrivalsOnly) {
+  const SwarmParams params(2, 1.0, 1.0, 2.0,
+                           {{PieceSet{}, 3.0}, {PieceSet::single(1), 0.5}});
+  const FluidModel model(params);
+  const FluidState dy = model.derivative(FluidState(4, 0.0));
+  EXPECT_NEAR(dy[0b00], 3.0, 1e-12);
+  EXPECT_NEAR(dy[0b10], 0.5, 1e-12);
+  EXPECT_NEAR(dy[0b01], 0.0, 1e-12);
+  EXPECT_NEAR(dy[0b11], 0.0, 1e-12);
+}
+
+TEST(Fluid, MassBalanceMatchesArrivalMinusDepartures) {
+  // d(total)/dt = lambda_total - gamma y_F (transfers conserve mass).
+  const SwarmParams params(3, 1.0, 1.0, 2.0, {{PieceSet{}, 2.0}});
+  const FluidModel model(params);
+  FluidState y(8, 1.5);
+  y[7] = 4.0;  // seeds
+  const FluidState dy = model.derivative(y);
+  double total = 0;
+  for (double v : dy) total += v;
+  EXPECT_NEAR(total, 2.0 - 2.0 * 4.0, 1e-9);
+}
+
+TEST(Fluid, ImmediateDepartureDrainsAtCompletions) {
+  const SwarmParams params(2, 2.0, 1.0, kInfiniteRate, {{PieceSet{}, 1.0}});
+  const FluidModel model(params);
+  // All mass at type {0}: completions (piece 1 downloads) leave the
+  // system. Only the seed holds piece 1: rate = y/n * Us/(K-|C|) = 2/1...
+  FluidState y = model.point_mass(PieceSet::single(0), 10.0);
+  const FluidState dy = model.derivative(y);
+  EXPECT_NEAR(dy[0b01], -2.0 + 0.0, 1e-9);  // -Us (seed uploads piece 1)
+  EXPECT_NEAR(dy[0b11], 0.0, 1e-12);        // completions vanish
+  EXPECT_NEAR(dy[0b00], 1.0, 1e-12);        // arrivals
+}
+
+TEST(Fluid, DerivativeMatchesGeneratorDriftOnIntegerStates) {
+  // On integer states the fluid RHS is exactly the generator's expected
+  // drift of x (transitions weighted by rate).
+  const SwarmParams params(3, 0.8, 1.0, 2.5,
+                           {{PieceSet{}, 1.0}, {PieceSet::single(0), 0.4}});
+  const FluidModel model(params);
+  TypeCountState state(3);
+  state.add(PieceSet{}, 7);
+  state.add(PieceSet::single(0), 3);
+  state.add(PieceSet::single(0).with(2), 2);
+  state.add(PieceSet::full(3), 4);
+
+  FluidState y(8, 0.0);
+  for (std::size_t m = 0; m < 8; ++m) {
+    y[m] = static_cast<double>(state.count(m));
+  }
+  const FluidState dy = model.derivative(y);
+
+  FluidState expected(8, 0.0);
+  for_each_transition(params, state, [&](const Transition& t) {
+    switch (t.kind) {
+      case TransitionKind::kArrival:
+        expected[t.to.mask()] += t.rate;
+        break;
+      case TransitionKind::kDownload:
+        expected[t.from.mask()] -= t.rate;
+        expected[t.to.mask()] += t.rate;
+        break;
+      case TransitionKind::kDeparture:
+        expected[t.from.mask()] -= t.rate;
+        break;
+    }
+  });
+  for (std::size_t m = 0; m < 8; ++m) {
+    EXPECT_NEAR(dy[m], expected[m], 1e-9) << "type mask " << m;
+  }
+}
+
+TEST(Fluid, StableSystemConvergesToFixedPoint) {
+  const SwarmParams params(2, 2.0, 1.0, 3.0, {{PieceSet{}, 1.0}});
+  ASSERT_EQ(classify(params).verdict, Stability::kPositiveRecurrent);
+  const FluidModel model(params);
+  const FluidState end =
+      model.integrate(FluidState(4, 0.0), 400.0, 0.05);
+  // Near-zero derivative at the end point.
+  const FluidState dy = model.derivative(end);
+  for (double v : dy) EXPECT_NEAR(v, 0.0, 1e-3);
+  EXPECT_GT(FluidModel::total(end), 0.5);
+  EXPECT_LT(FluidModel::total(end), 50.0);
+}
+
+TEST(Fluid, TransientOneClubGrowsAtDelta) {
+  // Large one-club initial mass: d(one-club)/dt approaches Delta_S.
+  const SwarmParams params(3, 0.2, 1.0, 2.0,
+                           {{PieceSet{}, 2.0}, {PieceSet::single(0), 0.15}});
+  const double delta = delta_S(params, PieceSet::full(3).without(0));
+  ASSERT_GT(delta, 0.0);
+  const FluidModel model(params);
+  const PieceSet club = PieceSet::full(3).without(0);
+  FluidState y = model.point_mass(club, 5000.0);
+  const FluidState mid = model.integrate(y, 200.0, 0.05);
+  const FluidState late = model.integrate(mid, 200.0, 0.05);
+  const double growth =
+      (late[club.mask()] - mid[club.mask()]) / 200.0;
+  EXPECT_NEAR(growth, delta, 0.08 * delta + 0.02);
+}
+
+TEST(Fluid, TracksSimulatedMeanInModerateLoad) {
+  // Mean-field approximation: for a well-populated stable system the
+  // fluid trajectory should sit near the simulated mean of N_t.
+  const SwarmParams params(2, 4.0, 1.0, 3.0, {{PieceSet{}, 3.0}});
+  const FluidModel model(params);
+  const FluidState fixed_point =
+      model.integrate(FluidState(4, 0.0), 300.0, 0.05);
+  const double fluid_n = FluidModel::total(fixed_point);
+
+  OnlineStats sim_n;
+  SwarmSim sim(params, SwarmSimOptions{.rng_seed = 5});
+  sim.run_until(300.0);
+  sim.run_sampled(4000.0, 2.0, [&](double) {
+    sim_n.add(static_cast<double>(sim.total_peers()));
+  });
+  EXPECT_NEAR(fluid_n, sim_n.mean(), 0.3 * sim_n.mean());
+}
+
+TEST(Fluid, IntegrateObserverSeesMonotoneTime) {
+  const SwarmParams params(2, 1.0, 1.0, 2.0, {{PieceSet{}, 1.0}});
+  const FluidModel model(params);
+  double last = -1;
+  int calls = 0;
+  model.integrate(FluidState(4, 0.0), 10.0, 0.5,
+                  [&](double t, const FluidState&) {
+                    EXPECT_GT(t, last - 1e-12);
+                    last = t;
+                    ++calls;
+                  });
+  EXPECT_EQ(calls, 21);  // t = 0 plus 20 steps
+  EXPECT_NEAR(last, 10.0, 1e-9);
+}
+
+TEST(Fluid, PopulationsNeverGoNegative) {
+  const SwarmParams params(2, 5.0, 1.0, kInfiniteRate, {{PieceSet{}, 0.1}});
+  const FluidModel model(params);
+  FluidState y = model.point_mass(PieceSet::single(1), 10.0);
+  model.integrate(y, 50.0, 0.1, [&](double, const FluidState& state) {
+    for (double v : state) ASSERT_GE(v, 0.0);
+  });
+}
+
+}  // namespace
+}  // namespace p2p

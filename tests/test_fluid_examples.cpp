@@ -1,0 +1,93 @@
+// Fluid model vs the paper's worked examples: the deterministic drift
+// reproduces each example's boundary behaviour.
+#include <gtest/gtest.h>
+
+#include "core/fluid.hpp"
+#include "core/stability.hpp"
+
+namespace p2p {
+namespace {
+
+double fluid_growth_rate(const SwarmParams& params, PieceSet heavy_type,
+                         double mass, double window) {
+  const FluidModel model(params);
+  FluidState y = model.point_mass(heavy_type, mass);
+  const FluidState mid = model.integrate(y, window, 0.05);
+  const FluidState late = model.integrate(mid, window, 0.05);
+  return (FluidModel::total(late) - FluidModel::total(mid)) / window;
+}
+
+TEST(FluidExamples, Example1BothSidesOfBoundary) {
+  // K = 1, critical lambda = Us/(1 - mu/gamma) = 2.
+  const auto stable = SwarmParams::example1(1.5, 1.0, 1.0, 2.0);
+  const auto transient = SwarmParams::example1(2.5, 1.0, 1.0, 2.0);
+  EXPECT_NEAR(fluid_growth_rate(stable, PieceSet{}, 2000.0, 300.0),
+              1.5 - 2.0, 0.1);
+  EXPECT_NEAR(fluid_growth_rate(transient, PieceSet{}, 2000.0, 300.0),
+              2.5 - 2.0, 0.1);
+}
+
+TEST(FluidExamples, Example2GrowthMatchesImbalance) {
+  // lambda12 > 2 lambda34: type {1,2,4}-style heavy loads grow at
+  // lambda12 - 2 lambda34 (Section IV's argument). Heavy load on
+  // {1,2,4} = pieces {0,1,3}.
+  const auto params = SwarmParams::example2(3.0, 1.0, 1.0);
+  const PieceSet club = PieceSet::single(0).with(1).with(3);
+  const double growth = fluid_growth_rate(params, club, 4000.0, 300.0);
+  EXPECT_NEAR(growth, 3.0 - 2.0 * 1.0, 0.15);
+}
+
+TEST(FluidExamples, Example2StableConeDrains) {
+  const auto params = SwarmParams::example2(1.0, 1.0, 1.0);
+  const PieceSet club = PieceSet::single(0).with(1).with(3);
+  // Δ for the club set: arrivals into it (lambda12 = 1) vs drain
+  // (2 lambda34 = 2): net -1 while the load lasts.
+  const double growth = fluid_growth_rate(params, club, 3000.0, 100.0);
+  EXPECT_LT(growth, -0.5);
+}
+
+TEST(FluidExamples, Example3DwellBuysSlack) {
+  // Fixed asymmetric load; the fluid drains it for small gamma and grows
+  // for large gamma, flipping at the Theorem 1 boundary.
+  const double lambda3 = 1.0, mu = 1.0;
+  const double half = 2.45;  // lambda1 = lambda2; sum = 4.9
+  // Boundary: 4.9 = lambda3 (2+g)/(1-g)  =>  g = 2.9/5.9 ~ 0.4915, i.e.
+  // gamma* ~ 2.0345.
+  const PieceSet club = PieceSet::single(0).with(1);  // missing piece 3
+  const auto stable =
+      SwarmParams::example3(half, half, lambda3, mu, 1.7);
+  const auto transient =
+      SwarmParams::example3(half, half, lambda3, mu, 2.5);
+  EXPECT_EQ(classify(stable).verdict, Stability::kPositiveRecurrent);
+  EXPECT_EQ(classify(transient).verdict, Stability::kTransient);
+  EXPECT_LT(fluid_growth_rate(stable, club, 4000.0, 400.0), -0.05);
+  EXPECT_GT(fluid_growth_rate(transient, club, 4000.0, 400.0), 0.05);
+}
+
+TEST(FluidExamples, FluidGrowthEqualsDeltaAcrossConfigurations) {
+  // Property sweep: for heavy one-club mass, the fluid growth of the
+  // total population equals Delta_{F-{k}} whenever that is positive.
+  struct Case {
+    SwarmParams params;
+    int piece;
+  };
+  const Case cases[] = {
+      {SwarmParams(2, 0.3, 1.0, 3.0, {{PieceSet{}, 2.0}}), 0},
+      {SwarmParams(3, 0.1, 1.0, 2.0,
+                   {{PieceSet{}, 1.5}, {PieceSet::single(0), 0.2}}),
+       0},
+      {SwarmParams(4, 0.5, 1.0, kInfiniteRate, {{PieceSet{}, 3.0}}), 0},
+  };
+  for (const auto& c : cases) {
+    const PieceSet club =
+        PieceSet::full(c.params.num_pieces()).without(c.piece);
+    const double delta = delta_S(c.params, club);
+    ASSERT_GT(delta, 0.0);
+    const double growth = fluid_growth_rate(c.params, club, 6000.0, 400.0);
+    EXPECT_NEAR(growth, delta, 0.1 * delta + 0.02)
+        << c.params.to_string();
+  }
+}
+
+}  // namespace
+}  // namespace p2p

@@ -1,0 +1,176 @@
+// Generator Q (Eq. (1) and Section III): rates, conservation and edge
+// cases, checked against hand computations on small states.
+#include "core/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "core/model.hpp"
+#include "rand/rng.hpp"
+
+namespace p2p {
+namespace {
+
+TypeCountState make_state(int k,
+                          std::map<std::uint64_t, std::int64_t> counts) {
+  TypeCountState state(k);
+  for (const auto& [mask, count] : counts) {
+    state.add(PieceSet{mask}, count);
+  }
+  return state;
+}
+
+TEST(Generator, EmptyStateOnlyArrivals) {
+  const SwarmParams params(2, 1.0, 1.0, 2.0, {{PieceSet{}, 3.0}});
+  const TypeCountState state(2);
+  int arrivals = 0, others = 0;
+  for_each_transition(params, state, [&](const Transition& t) {
+    if (t.kind == TransitionKind::kArrival) {
+      ++arrivals;
+      EXPECT_NEAR(t.rate, 3.0, 1e-12);
+    } else {
+      ++others;
+    }
+  });
+  EXPECT_EQ(arrivals, 1);
+  EXPECT_EQ(others, 0);
+}
+
+TEST(Generator, SeedUploadRateSplitsAcrossNeededPieces) {
+  // One empty peer, K = 2, Us = 1, no other peers: each piece is uploaded
+  // at rate Us / 2 (Eq. (1): Us / (K - |C|)).
+  const SwarmParams params(2, 1.0, 1.0, 2.0, {{PieceSet{}, 0.5}});
+  const auto state = make_state(2, {{0b00, 1}});
+  std::map<std::uint64_t, double> rates;
+  for_each_transition(params, state, [&](const Transition& t) {
+    if (t.kind == TransitionKind::kDownload) rates[t.to.mask()] = t.rate;
+  });
+  ASSERT_EQ(rates.size(), 2u);
+  EXPECT_NEAR(rates[0b01], 0.5, 1e-12);
+  EXPECT_NEAR(rates[0b10], 0.5, 1e-12);
+}
+
+TEST(Generator, PeerUploadRateMatchesEquationOne) {
+  // State: x_{1} = 2, x_{} = 3, K = 2, mu = 1, Us = 0. n = 5.
+  // Gamma_{{}, {1}} = (3/5) * mu * x_{1} / |{1} - {}| = (3/5) * 2 = 1.2.
+  const SwarmParams params(2, 0.0, 1.0, 2.0, {{PieceSet{}, 0.5}});
+  const auto state = make_state(2, {{0b00, 3}, {0b01, 2}});
+  EXPECT_NEAR(download_rate(params, state, PieceSet{}, 0), 1.2, 1e-12);
+  // No holder of piece 1 => rate 0.
+  EXPECT_NEAR(download_rate(params, state, PieceSet{}, 1), 0.0, 1e-12);
+  // Type {1} peers can get piece 1 from nobody.
+  EXPECT_NEAR(download_rate(params, state, PieceSet{0b01}, 1), 0.0, 1e-12);
+}
+
+TEST(Generator, SetDifferenceSizeDilutesUploads) {
+  // Uploader type {0,1}, target type {}: each of the 2 useful pieces at
+  // half the contact rate.
+  const SwarmParams params(2, 0.0, 1.0, 2.0, {{PieceSet{}, 0.5}});
+  const auto state = make_state(2, {{0b00, 1}, {0b11, 1}});
+  // n = 2; Gamma_{{},{0}} = (1/2) * mu * x_{01}/|{0,1}| = 0.5 * 1/2 = 0.25.
+  EXPECT_NEAR(download_rate(params, state, PieceSet{}, 0), 0.25, 1e-12);
+  EXPECT_NEAR(download_rate(params, state, PieceSet{}, 1), 0.25, 1e-12);
+}
+
+TEST(Generator, SeedDepartureRateIsGammaTimesSeeds) {
+  const SwarmParams params(2, 0.0, 1.0, 3.0, {{PieceSet{}, 0.5}});
+  const auto state = make_state(2, {{0b11, 4}});
+  double depart_rate = -1;
+  for_each_transition(params, state, [&](const Transition& t) {
+    if (t.kind == TransitionKind::kDeparture) depart_rate = t.rate;
+  });
+  EXPECT_NEAR(depart_rate, 12.0, 1e-12);
+}
+
+TEST(Generator, ImmediateDepartureTurnsCompletionIntoDeparture) {
+  const SwarmParams params(2, 1.0, 1.0, kInfiniteRate, {{PieceSet{}, 0.5}});
+  const auto state = make_state(2, {{0b01, 2}});
+  bool saw_departure = false;
+  for_each_transition(params, state, [&](const Transition& t) {
+    EXPECT_NE(t.to.mask(), 0b11u) << "no transition may create a seed";
+    if (t.kind == TransitionKind::kDeparture) {
+      saw_departure = true;
+      EXPECT_EQ(t.from.mask(), 0b01u);
+      // Gamma_{{0}, F} = (2/2)(Us/1 + 0) = 1.
+      EXPECT_NEAR(t.rate, 1.0, 1e-12);
+    }
+  });
+  EXPECT_TRUE(saw_departure);
+}
+
+TEST(Generator, RatesAreNonnegativeAndFinite) {
+  const SwarmParams params(3, 0.7, 1.3, 2.5,
+                           {{PieceSet{}, 1.0}, {PieceSet::single(1), 0.4}});
+  const auto state =
+      make_state(3, {{0b000, 5}, {0b011, 2}, {0b101, 1}, {0b111, 3}});
+  for_each_transition(params, state, [&](const Transition& t) {
+    EXPECT_GT(t.rate, 0.0);
+    EXPECT_TRUE(std::isfinite(t.rate));
+  });
+}
+
+TEST(Generator, TotalDownloadRateBoundedByContactCapacity) {
+  // Aggregate download rate can never exceed Us + n mu (each clock tick
+  // moves at most one piece).
+  const SwarmParams params(3, 0.7, 1.3, 2.5, {{PieceSet{}, 1.0}});
+  const auto state =
+      make_state(3, {{0b000, 5}, {0b011, 2}, {0b101, 1}, {0b111, 3}});
+  double download_total = 0;
+  for_each_transition(params, state, [&](const Transition& t) {
+    if (t.kind == TransitionKind::kDownload) download_total += t.rate;
+  });
+  const double capacity =
+      params.seed_rate() +
+      static_cast<double>(state.total_peers()) * params.contact_rate();
+  EXPECT_LE(download_total, capacity + 1e-9);
+}
+
+TEST(Generator, ApplyTransitionRoundTrips) {
+  const SwarmParams params(2, 1.0, 1.0, 2.0, {{PieceSet{}, 0.5}});
+  auto state = make_state(2, {{0b00, 2}, {0b01, 1}});
+  const auto original = state;
+  apply_transition(
+      {TransitionKind::kDownload, PieceSet{0b00}, PieceSet{0b01}, 1.0},
+      state);
+  EXPECT_EQ(state.count(PieceSet{0b00}), 1);
+  EXPECT_EQ(state.count(PieceSet{0b01}), 2);
+  EXPECT_EQ(state.total_peers(), original.total_peers());
+  apply_transition(
+      {TransitionKind::kDownload, PieceSet{0b01}, PieceSet{0b00}, 1.0},
+      state);
+  EXPECT_EQ(state, original);
+}
+
+TEST(TypeCountStateTest, HoldersCountsAcrossTypes) {
+  const auto state = make_state(3, {{0b001, 2}, {0b011, 1}, {0b111, 4}});
+  EXPECT_EQ(state.holders_of(0), 7);
+  EXPECT_EQ(state.holders_of(1), 5);
+  EXPECT_EQ(state.holders_of(2), 4);
+  EXPECT_EQ(state.total_peers(), 7);
+  EXPECT_EQ(state.seeds(), 4);
+}
+
+class GeneratorRateSumTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GeneratorRateSumTest, TotalRateMatchesManualSum) {
+  const int k = GetParam();
+  const SwarmParams params(k, 0.5, 1.0, 2.0, {{PieceSet{}, 1.0}});
+  Rng rng(static_cast<std::uint64_t>(k) * 101);
+  TypeCountState state(k);
+  for (int i = 0; i < 20; ++i) {
+    state.add(PieceSet{rng.uniform_int(std::uint64_t{1} << k)}, 1);
+  }
+  double sum = 0;
+  for_each_transition(params, state,
+                      [&](const Transition& t) { sum += t.rate; });
+  EXPECT_NEAR(sum, total_transition_rate(params, state), 1e-12);
+  EXPECT_GT(sum, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, GeneratorRateSumTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+}  // namespace
+}  // namespace p2p

@@ -1,0 +1,138 @@
+// GF(q) arithmetic: field axioms as parameterized property tests across
+// prime and power-of-two sizes, plus exhaustive inverse checks.
+#include "coding/gf.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rand/rng.hpp"
+
+namespace p2p {
+namespace {
+
+TEST(GfHelpers, IsPrime) {
+  EXPECT_TRUE(is_prime(2));
+  EXPECT_TRUE(is_prime(3));
+  EXPECT_TRUE(is_prime(251));
+  EXPECT_TRUE(is_prime(32749));
+  EXPECT_FALSE(is_prime(1));
+  EXPECT_FALSE(is_prime(4));
+  EXPECT_FALSE(is_prime(91));  // 7 * 13
+}
+
+TEST(GfHelpers, SupportedPowersOfTwo) {
+  for (int q : {2, 4, 8, 16, 32, 64, 128, 256}) {
+    EXPECT_TRUE(is_supported_power_of_two(q)) << q;
+  }
+  EXPECT_FALSE(is_supported_power_of_two(512));
+  EXPECT_FALSE(is_supported_power_of_two(6));
+  EXPECT_FALSE(is_supported_power_of_two(1));
+}
+
+class GfAxiomsTest : public ::testing::TestWithParam<int> {
+ protected:
+  GaloisField gf_{GetParam()};
+  Rng rng_{static_cast<std::uint64_t>(GetParam())};
+
+  GaloisField::Elem random_elem() {
+    return static_cast<GaloisField::Elem>(
+        rng_.uniform_int(static_cast<std::uint64_t>(gf_.size())));
+  }
+  GaloisField::Elem random_nonzero() {
+    return static_cast<GaloisField::Elem>(
+        1 + rng_.uniform_int(static_cast<std::uint64_t>(gf_.size() - 1)));
+  }
+};
+
+TEST_P(GfAxiomsTest, AdditiveGroup) {
+  for (int i = 0; i < 500; ++i) {
+    const auto a = random_elem(), b = random_elem(), c = random_elem();
+    EXPECT_EQ(gf_.add(a, b), gf_.add(b, a));
+    EXPECT_EQ(gf_.add(gf_.add(a, b), c), gf_.add(a, gf_.add(b, c)));
+    EXPECT_EQ(gf_.add(a, 0), a);
+    EXPECT_EQ(gf_.add(a, gf_.neg(a)), 0);
+    EXPECT_EQ(gf_.sub(gf_.add(a, b), b), a);
+  }
+}
+
+TEST_P(GfAxiomsTest, MultiplicativeGroup) {
+  for (int i = 0; i < 500; ++i) {
+    const auto a = random_nonzero(), b = random_nonzero(),
+               c = random_nonzero();
+    EXPECT_EQ(gf_.mul(a, b), gf_.mul(b, a));
+    EXPECT_EQ(gf_.mul(gf_.mul(a, b), c), gf_.mul(a, gf_.mul(b, c)));
+    EXPECT_EQ(gf_.mul(a, 1), a);
+    EXPECT_EQ(gf_.mul(a, gf_.inv(a)), 1);
+    EXPECT_EQ(gf_.div(gf_.mul(a, b), b), a);
+  }
+}
+
+TEST_P(GfAxiomsTest, Distributivity) {
+  for (int i = 0; i < 500; ++i) {
+    const auto a = random_elem(), b = random_elem(), c = random_elem();
+    EXPECT_EQ(gf_.mul(a, gf_.add(b, c)),
+              gf_.add(gf_.mul(a, b), gf_.mul(a, c)));
+  }
+}
+
+TEST_P(GfAxiomsTest, ZeroAnnihilates) {
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(gf_.mul(random_elem(), 0), 0);
+  }
+}
+
+TEST_P(GfAxiomsTest, InverseExhaustive) {
+  // Every nonzero element has a unique two-sided inverse.
+  if (gf_.size() > 512) GTEST_SKIP() << "exhaustive check for small q only";
+  for (int a = 1; a < gf_.size(); ++a) {
+    const auto e = static_cast<GaloisField::Elem>(a);
+    const auto inv = gf_.inv(e);
+    EXPECT_NE(inv, 0);
+    EXPECT_EQ(gf_.mul(e, inv), 1);
+    EXPECT_EQ(gf_.mul(inv, e), 1);
+  }
+}
+
+TEST_P(GfAxiomsTest, PowMatchesRepeatedMul) {
+  const auto a = random_nonzero();
+  GaloisField::Elem acc = 1;
+  for (std::uint64_t e = 0; e < 20; ++e) {
+    EXPECT_EQ(gf_.pow(a, e), acc);
+    acc = gf_.mul(acc, a);
+  }
+}
+
+TEST_P(GfAxiomsTest, MultiplicativeOrderDividesQMinus1) {
+  // Fermat: a^(q-1) = 1 for all nonzero a.
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(gf_.pow(random_nonzero(),
+                      static_cast<std::uint64_t>(gf_.size() - 1)),
+              1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fields, GfAxiomsTest,
+                         ::testing::Values(2, 3, 4, 5, 7, 8, 16, 32, 64, 101,
+                                           128, 251, 256, 32749));
+
+TEST(GfDeath, RejectsUnsupportedSizes) {
+  EXPECT_DEATH(GaloisField(6), "");
+  EXPECT_DEATH(GaloisField(512), "");
+  EXPECT_DEATH(GaloisField(1), "");
+}
+
+TEST(GfDeath, ZeroHasNoInverse) {
+  const GaloisField gf(7);
+  EXPECT_DEATH(gf.inv(0), "zero");
+}
+
+TEST(Gf256, MatchesKnownReedSolomonValues) {
+  // Spot-check GF(256) with poly 0x11D: 2 * 2 = 4, 0x80 * 2 = 0x1D ^ 0 =
+  // 0x1D... (0x80 << 1 = 0x100 -> xor 0x11D = 0x1D).
+  const GaloisField gf(256);
+  EXPECT_EQ(gf.mul(2, 2), 4);
+  EXPECT_EQ(gf.mul(0x80, 2), 0x1D);
+  EXPECT_EQ(gf.add(0x53, 0xCA), 0x53 ^ 0xCA);
+}
+
+}  // namespace
+}  // namespace p2p

@@ -1,0 +1,198 @@
+// The Foster–Lyapunov function of Section VII: phi's shape, E/H terms,
+// value consistency, and — the heart of the stability proof — negative
+// drift on heavy-load states when condition (4) holds, with the phi term
+// rescuing exactly the low-potential states described in Remark 11.
+#include "core/lyapunov.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/stability.hpp"
+#include "rand/rng.hpp"
+
+namespace p2p {
+namespace {
+
+TEST(Phi, PiecewiseShapeAndSmoothJoin) {
+  const double d = 5.0, beta = 0.05;
+  // Linear part.
+  EXPECT_NEAR(lyapunov_phi(0, d, beta), 2 * d + 1 / (2 * beta), 1e-12);
+  EXPECT_NEAR(lyapunov_phi_prime(3.0, d, beta), -1.0, 1e-12);
+  // Continuity and C^1 join at 2d.
+  EXPECT_NEAR(lyapunov_phi(2 * d - 1e-9, d, beta),
+              lyapunov_phi(2 * d + 1e-9, d, beta), 1e-6);
+  EXPECT_NEAR(lyapunov_phi_prime(2 * d + 1e-9, d, beta), -1.0, 1e-6);
+  // Vanishes beyond 2d + 1/beta.
+  EXPECT_EQ(lyapunov_phi(2 * d + 1 / beta + 1.0, d, beta), 0.0);
+  EXPECT_EQ(lyapunov_phi_prime(2 * d + 1 / beta + 1.0, d, beta), 0.0);
+}
+
+TEST(Phi, DerivativeBetweenMinusOneAndZero) {
+  const double d = 3.0, beta = 0.1;
+  for (double h = 0; h < 20; h += 0.1) {
+    const double p = lyapunov_phi_prime(h, d, beta);
+    EXPECT_GE(p, -1.0);
+    EXPECT_LE(p, 0.0);
+  }
+  // phi is nonincreasing.
+  for (double h = 0; h < 20; h += 0.1) {
+    EXPECT_GE(lyapunov_phi(h, d, beta), lyapunov_phi(h + 0.1, d, beta));
+  }
+}
+
+SwarmParams stable_k2() {
+  // K = 2, Us = 2, lambda_empty = 1, gamma = 4: threshold = 2/(1-0.25) =
+  // 2.67 > 1, so (4) holds for every S.
+  return SwarmParams(2, 2.0, 1.0, 4.0, {{PieceSet{}, 1.0}});
+}
+
+TEST(Lyapunov, ETermCountsSubsets) {
+  const auto params = stable_k2();
+  LyapunovFunction w(params, LyapunovFunction::suggest(params));
+  TypeCountState state(2);
+  state.add(PieceSet{}, 3);
+  state.add(PieceSet::single(0), 2);
+  state.add(PieceSet::full(2), 5);
+  EXPECT_EQ(w.e_term(state, PieceSet{}), 3);
+  EXPECT_EQ(w.e_term(state, PieceSet::single(0)), 5);
+  EXPECT_EQ(w.e_term(state, PieceSet::single(1)), 3);
+  EXPECT_EQ(w.e_term(state, PieceSet::full(2)), 10);
+}
+
+TEST(Lyapunov, HTermWeightsHelpers) {
+  const auto params = stable_k2();  // g = 0.25
+  LyapunovFunction w(params, LyapunovFunction::suggest(params));
+  TypeCountState state(2);
+  state.add(PieceSet::single(0), 2);  // K - |C| + g = 1.25 each
+  state.add(PieceSet::full(2), 1);    // K - |C| + g = 0.25
+  // H for C = {1} (mask 0b10): helpers are {0} and F.
+  const double expected = (2 * 1.25 + 1 * 0.25) / (1 - 0.25);
+  EXPECT_NEAR(w.h_term(state, PieceSet::single(1)), expected, 1e-12);
+  // H_F = 0 by definition (no helpers for F).
+  EXPECT_NEAR(w.h_term(state, PieceSet::full(2)), 0.0, 1e-12);
+}
+
+TEST(Lyapunov, ValueMatchesDirectEvaluation) {
+  // Cross-check the zeta-transform fast path against a direct O(4^K)
+  // evaluation on random states.
+  const SwarmParams params(3, 1.0, 1.0, 4.0, {{PieceSet{}, 0.5}});
+  const auto lp = LyapunovFunction::suggest(params);
+  LyapunovFunction w(params, lp);
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    TypeCountState state(3);
+    for (int i = 0; i < 30; ++i) {
+      state.add(PieceSet{rng.uniform_int(8ULL)}, 1);
+    }
+    double direct = 0;
+    for_each_subset(PieceSet::full(3), [&](PieceSet c) {
+      const double rpow = std::pow(lp.r, c.size());
+      if (c == PieceSet::full(3)) {
+        const double n = static_cast<double>(state.total_peers());
+        direct += rpow * n * n / 2;
+        return;
+      }
+      const double e = w.e_term(state, c);
+      const double h = w.h_term(state, c);
+      direct +=
+          rpow * (e * e / 2 + lp.alpha * e * lyapunov_phi(h, lp.d, lp.beta));
+    });
+    EXPECT_NEAR(w.value(state), direct,
+                1e-9 * std::max(1.0, std::abs(direct)));
+  }
+}
+
+TEST(Lyapunov, DriftNegativeOnLargeOneClub) {
+  // Heavy one-club load, stable parameters: drift must be negative and
+  // roughly proportional to -n.
+  const auto params = stable_k2();
+  LyapunovFunction w(params, LyapunovFunction::suggest(params));
+  for (const std::int64_t n : {2000LL, 8000LL, 32000LL}) {
+    TypeCountState state(2);
+    state.add(PieceSet::single(1), n);  // one-club missing piece 0
+    EXPECT_LT(w.drift(state), 0.0) << "n = " << n;
+  }
+}
+
+TEST(Lyapunov, DriftPositiveOnOneClubWhenTransient) {
+  // Transient parameters: the chain escapes to infinity; W grows.
+  const SwarmParams params(2, 0.1, 1.0, kInfiniteRate, {{PieceSet{}, 2.0}});
+  ASSERT_EQ(classify(params).verdict, Stability::kTransient);
+  LyapunovFunction w(params, LyapunovFunction::suggest(params));
+  TypeCountState state(2);
+  state.add(PieceSet::single(1), 5000);
+  EXPECT_GT(w.drift(state), 0.0);
+}
+
+TEST(Lyapunov, DriftNegativeOnSeedHeavyState) {
+  // Many peer seeds: departures at rate gamma x_F dominate; W must fall.
+  const auto params = stable_k2();
+  LyapunovFunction w(params, LyapunovFunction::suggest(params));
+  TypeCountState state(2);
+  state.add(PieceSet::full(2), 5000);
+  EXPECT_LT(w.drift(state), 0.0);
+}
+
+TEST(Lyapunov, DriftNegativeOnMixedHeavyStates) {
+  // Class II states (two big groups): uploads between them drain W.
+  const auto params = stable_k2();
+  LyapunovFunction w(params, LyapunovFunction::suggest(params));
+  TypeCountState state(2);
+  state.add(PieceSet{}, 3000);
+  state.add(PieceSet::single(0), 3000);
+  EXPECT_LT(w.drift(state), 0.0);
+}
+
+TEST(Lyapunov, PhiTermRescuesLowPotentialStates) {
+  // Remark 11: the phi term is needed precisely when the one-club drains
+  // only through the *branching boost* of dwelling seeds, i.e. when
+  // Us < lambda_total < Us / (1 - mu/gamma). Pick such parameters: the
+  // quadratic term alone sees arrivals (rate 1) beat direct seed uploads
+  // (rate 0.8) and has upward drift on a fresh one-club (H_S = 0), while
+  // the full W already accounts for the stored helping potential.
+  const SwarmParams params(2, 0.8, 1.0, 4.0, {{PieceSet{}, 1.0}});
+  ASSERT_EQ(classify(params).verdict, Stability::kPositiveRecurrent);
+  auto lp = LyapunovFunction::suggest(params);
+  lp.r = 0.01;  // suppress the r^2 n^2/2 seed term at this tight margin
+  LyapunovFunction with_phi(params, lp);
+  auto lp_no_phi = lp;
+  lp_no_phi.alpha = 1e-9;
+  LyapunovFunction without_phi(params, lp_no_phi);
+
+  TypeCountState one_club(2);
+  one_club.add(PieceSet::single(1), 20000);  // H_S = 0 here
+  EXPECT_LT(with_phi.drift(one_club), 0.0);
+  EXPECT_GT(without_phi.drift(one_club), 0.0)
+      << "without the phi term the one-club state should look like it "
+         "has upward drift (Remark 11)";
+}
+
+TEST(Lyapunov, AltruisticVariantNegativeDriftOnHeavyStates) {
+  // gamma <= mu: the W' variant with auto-derived p. Heavy one-club load.
+  const SwarmParams params(2, 0.5, 1.0, 0.8, {{PieceSet{}, 5.0}});
+  ASSERT_EQ(classify(params).verdict, Stability::kPositiveRecurrent);
+  LyapunovFunction w(params, LyapunovFunction::suggest(params));
+  TypeCountState state(2);
+  state.add(PieceSet::single(1), 20000);
+  EXPECT_LT(w.drift(state), 0.0);
+}
+
+TEST(Lyapunov, DriftScalesAtLeastLinearly) {
+  // Q W <= -xi n for n large: check drift/n is bounded away from zero
+  // and does not vanish as n grows.
+  const auto params = stable_k2();
+  LyapunovFunction w(params, LyapunovFunction::suggest(params));
+  TypeCountState small(2), big(2);
+  small.add(PieceSet::single(1), 4000);
+  big.add(PieceSet::single(1), 16000);
+  const double per_n_small =
+      w.drift(small) / static_cast<double>(small.total_peers());
+  const double per_n_big =
+      w.drift(big) / static_cast<double>(big.total_peers());
+  EXPECT_LT(per_n_small, 0.0);
+  EXPECT_LT(per_n_big, 0.0);
+}
+
+}  // namespace
+}  // namespace p2p

@@ -1,0 +1,125 @@
+// The mu = infinity watched chain (Section VIII-D, Fig. 3): structural
+// transitions, the coin-flip Z distribution, zero drift of the top layer,
+// and the diffusive (null-recurrent) growth signature.
+#include "ctmc/muinf_chain.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sim/stats.hpp"
+
+namespace p2p {
+namespace {
+
+TEST(MuInfChain, EmptyStateJumpsToOneOne) {
+  MuInfChain chain(3, 1.0, 1);
+  chain.step();
+  EXPECT_EQ(chain.state().peers, 1);
+  EXPECT_EQ(chain.state().pieces, 1);
+}
+
+TEST(MuInfChain, LowerLayersOnlyGrow) {
+  // From (n, k) with k < K-1 every transition increases n by one and
+  // keeps or increments k.
+  MuInfChain chain(4, 1.0, 2);
+  chain.set_state({5, 1});
+  for (int i = 0; i < 200; ++i) {
+    const MuInfState before = chain.state();
+    chain.step();
+    const MuInfState after = chain.state();
+    if (before.pieces < 3) {
+      ASSERT_EQ(after.peers, before.peers + 1);
+      ASSERT_GE(after.pieces, before.pieces);
+      ASSERT_LE(after.pieces, before.pieces + 1);
+    }
+    ASSERT_GE(after.peers, 1);
+    ASSERT_GE(after.pieces, 1);
+    ASSERT_LE(after.pieces, 3);
+  }
+}
+
+TEST(MuInfChain, HeadsBeforeTailsIsNegativeBinomial) {
+  // Z ~ NB(r = K-1, p = 1/2) on heads: E[Z] = K-1, Var[Z] = 2(K-1).
+  Rng rng(5);
+  const int r = 4;
+  OnlineStats stats;
+  for (int i = 0; i < 200000; ++i) {
+    stats.add(static_cast<double>(
+        MuInfChain::sample_heads_before_tails(rng, r)));
+  }
+  EXPECT_NEAR(stats.mean(), 4.0, 0.05);
+  EXPECT_NEAR(stats.variance(), 8.0, 0.15);
+}
+
+TEST(MuInfChain, TopLayerHasZeroDrift) {
+  // Conditioned on staying in the top layer, E[delta n per arrival] = 0:
+  // rate (K-1)lambda of +1 vs rate lambda with E[Z] = K-1 downward.
+  const int k = 3;
+  MuInfChain chain(k, 1.0, 6);
+  const std::int64_t n0 = 100000;
+  chain.set_state({n0, k - 1});
+  double drift_sum = 0;
+  std::int64_t events = 0;
+  for (int i = 0; i < 200000; ++i) {
+    const MuInfState before = chain.state();
+    chain.step();
+    drift_sum += static_cast<double>(chain.state().peers - before.peers);
+    ++events;
+  }
+  // Mean per-event drift should be ~0 (population stays huge, so the
+  // boundary is never hit). Std of one event's jump is O(1).
+  EXPECT_NEAR(drift_sum / static_cast<double>(events), 0.0, 0.02);
+}
+
+TEST(MuInfChain, DiffusiveGrowthFromEmpty) {
+  // Null recurrence: started empty, E[N_t] grows like sqrt(t), far slower
+  // than the linear growth a transient chain would show. Compare N at two
+  // horizons: ratio should look like sqrt(4) = 2, not 4.
+  const int k = 3;
+  OnlineStats n_short, n_long;
+  for (std::uint64_t rep = 0; rep < 40; ++rep) {
+    MuInfChain chain(k, 1.0, 100 + rep);
+    chain.run_until(2500.0);
+    n_short.add(static_cast<double>(chain.state().peers));
+    chain.run_until(10000.0);
+    n_long.add(static_cast<double>(chain.state().peers));
+  }
+  const double ratio = n_long.mean() / n_short.mean();
+  EXPECT_GT(ratio, 1.2);
+  EXPECT_LT(ratio, 3.2);
+}
+
+TEST(MuInfChain, ReturnsToSmallStates) {
+  // Recurrence: the chain keeps revisiting small populations.
+  MuInfChain chain(3, 1.0, 7);
+  chain.set_state({50, 2});
+  int visits_small = 0;
+  for (int i = 0; i < 500000; ++i) {
+    chain.step();
+    visits_small += chain.state().peers <= 5;
+  }
+  EXPECT_GT(visits_small, 0);
+}
+
+TEST(MuInfChain, SampledSeriesHasGrid) {
+  MuInfChain chain(4, 2.0, 8);
+  std::vector<double> times;
+  chain.run_sampled(50.0, 5.0, [&](double t, const MuInfState&) {
+    times.push_back(t);
+  });
+  ASSERT_EQ(times.size(), 10u);
+  EXPECT_NEAR(times.front(), 5.0, 1e-9);
+  EXPECT_NEAR(times.back(), 50.0, 1e-9);
+}
+
+TEST(MuInfChainDeath, RejectsBadStates) {
+  MuInfChain chain(3, 1.0, 9);
+  EXPECT_DEATH(chain.set_state({1, 0}), "");
+  EXPECT_DEATH(chain.set_state({1, 3}), "");  // k must be <= K-1
+  EXPECT_DEATH(chain.set_state({-1, 1}), "");
+}
+
+}  // namespace
+}  // namespace p2p

@@ -1,0 +1,129 @@
+#include "util/piece_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace p2p {
+namespace {
+
+TEST(PieceSet, DefaultIsEmpty) {
+  PieceSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0);
+  EXPECT_EQ(s.mask(), 0u);
+}
+
+TEST(PieceSet, FullHasAllPieces) {
+  for (int k = 1; k <= 10; ++k) {
+    const PieceSet full = PieceSet::full(k);
+    EXPECT_EQ(full.size(), k);
+    for (int p = 0; p < k; ++p) EXPECT_TRUE(full.contains(p));
+    EXPECT_FALSE(full.contains(k));
+  }
+}
+
+TEST(PieceSet, Full64DoesNotOverflow) {
+  const PieceSet full = PieceSet::full(64);
+  EXPECT_EQ(full.size(), 64);
+  EXPECT_TRUE(full.contains(63));
+}
+
+TEST(PieceSet, SingleAndWithWithout) {
+  PieceSet s = PieceSet::single(3);
+  EXPECT_EQ(s.size(), 1);
+  EXPECT_TRUE(s.contains(3));
+  s = s.with(5).with(0);
+  EXPECT_EQ(s.size(), 3);
+  s = s.without(3);
+  EXPECT_EQ(s.size(), 2);
+  EXPECT_FALSE(s.contains(3));
+  EXPECT_TRUE(s.contains(0));
+  EXPECT_TRUE(s.contains(5));
+}
+
+TEST(PieceSet, SubsetRelations) {
+  const PieceSet a = PieceSet::single(1).with(2);
+  const PieceSet b = a.with(4);
+  EXPECT_TRUE(a.is_subset_of(b));
+  EXPECT_TRUE(a.is_proper_subset_of(b));
+  EXPECT_FALSE(b.is_subset_of(a));
+  EXPECT_TRUE(a.is_subset_of(a));
+  EXPECT_FALSE(a.is_proper_subset_of(a));
+  EXPECT_TRUE(PieceSet{}.is_subset_of(a));
+}
+
+TEST(PieceSet, MinusIntersectUnite) {
+  const PieceSet a = PieceSet::single(0).with(1).with(2);
+  const PieceSet b = PieceSet::single(2).with(3);
+  EXPECT_EQ(a.minus(b), PieceSet::single(0).with(1));
+  EXPECT_EQ(a.intersect(b), PieceSet::single(2));
+  EXPECT_EQ(a.unite(b), PieceSet::single(0).with(1).with(2).with(3));
+}
+
+TEST(PieceSet, Complement) {
+  const PieceSet a = PieceSet::single(0).with(2);
+  const PieceSet comp = a.complement(4);
+  EXPECT_EQ(comp, PieceSet::single(1).with(3));
+  EXPECT_EQ(a.unite(comp), PieceSet::full(4));
+  EXPECT_TRUE(a.intersect(comp).empty());
+}
+
+TEST(PieceSet, NthSelectsInOrder) {
+  const PieceSet s = PieceSet::single(1).with(4).with(9);
+  EXPECT_EQ(s.nth(0), 1);
+  EXPECT_EQ(s.nth(1), 4);
+  EXPECT_EQ(s.nth(2), 9);
+  EXPECT_EQ(s.lowest(), 1);
+}
+
+TEST(PieceSet, IterationVisitsAllInIncreasingOrder) {
+  const PieceSet s = PieceSet::single(0).with(3).with(7).with(63);
+  std::vector<int> seen;
+  for (int p : s) seen.push_back(p);
+  EXPECT_EQ(seen, (std::vector<int>{0, 3, 7, 63}));
+}
+
+TEST(PieceSet, ToString) {
+  const PieceSet s = PieceSet::single(0).with(2);
+  EXPECT_EQ(s.to_string(), "{0,2}");
+  EXPECT_EQ(s.to_string(/*one_based=*/true), "{1,3}");
+  EXPECT_EQ(PieceSet{}.to_string(), "{}");
+}
+
+TEST(PieceSet, ForEachSubsetEnumeratesPowerSet) {
+  const PieceSet sup = PieceSet::single(1).with(3).with(4);
+  std::set<std::uint64_t> seen;
+  for_each_subset(sup, [&](PieceSet sub) {
+    EXPECT_TRUE(sub.is_subset_of(sup));
+    seen.insert(sub.mask());
+  });
+  EXPECT_EQ(seen.size(), 8u);  // 2^3 subsets
+  EXPECT_TRUE(seen.count(0));
+  EXPECT_TRUE(seen.count(sup.mask()));
+}
+
+TEST(PieceSet, ForEachSubsetOfEmptySet) {
+  int count = 0;
+  for_each_subset(PieceSet{}, [&](PieceSet sub) {
+    EXPECT_TRUE(sub.empty());
+    ++count;
+  });
+  EXPECT_EQ(count, 1);
+}
+
+class SubsetCountTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SubsetCountTest, PowerSetSizeIsTwoToTheK) {
+  const int k = GetParam();
+  int count = 0;
+  for_each_subset(PieceSet::full(k), [&](PieceSet) { ++count; });
+  EXPECT_EQ(count, 1 << k);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SubsetCountTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 10, 12));
+
+}  // namespace
+}  // namespace p2p

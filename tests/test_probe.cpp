@@ -1,0 +1,125 @@
+// Stability probe: classification of synthetic trajectories and of
+// simulated swarms with known Theorem 1 verdicts.
+#include "analysis/stability_probe.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/stability.hpp"
+
+namespace p2p {
+namespace {
+
+TimeSeries synthetic_line(double slope, double noise, std::uint64_t seed,
+                          double horizon = 1000, double dt = 10) {
+  Rng rng(seed);
+  TimeSeries ts;
+  for (double t = 0; t <= horizon; t += dt) {
+    ts.push(t, 100.0 + slope * t + noise * (rng.uniform() - 0.5));
+  }
+  return ts;
+}
+
+TEST(Probe, ClassifiesGrowingSeriesUnstable) {
+  ProbeOptions options;
+  const ProbeResult result = probe_stability(
+      [](std::uint64_t seed) { return synthetic_line(0.5, 5.0, seed); },
+      /*lambda_total=*/1.0, options);
+  EXPECT_EQ(result.verdict, ProbeVerdict::kUnstable);
+  EXPECT_NEAR(result.normalized_slope, 0.5, 0.05);
+}
+
+TEST(Probe, ClassifiesFlatSeriesStable) {
+  ProbeOptions options;
+  const ProbeResult result = probe_stability(
+      [](std::uint64_t seed) { return synthetic_line(0.0, 5.0, seed); },
+      1.0, options);
+  EXPECT_EQ(result.verdict, ProbeVerdict::kStable);
+  EXPECT_NEAR(result.normalized_slope, 0.0, 0.05);
+  EXPECT_NEAR(result.mean_tail_peers, 100.0, 5.0);
+}
+
+TEST(Probe, NormalizesByArrivalRate) {
+  ProbeOptions options;
+  const ProbeResult result = probe_stability(
+      [](std::uint64_t seed) { return synthetic_line(2.0, 1.0, seed); },
+      /*lambda_total=*/4.0, options);
+  EXPECT_NEAR(result.normalized_slope, 0.5, 0.05);
+}
+
+TEST(Probe, StableSwarmClassifiedStable) {
+  const auto params = SwarmParams::example1(1.0, 1.0, 1.0, 4.0);
+  ASSERT_EQ(classify(params).verdict, Stability::kPositiveRecurrent);
+  ProbeOptions options;
+  options.horizon = 1500;
+  options.replicas = 3;
+  const ProbeResult result = probe_swarm(params, options);
+  EXPECT_EQ(result.verdict, ProbeVerdict::kStable) << result.to_string();
+}
+
+TEST(Probe, TransientSwarmClassifiedUnstable) {
+  const auto params = SwarmParams::example1(4.0, 1.0, 1.0, 4.0);
+  ASSERT_EQ(classify(params).verdict, Stability::kTransient);
+  ProbeOptions options;
+  options.horizon = 1500;
+  options.replicas = 3;
+  options.initial_one_club = 100;
+  const ProbeResult result = probe_swarm(params, options);
+  EXPECT_EQ(result.verdict, ProbeVerdict::kUnstable) << result.to_string();
+}
+
+TEST(Probe, FlashCrowdRecoveryForStableSystem) {
+  // Stable system started with a large one-club drains it.
+  const SwarmParams params(2, 3.0, 1.0, 4.0, {{PieceSet{}, 1.0}});
+  ASSERT_EQ(classify(params).verdict, Stability::kPositiveRecurrent);
+  ProbeOptions options;
+  options.horizon = 2500;
+  options.replicas = 3;
+  options.initial_one_club = 300;
+  const ProbeResult result = probe_swarm(params, options);
+  EXPECT_EQ(result.verdict, ProbeVerdict::kStable) << result.to_string();
+  EXPECT_LT(result.mean_final_peers, 300.0);
+}
+
+TEST(Probe, SeriesStartsAtInjectedPopulation) {
+  const SwarmParams params(2, 3.0, 1.0, 4.0, {{PieceSet{}, 1.0}});
+  ProbeOptions options;
+  options.initial_one_club = 250;
+  const TimeSeries ts = swarm_peer_series(params, options, 1);
+  ASSERT_GE(ts.size(), 2u);
+  EXPECT_EQ(ts.v.front(), 250.0);
+}
+
+TEST(Probe, ConflictingReplicasAreInconclusive) {
+  // Replicas that disagree wildly (slope +1 or -1 by seed parity) give a
+  // mean near the threshold with a huge SEM: the probe must refuse to
+  // classify rather than guess.
+  ProbeOptions options;
+  options.replicas = 6;
+  const ProbeResult result = probe_stability(
+      [](std::uint64_t seed) {
+        const double slope = (seed % 2 == 0) ? 1.0 : -1.0;
+        return synthetic_line(slope, 1.0, seed);
+      },
+      1.0, options);
+  EXPECT_EQ(result.verdict, ProbeVerdict::kInconclusive);
+}
+
+TEST(Probe, TrackedPieceSelectsInjectedClub) {
+  // With tracked_piece = 2, the injected one-club is F - {2}; every
+  // injected peer then holds pieces 0 and 1.
+  const SwarmParams params(3, 3.0, 1.0, 4.0, {{PieceSet{}, 1.0}});
+  ProbeOptions options;
+  options.initial_one_club = 50;
+  options.tracked_piece = 2;
+  const TimeSeries ts = swarm_peer_series(params, options, 1);
+  EXPECT_EQ(ts.v.front(), 50.0);
+}
+
+TEST(Probe, ToStringMentionsVerdict) {
+  ProbeResult result;
+  result.verdict = ProbeVerdict::kUnstable;
+  EXPECT_NE(result.to_string().find("unstable"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace p2p

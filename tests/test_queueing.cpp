@@ -1,0 +1,124 @@
+// Queueing substrates: M/GI/infinity stationary behaviour, the Lemma 21
+// maximal bound, compound Poisson sample paths and Kingman's bound
+// (Proposition 20).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "queueing/compound_poisson.hpp"
+#include "queueing/mg_inf.hpp"
+
+namespace p2p {
+namespace {
+
+TEST(MgInf, MMInfStationaryMeanIsLambdaOverMu) {
+  // Exp(mu) service: E[N] = lambda / mu.
+  const double lambda = 4.0, mu = 0.5;
+  MgInfQueue queue(
+      lambda, [mu](Rng& rng) { return rng.exponential(mu); }, 3);
+  queue.run_until(200.0);  // warmup
+  const TimeSeries series = queue.sample_until(5000.0, 1.0);
+  EXPECT_NEAR(series.time_average(), lambda / mu,
+              0.05 * (lambda / mu) + 0.5);
+}
+
+TEST(MgInf, DeterministicServiceSameMean) {
+  // Insensitivity: E[N] depends on the service law only through its mean.
+  const double lambda = 3.0, mean_service = 2.0;
+  MgInfQueue queue(
+      lambda, [mean_service](Rng&) { return mean_service; }, 5);
+  queue.run_until(100.0);
+  const TimeSeries series = queue.sample_until(4000.0, 1.0);
+  EXPECT_NEAR(series.time_average(), lambda * mean_service, 0.4);
+}
+
+TEST(MgInf, ErlangPlusExpHasExpectedMean) {
+  // K stages at rate r plus Exp(gamma): mean = K/r + 1/gamma.
+  Rng rng(7);
+  const auto sampler = MgInfQueue::erlang_plus_exp(4, 2.0, 0.5);
+  OnlineStats stats;
+  for (int i = 0; i < 100000; ++i) stats.add(sampler(rng));
+  EXPECT_NEAR(stats.mean(), 4.0 / 2.0 + 1.0 / 0.5, 0.05);
+}
+
+TEST(MgInf, ErlangPlusExpInfiniteGammaDropsDwell) {
+  Rng rng(9);
+  const auto sampler = MgInfQueue::erlang_plus_exp(
+      3, 1.0, std::numeric_limits<double>::infinity());
+  OnlineStats stats;
+  for (int i = 0; i < 100000; ++i) stats.add(sampler(rng));
+  EXPECT_NEAR(stats.mean(), 3.0, 0.05);
+}
+
+TEST(MgInf, Lemma21BoundHoldsEmpirically) {
+  // P{ M_t >= B + eps t for some t } <= e^{lambda(m+1)} 2^-B / (1-2^-eps).
+  const double lambda = 1.0, mean_service = 1.0;
+  const double budget = 30.0, eps = 1.0;
+  const double bound =
+      mginf_excursion_upper_bound(lambda, mean_service, budget, eps);
+  ASSERT_LT(bound, 0.05);  // the test is only informative if small
+  int violations = 0;
+  const int replicas = 200;
+  for (int r = 0; r < replicas; ++r) {
+    MgInfQueue queue(
+        lambda, [](Rng& rng) { return rng.exponential(1.0); },
+        1000 + static_cast<std::uint64_t>(r));
+    bool violated = false;
+    for (double t = 1.0; t <= 200.0 && !violated; t += 1.0) {
+      queue.run_until(t);
+      violated = static_cast<double>(queue.in_system()) >= budget + eps * t;
+    }
+    violations += violated;
+  }
+  EXPECT_LE(violations / static_cast<double>(replicas), bound + 0.01);
+}
+
+TEST(CompoundPoisson, MeanGrowsAtRateAlphaM1) {
+  // Jumps at rate 2 with mean batch 3 => E[C_t] = 6 t.
+  CompoundPoissonProcess proc(
+      2.0, [](Rng& rng) { return 3.0 * rng.uniform_pos() * 2.0; }, 11);
+  proc.run_until(5000.0);
+  EXPECT_NEAR(proc.value() / proc.now(), 6.0, 0.3);
+}
+
+TEST(CompoundPoisson, EventCountIsPoisson) {
+  CompoundPoissonProcess proc(5.0, [](Rng&) { return 1.0; }, 13);
+  proc.run_until(1000.0);
+  EXPECT_NEAR(static_cast<double>(proc.events()), 5000.0,
+              5.0 * std::sqrt(5000.0));
+}
+
+TEST(CompoundPoisson, KingmanBoundHoldsEmpirically) {
+  // Unit batches at rate 1, eps = 2 (> alpha m1 = 1), B = 10:
+  // bound = 1 - 1*1/(2*10*(2-1)) = 0.95.
+  const double alpha = 1.0, budget = 10.0, eps = 2.0;
+  const double bound = kingman_lower_bound(alpha, 1.0, 1.0, budget, eps);
+  EXPECT_NEAR(bound, 0.95, 1e-12);
+  int stayed_below = 0;
+  const int replicas = 400;
+  for (int r = 0; r < replicas; ++r) {
+    CompoundPoissonProcess proc(alpha, [](Rng&) { return 1.0; },
+                                2000 + static_cast<std::uint64_t>(r));
+    bool ok = true;
+    while (proc.now() < 500.0 && ok) {
+      proc.step();
+      ok = proc.value() < budget + eps * proc.now();
+    }
+    stayed_below += ok;
+  }
+  EXPECT_GE(stayed_below / static_cast<double>(replicas), bound - 0.03);
+}
+
+TEST(KingmanBound, TightensWithBudget) {
+  const double b1 = kingman_lower_bound(1.0, 1.0, 2.0, 5.0, 2.0);
+  const double b2 = kingman_lower_bound(1.0, 1.0, 2.0, 50.0, 2.0);
+  EXPECT_GT(b2, b1);
+  EXPECT_LE(b2, 1.0);
+}
+
+TEST(KingmanBoundDeath, RequiresEpsAboveDrift) {
+  EXPECT_DEATH(kingman_lower_bound(2.0, 1.0, 1.0, 5.0, 1.5), "eps");
+}
+
+}  // namespace
+}  // namespace p2p

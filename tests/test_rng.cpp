@@ -1,0 +1,149 @@
+#include "rand/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+namespace p2p {
+namespace {
+
+TEST(Rng, DeterministicForFixedSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a() == b();
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, SplitStreamsDiffer) {
+  Rng base(7);
+  Rng a = base.split(0);
+  Rng b = base.split(1);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a() == b();
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(3);
+  double sum = 0;
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 100000, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntIsUnbiased) {
+  Rng rng(5);
+  std::array<int, 7> counts{};
+  const int trials = 140000;
+  for (int i = 0; i < trials; ++i) ++counts[rng.uniform_int(7ULL)];
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), trials / 7.0, 5.0 * std::sqrt(trials / 7.0));
+  }
+}
+
+TEST(Rng, UniformIntRangeInclusive) {
+  Rng rng(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const std::int64_t v = rng.uniform_int(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ExponentialMeanAndVariance) {
+  Rng rng(13);
+  const double rate = 2.5;
+  double sum = 0, sum_sq = 0;
+  const int trials = 200000;
+  for (int i = 0; i < trials; ++i) {
+    const double x = rng.exponential(rate);
+    ASSERT_GT(x, 0.0);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / trials;
+  const double var = sum_sq / trials - mean * mean;
+  EXPECT_NEAR(mean, 1.0 / rate, 0.005);
+  EXPECT_NEAR(var, 1.0 / (rate * rate), 0.01);
+}
+
+class PoissonMeanTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(PoissonMeanTest, MeanAndVarianceMatch) {
+  const double mean = GetParam();
+  Rng rng(17);
+  double sum = 0, sum_sq = 0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) {
+    const auto x = static_cast<double>(rng.poisson(mean));
+    ASSERT_GE(x, 0.0);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double m = sum / trials;
+  const double v = sum_sq / trials - m * m;
+  const double tol = 6.0 * std::sqrt(mean / trials) + 0.02;
+  EXPECT_NEAR(m, mean, tol);
+  EXPECT_NEAR(v, mean, 20.0 * tol);
+}
+
+INSTANTIATE_TEST_SUITE_P(Means, PoissonMeanTest,
+                         ::testing::Values(0.0, 0.3, 1.0, 4.0, 12.0, 45.0,
+                                           80.0));
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(19);
+  int hits = 0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(hits / static_cast<double>(trials), 0.3, 0.01);
+}
+
+TEST(Rng, DiscreteRespectsWeights) {
+  Rng rng(23);
+  const std::vector<double> weights = {1.0, 0.0, 3.0, 6.0};
+  std::array<int, 4> counts{};
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) ++counts[rng.discrete(weights)];
+  EXPECT_EQ(counts[1], 0);  // zero-weight entry never chosen
+  EXPECT_NEAR(counts[0] / static_cast<double>(trials), 0.1, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(trials), 0.3, 0.01);
+  EXPECT_NEAR(counts[3] / static_cast<double>(trials), 0.6, 0.01);
+}
+
+TEST(Rng, GeometricFailuresMean) {
+  Rng rng(29);
+  const double p = 0.25;
+  double sum = 0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) {
+    const auto x = static_cast<double>(rng.geometric_failures(p));
+    ASSERT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / trials, (1 - p) / p, 0.05);
+}
+
+TEST(Rng, GeometricWithCertainSuccessIsZero) {
+  Rng rng(31);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.geometric_failures(1.0), 0);
+}
+
+}  // namespace
+}  // namespace p2p

@@ -1,0 +1,96 @@
+// Statistics helpers: Welford accumulator, time series, OLS fits.
+#include "sim/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rand/rng.hpp"
+
+namespace p2p {
+namespace {
+
+TEST(OnlineStats, MatchesBatchComputation) {
+  OnlineStats s;
+  const std::vector<double> xs = {1.0, 2.5, -0.5, 4.0, 2.0};
+  for (double x : xs) s.add(x);
+  double mean = 0;
+  for (double x : xs) mean += x;
+  mean /= static_cast<double>(xs.size());
+  double var = 0;
+  for (double x : xs) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(xs.size() - 1);
+  EXPECT_EQ(s.count(), 5);
+  EXPECT_NEAR(s.mean(), mean, 1e-12);
+  EXPECT_NEAR(s.variance(), var, 1e-12);
+  EXPECT_NEAR(s.sem(), std::sqrt(var / 5), 1e-12);
+}
+
+TEST(OnlineStats, SingleSampleHasZeroVariance) {
+  OnlineStats s;
+  s.add(3.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.mean(), 3.0);
+}
+
+TEST(TimeSeries, TimeAverageTrapezoid) {
+  TimeSeries ts;
+  ts.push(0.0, 0.0);
+  ts.push(1.0, 2.0);
+  ts.push(3.0, 2.0);
+  // Area = 1 + 4 = 5 over span 3.
+  EXPECT_NEAR(ts.time_average(), 5.0 / 3.0, 1e-12);
+  EXPECT_EQ(ts.max_value(), 2.0);
+}
+
+TEST(TimeSeries, RejectsNonincreasingTimes) {
+  TimeSeries ts;
+  ts.push(1.0, 0.0);
+  EXPECT_DEATH(ts.push(1.0, 1.0), "");
+}
+
+TEST(LinearFitTest, ExactLine) {
+  TimeSeries ts;
+  for (int i = 0; i < 10; ++i) {
+    ts.push(static_cast<double>(i), 3.0 + 2.0 * i);
+  }
+  const LinearFit fit = linear_fit(ts, 0, ts.size());
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 3.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+  EXPECT_NEAR(fit.slope_stderr, 0.0, 1e-9);
+}
+
+TEST(LinearFitTest, NoisyLineRecoversSlope) {
+  Rng rng(3);
+  TimeSeries ts;
+  for (int i = 0; i < 500; ++i) {
+    ts.push(static_cast<double>(i),
+            1.0 + 0.5 * i + (rng.uniform() - 0.5) * 4.0);
+  }
+  const LinearFit fit = linear_fit(ts, 0, ts.size());
+  EXPECT_NEAR(fit.slope, 0.5, 0.01);
+  EXPECT_GT(fit.slope_stderr, 0.0);
+  EXPECT_NEAR(fit.slope, 0.5, 5.0 * fit.slope_stderr);
+}
+
+TEST(LinearFitTest, TailFitUsesOnlyTail) {
+  // Series flat then rising: tail fit sees the rise.
+  TimeSeries ts;
+  for (int i = 0; i < 50; ++i) ts.push(static_cast<double>(i), 1.0);
+  for (int i = 50; i < 100; ++i) {
+    ts.push(static_cast<double>(i), 1.0 + (i - 50) * 2.0);
+  }
+  const LinearFit tail = tail_fit(ts, 0.4);
+  EXPECT_NEAR(tail.slope, 2.0, 0.2);
+}
+
+TEST(LinearFitTest, FlatSeriesZeroSlope) {
+  TimeSeries ts;
+  for (int i = 0; i < 20; ++i) ts.push(static_cast<double>(i), 7.0);
+  const LinearFit fit = linear_fit(ts, 0, ts.size());
+  EXPECT_NEAR(fit.slope, 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace p2p

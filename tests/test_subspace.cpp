@@ -1,0 +1,190 @@
+// Subspace algebra over F_q^K: dimension growth, membership, random
+// elements, and the usefulness probability formula of Section VIII-B.
+#include "coding/subspace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/stats.hpp"
+
+namespace p2p {
+namespace {
+
+GfVector unit(int k, int coord) {
+  GfVector v(static_cast<std::size_t>(k), 0);
+  v[static_cast<std::size_t>(coord)] = 1;
+  return v;
+}
+
+TEST(Subspace, StartsAtDimZero) {
+  const GaloisField gf(4);
+  const Subspace s(gf, 5);
+  EXPECT_EQ(s.dim(), 0);
+  EXPECT_FALSE(s.complete());
+  EXPECT_TRUE(s.contains(GfVector(5, 0)));
+}
+
+TEST(Subspace, InsertIndependentVectorsGrowsDim) {
+  const GaloisField gf(5);
+  Subspace s(gf, 3);
+  EXPECT_TRUE(s.insert(unit(3, 0)));
+  EXPECT_TRUE(s.insert(unit(3, 2)));
+  EXPECT_EQ(s.dim(), 2);
+  EXPECT_FALSE(s.insert(unit(3, 0)));  // dependent
+  EXPECT_EQ(s.dim(), 2);
+  EXPECT_TRUE(s.insert(unit(3, 1)));
+  EXPECT_TRUE(s.complete());
+}
+
+TEST(Subspace, ZeroVectorNeverUseful) {
+  const GaloisField gf(2);
+  Subspace s(gf, 4);
+  EXPECT_FALSE(s.insert(GfVector(4, 0)));
+  EXPECT_EQ(s.dim(), 0);
+}
+
+TEST(Subspace, ContainsLinearCombinations) {
+  const GaloisField gf(7);
+  Subspace s(gf, 4);
+  GfVector a = unit(4, 0);
+  a[1] = 3;
+  GfVector b = unit(4, 2);
+  b[3] = 5;
+  s.insert(a);
+  s.insert(b);
+  // 2a + 4b
+  GfVector combo(4, 0);
+  for (int c = 0; c < 4; ++c) {
+    combo[static_cast<std::size_t>(c)] =
+        gf.add(gf.mul(2, a[static_cast<std::size_t>(c)]),
+               gf.mul(4, b[static_cast<std::size_t>(c)]));
+  }
+  EXPECT_TRUE(s.contains(combo));
+  EXPECT_FALSE(s.contains(unit(4, 1)));
+}
+
+TEST(Subspace, RandomElementAlwaysInside) {
+  const GaloisField gf(8);
+  Subspace s(gf, 6);
+  Rng rng(3);
+  s.insert(random_vector(gf, 6, rng));
+  s.insert(random_vector(gf, 6, rng));
+  s.insert(random_vector(gf, 6, rng));
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_TRUE(s.contains(s.random_element(rng)));
+  }
+}
+
+TEST(Subspace, RandomElementIsUniform) {
+  // In a dim-2 subspace over GF(2) there are 4 elements; each should
+  // appear with frequency ~1/4.
+  const GaloisField gf(2);
+  Subspace s(gf, 3);
+  s.insert(unit(3, 0));
+  s.insert(unit(3, 1));
+  Rng rng(5);
+  int zeros = 0;
+  const int trials = 40000;
+  for (int i = 0; i < trials; ++i) {
+    const GfVector v = s.random_element(rng);
+    bool all_zero = true;
+    for (auto e : v) all_zero &= e == 0;
+    zeros += all_zero;
+  }
+  EXPECT_NEAR(zeros / static_cast<double>(trials), 0.25, 0.02);
+}
+
+TEST(Subspace, InsideHyperplane) {
+  const GaloisField gf(3);
+  Subspace s(gf, 3);
+  s.insert(unit(3, 1));
+  s.insert(unit(3, 2));
+  EXPECT_TRUE(s.inside_hyperplane(0));
+  EXPECT_FALSE(s.inside_hyperplane(1));
+  GfVector v = unit(3, 0);
+  v[1] = 2;
+  s.insert(v);
+  EXPECT_FALSE(s.inside_hyperplane(0));
+}
+
+TEST(Subspace, IntersectionDim) {
+  const GaloisField gf(5);
+  Subspace a(gf, 4), b(gf, 4);
+  a.insert(unit(4, 0));
+  a.insert(unit(4, 1));
+  b.insert(unit(4, 1));
+  b.insert(unit(4, 2));
+  EXPECT_EQ(a.intersection_dim(b), 1);  // span{e1}
+  EXPECT_EQ(a.intersection_dim(a), 2);
+  const Subspace empty(gf, 4);
+  EXPECT_EQ(a.intersection_dim(empty), 0);
+}
+
+TEST(Subspace, RandomFillReachesFullDim) {
+  // K independent uniform vectors are full rank with high probability;
+  // keep inserting until complete and count attempts (should be ~K + q
+  // slack).
+  const GaloisField gf(16);
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    Subspace s(gf, 8);
+    int attempts = 0;
+    while (!s.complete()) {
+      s.insert(random_vector(gf, 8, rng));
+      ++attempts;
+      ASSERT_LT(attempts, 100);
+    }
+    EXPECT_GE(attempts, 8);
+  }
+}
+
+class UsefulProbabilityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(UsefulProbabilityTest, FormulaMatchesEmpiricalFrequency) {
+  // P{random element of B useful to A} = 1 - q^{dim(A ∩ B) - dim(B)}.
+  const GaloisField gf(GetParam());
+  const int k = 5;
+  Rng rng(11);
+  Subspace a(gf, k), b(gf, k);
+  // A = span{e0, e1}; B = span{e1, e2, e3} => A∩B = span{e1}, dim 1.
+  a.insert(unit(k, 0));
+  a.insert(unit(k, 1));
+  b.insert(unit(k, 1));
+  b.insert(unit(k, 2));
+  b.insert(unit(k, 3));
+  const double p = useful_probability(a, b);
+  EXPECT_NEAR(p, 1.0 - std::pow(GetParam(), 1.0 - 3.0), 1e-12);
+
+  int useful = 0;
+  const int trials = 30000;
+  for (int i = 0; i < trials; ++i) {
+    Subspace copy = a;
+    useful += copy.insert(b.random_element(rng));
+  }
+  EXPECT_NEAR(useful / static_cast<double>(trials), p,
+              5.0 * std::sqrt(p * (1 - p) / trials) + 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fields, UsefulProbabilityTest,
+                         ::testing::Values(2, 3, 4, 8, 16));
+
+TEST(UsefulProbability, AtLeastOneMinusOneOverQWhenHelpful) {
+  // If V_B !⊂ V_A the probability is >= 1 - 1/q (Section VIII-B).
+  const GaloisField gf(4);
+  const int k = 6;
+  Rng rng(13);
+  for (int trial = 0; trial < 50; ++trial) {
+    Subspace a(gf, k), b(gf, k);
+    for (int i = 0; i < 2; ++i) a.insert(random_vector(gf, k, rng));
+    for (int i = 0; i < 3; ++i) b.insert(random_vector(gf, k, rng));
+    // Check premise: B not inside A.
+    bool b_inside_a = true;
+    for (const auto& row : b.basis()) b_inside_a &= a.contains(row);
+    if (b_inside_a) continue;
+    EXPECT_GE(useful_probability(a, b), 1.0 - 1.0 / 4 - 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace p2p

@@ -1,0 +1,149 @@
+// TypeCountChain (event-level sampler) vs the enumerated generator: both
+// must realize the same CTMC. We check event accounting, invariants, and
+// distributional agreement between the fast and the reference sampler.
+#include "ctmc/typecount_chain.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/stability.hpp"
+#include "sim/stats.hpp"
+
+namespace p2p {
+namespace {
+
+TEST(TypeCountChain, ArrivalsFollowPoissonRate) {
+  const SwarmParams params(2, 0.0, 1.0, 2.0, {{PieceSet{}, 3.0}});
+  TypeCountChain chain(params, 1);
+  chain.run_until(2000.0);
+  // N(0, 2000] ~ Poisson(6000); 5 sigma window.
+  EXPECT_NEAR(static_cast<double>(chain.arrivals_seen()), 6000.0,
+              5.0 * std::sqrt(6000.0));
+}
+
+TEST(TypeCountChain, ConservationOfPeers) {
+  const SwarmParams params(3, 0.5, 1.0, 2.0, {{PieceSet{}, 2.0}});
+  TypeCountChain chain(params, 2);
+  chain.run_until(500.0);
+  EXPECT_EQ(chain.total_peers(),
+            chain.arrivals_seen() - chain.departures_seen());
+  EXPECT_GE(chain.total_peers(), 0);
+}
+
+TEST(TypeCountChain, NoSeedsEverWithImmediateDeparture) {
+  const SwarmParams params(2, 1.0, 1.0, kInfiniteRate, {{PieceSet{}, 2.0}});
+  TypeCountChain chain(params, 3);
+  for (int i = 0; i < 20000; ++i) {
+    chain.step();
+    ASSERT_EQ(chain.state().seeds(), 0);
+  }
+}
+
+TEST(TypeCountChain, DownloadsNeverExceedContactOpportunities) {
+  const SwarmParams params(4, 1.0, 1.0, 2.0, {{PieceSet{}, 2.0}});
+  TypeCountChain chain(params, 4);
+  chain.run_until(300.0);
+  // Every download uses a seed tick or a peer tick; silent ticks are the
+  // rest. Downloads + silent = total ticks.
+  EXPECT_GT(chain.silent_ticks_seen(), 0);
+  EXPECT_GT(chain.downloads_seen(), 0);
+}
+
+TEST(TypeCountChain, SetStateRejectsSeedsWhenImmediate) {
+  const SwarmParams params(2, 1.0, 1.0, kInfiniteRate, {{PieceSet{}, 2.0}});
+  TypeCountChain chain(params, 5);
+  TypeCountState bad(2);
+  bad.add(PieceSet::full(2), 1);
+  EXPECT_DEATH(chain.set_state(bad), "gamma");
+}
+
+TEST(TypeCountChain, RunSampledEmitsRegularGrid) {
+  const SwarmParams params(1, 1.0, 1.0, 2.0, {{PieceSet{}, 1.0}});
+  TypeCountChain chain(params, 6);
+  std::vector<double> times;
+  chain.run_sampled(100.0, 10.0, [&](double t, const TypeCountState&) {
+    times.push_back(t);
+  });
+  ASSERT_EQ(times.size(), 10u);
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    EXPECT_NEAR(times[i], 10.0 * static_cast<double>(i + 1), 1e-9);
+  }
+}
+
+// Distributional cross-validation: the fast event-level sampler and the
+// enumerated-generator sampler must agree on E[N] and E[x_F] in a stable
+// system (same CTMC, independent randomness).
+class SamplerAgreementTest
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(SamplerAgreementTest, MeanPopulationsAgree) {
+  const auto [k, gamma] = GetParam();
+  // Comfortably stable: lambda well below Us/(1 - mu/gamma).
+  const SwarmParams params(k, 2.0, 1.0, gamma, {{PieceSet{}, 1.0}});
+
+  const double warmup = 300.0, horizon = 4000.0, dt = 2.0;
+  OnlineStats fast_n, fast_seeds;
+  TypeCountChain fast(params, 11);
+  fast.run_until(warmup);
+  fast.run_sampled(horizon, dt, [&](double, const TypeCountState& s) {
+    fast_n.add(static_cast<double>(s.total_peers()));
+    fast_seeds.add(static_cast<double>(s.seeds()));
+  });
+
+  OnlineStats slow_n, slow_seeds;
+  ExactGeneratorSampler slow(params, 12);
+  slow.run_until(warmup);
+  slow.run_sampled(horizon, dt, [&](double, const TypeCountState& s) {
+    slow_n.add(static_cast<double>(s.total_peers()));
+    slow_seeds.add(static_cast<double>(s.seeds()));
+  });
+
+  // Autocorrelated samples: use a generous tolerance (absolute + relative).
+  const double tol_n = 0.15 * std::max(1.0, fast_n.mean());
+  EXPECT_NEAR(fast_n.mean(), slow_n.mean(), tol_n);
+  const double tol_s = 0.2 * std::max(0.5, fast_seeds.mean());
+  EXPECT_NEAR(fast_seeds.mean(), slow_seeds.mean(), tol_s);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SamplerAgreementTest,
+    ::testing::Values(std::make_tuple(1, 2.0), std::make_tuple(2, 2.0),
+                      std::make_tuple(3, 4.0),
+                      std::make_tuple(2, kInfiniteRate)));
+
+TEST(TypeCountChain, StableSystemStaysBounded) {
+  const auto params = SwarmParams::example1(1.0, 1.0, 1.0, 4.0);
+  // critical lambda = 1/(1-0.25) = 1.333 > 1: stable.
+  TypeCountChain chain(params, 21);
+  chain.run_until(5000.0);
+  EXPECT_LT(chain.total_peers(), 200);
+}
+
+TEST(TypeCountChain, TransientSystemGrowsLinearly) {
+  const auto params = SwarmParams::example1(3.0, 1.0, 1.0, 4.0);
+  // critical lambda = 1.333 < 3: transient; excess rate ~ 1.67/unit time.
+  TypeCountChain chain(params, 22);
+  TypeCountState flash(1);
+  flash.add(PieceSet{}, 500);  // one-club start (K=1: empty peers)
+  chain.set_state(flash);
+  chain.run_until(1000.0);
+  EXPECT_GT(chain.total_peers(), 1000);
+}
+
+TEST(TypeCountChain, MissingPieceSyndromeOneClubGrows) {
+  // K = 2, transient via missing piece 0. Start with a big one-club
+  // (type {1}); the one-club keeps growing.
+  const SwarmParams params(2, 0.2, 1.0, kInfiniteRate, {{PieceSet{}, 2.0}});
+  ASSERT_EQ(classify(params).verdict, Stability::kTransient);
+  TypeCountChain chain(params, 23);
+  TypeCountState start(2);
+  start.add(PieceSet::single(1), 400);
+  chain.set_state(start);
+  chain.run_until(500.0);
+  EXPECT_GT(chain.state().count(PieceSet::single(1)), 800);
+}
+
+}  // namespace
+}  // namespace p2p
