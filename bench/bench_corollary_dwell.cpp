@@ -29,10 +29,10 @@ int main() {
       "slopes converge very slowly there)\n");
 
   ProbeOptions options;
-  options.horizon = 4000;
-  options.sample_dt = 10;
-  options.replicas = 5;
-  options.initial_one_club = 100;
+  options.horizon = bench::scaled(4000.0, 80.0);
+  options.sample_dt = bench::scaled(10.0, 2.0);
+  options.replicas = bench::scaled(5, 1);
+  options.initial_one_club = bench::scaled(100, 10);
 
   bench::section("sweep gamma across mu");
   std::printf("%9s %9s %11s %11s %9s %6s\n", "gamma", "dwell", "theory",

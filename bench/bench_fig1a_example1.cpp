@@ -24,10 +24,10 @@ int main() {
               us, mu, gamma, critical);
 
   ProbeOptions options;
-  options.horizon = 1500;
-  options.sample_dt = 5;
-  options.replicas = 6;
-  options.initial_one_club = 100;
+  options.horizon = bench::scaled(1500.0, 60.0);
+  options.sample_dt = bench::scaled(5.0, 2.0);
+  options.replicas = bench::scaled(6, 1);
+  options.initial_one_club = bench::scaled(100, 10);
 
   std::printf("\n%9s %9s %11s %15s %11s %9s %6s\n", "lambda0", "ratio",
               "theory", "slope (pred)", "slope (sim)", "tail N", "agree");
@@ -49,7 +49,7 @@ int main() {
 
   bench::section("altruistic regime (gamma <= mu): stable at any load");
   ProbeOptions alt_options = options;
-  alt_options.horizon = 3000;
+  alt_options.horizon = bench::scaled(3000.0, 80.0);
   std::printf("%9s %9s %11s %11s %9s %6s\n", "lambda0", "gamma", "theory",
               "slope(sim)", "tail N", "agree");
   for (const double lambda0 : {2.0, 8.0, 20.0}) {

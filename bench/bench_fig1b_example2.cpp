@@ -20,10 +20,10 @@ int main() {
 
   const double lambda34 = 1.0, mu = 1.0;
   ProbeOptions options;
-  options.horizon = 1500;
-  options.sample_dt = 5;
-  options.replicas = 3;
-  options.initial_one_club = 150;
+  options.horizon = bench::scaled(1500.0, 60.0);
+  options.sample_dt = bench::scaled(5.0, 2.0);
+  options.replicas = bench::scaled(3, 1);
+  options.initial_one_club = bench::scaled(150, 10);
 
   std::printf("\nlambda34 = %.2f, mu = %.2f\n", lambda34, mu);
   std::printf("%9s %9s %11s %13s %11s %9s %6s\n", "lambda12", "ratio",

@@ -26,10 +26,10 @@ int main() {
               mu, gamma, lambda3, boundary);
 
   ProbeOptions options;
-  options.horizon = 1500;
-  options.sample_dt = 5;
-  options.replicas = 3;
-  options.initial_one_club = 150;
+  options.horizon = bench::scaled(1500.0, 60.0);
+  options.sample_dt = bench::scaled(5.0, 2.0);
+  options.replicas = bench::scaled(3, 1);
+  options.initial_one_club = bench::scaled(150, 10);
   options.tracked_piece = 2;  // piece 3 is the scarce one in this sweep
 
   std::printf("\n%14s %9s %11s %11s %9s %6s\n", "lambda1+lambda2", "ratio",

@@ -32,7 +32,7 @@ void run_panel(const SwarmParams& params, double horizon) {
     SwarmSimOptions options;
     options.rng_seed = seed;
     SwarmSim sim(params, options);
-    sim.inject_peers(one_club, 300);
+    sim.inject_peers(one_club, bench::scaled(300, 30));
     const bool print_table = seed == 2024;
     if (print_table) {
       std::printf("%8s %8s | %9s %9s %9s %9s %9s\n", "time", "N", "young(a)",
@@ -82,7 +82,7 @@ int main() {
   const SwarmParams transient(
       3, 0.2, 1.0, 2.0,
       {{PieceSet{}, 2.0}, {PieceSet::single(0), 0.15}});
-  run_panel(transient, 3000);
+  run_panel(transient, bench::scaled(3000.0, 100.0));
 
   // Same arrivals, strong seed => stable: the same 300-peer one-club
   // drains.
@@ -90,7 +90,7 @@ int main() {
   const SwarmParams stable(
       3, 2.5, 1.0, 2.0,
       {{PieceSet{}, 2.0}, {PieceSet::single(0), 0.15}});
-  run_panel(stable, 1200);
+  run_panel(stable, bench::scaled(1200.0, 100.0));
 
   std::printf(
       "\nshape check: (e) grows ~linearly at Delta in the transient panel "

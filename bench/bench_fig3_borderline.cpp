@@ -25,7 +25,8 @@ int main() {
   for (const int k : {2, 3, 5, 8}) {
     Rng rng(static_cast<std::uint64_t>(k));
     OnlineStats z;
-    for (int i = 0; i < 200000; ++i) {
+    const int draws = bench::scaled(200000, 5000);
+    for (int i = 0; i < draws; ++i) {
       z.add(static_cast<double>(
           MuInfChain::sample_heads_before_tails(rng, k - 1)));
     }
@@ -37,13 +38,16 @@ int main() {
               "E[N] t=16e3", "exponent");
   for (const int k : {2, 3, 5}) {
     OnlineStats n1, n2, n3;
-    for (std::uint64_t rep = 0; rep < 60; ++rep) {
+    const std::uint64_t reps =
+        static_cast<std::uint64_t>(bench::scaled(60, 4));
+    const double h = bench::scaled(1000.0, 50.0);
+    for (std::uint64_t rep = 0; rep < reps; ++rep) {
       MuInfChain chain(k, 1.0, 1000 * static_cast<std::uint64_t>(k) + rep);
-      chain.run_until(1000.0);
+      chain.run_until(h);
       n1.add(static_cast<double>(chain.state().peers));
-      chain.run_until(4000.0);
+      chain.run_until(4 * h);
       n2.add(static_cast<double>(chain.state().peers));
-      chain.run_until(16000.0);
+      chain.run_until(16 * h);
       n3.add(static_cast<double>(chain.state().peers));
     }
     // Log-log slope across the three horizons (factor 4 spacing).
@@ -60,7 +64,8 @@ int main() {
   for (const int k : {2, 3, 5}) {
     MuInfChain chain(k, 1.0, 7 + static_cast<std::uint64_t>(k));
     std::int64_t small = 0, total = 0;
-    chain.run_sampled(200000.0, 10.0, [&](double, const MuInfState& s) {
+    chain.run_sampled(bench::scaled(200000.0, 2000.0), 10.0,
+                      [&](double, const MuInfState& s) {
       ++total;
       small += s.peers <= 10;
     });
@@ -77,9 +82,9 @@ int main() {
     const auto params = SwarmParams::example3(1.0, 1.0, 1.0, mu,
                                               kInfiniteRate);
     ProbeOptions options;
-    options.horizon = 20000;
+    options.horizon = bench::scaled(20000.0, 200.0);
     options.sample_dt = 20;
-    options.replicas = 2;
+    options.replicas = bench::scaled(2, 1);
     const auto probe = probe_swarm(params, options);
     std::printf("%8.1f %12.1f %12.1f\n", mu, probe.mean_tail_peers,
                 probe.mean_final_peers);

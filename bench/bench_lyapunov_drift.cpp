@@ -89,7 +89,8 @@ int main() {
   {
     Rng rng(5);
     double worst = -1e300;
-    for (int trial = 0; trial < 300; ++trial) {
+    const int trials = bench::scaled(300, 30);
+    for (int trial = 0; trial < trials; ++trial) {
       TypeCountState state(2);
       const std::int64_t n = 5000 + static_cast<std::int64_t>(
                                         rng.uniform_int(50000ULL));

@@ -56,10 +56,14 @@ void BM_GfMul(benchmark::State& state) {
       1 + rng.uniform_int(static_cast<std::uint64_t>(gf.size() - 1)));
   auto b = static_cast<GaloisField::Elem>(
       1 + rng.uniform_int(static_cast<std::uint64_t>(gf.size() - 1)));
+  // b carries a loop dependency, so the mul chain cannot be elided; the
+  // sink stays outside the loop because GCC 12 miscompiles benchmark's
+  // "+m,r" DoNotOptimize asm here at -O3 (clobbers `a` mid-loop; see
+  // gcc.gnu.org/PR105519 for the constraint workaround's history).
   for (auto _ : state) {
     b = gf.mul(a, b == 0 ? 1 : b);
-    benchmark::DoNotOptimize(b);
   }
+  benchmark::DoNotOptimize(b);
 }
 BENCHMARK(BM_GfMul)->Arg(2)->Arg(16)->Arg(64)->Arg(251);
 

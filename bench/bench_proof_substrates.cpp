@@ -29,7 +29,8 @@ int main() {
     AbsBranchingSim sim(params);
     Rng rng(7);
     OnlineStats mb, mf;
-    for (int i = 0; i < 40000; ++i) {
+    const int draws = bench::scaled(40000, 2000);
+    for (int i = 0; i < draws; ++i) {
       mb.add(static_cast<double>(sim.family_of_b(rng).total()));
       mf.add(static_cast<double>(sim.family_of_f(rng).total()));
     }
@@ -64,7 +65,7 @@ int main() {
       const double bound =
           kingman_lower_bound(alpha, m1, m2, budget, eps);
       int stayed = 0;
-      const int reps = 600;
+      const int reps = bench::scaled(600, 40);
       for (int r = 0; r < reps; ++r) {
         CompoundPoissonProcess proc(
             alpha, [](Rng& rng) { return rng.exponential(1.0); },
@@ -95,7 +96,7 @@ int main() {
       const double bound =
           mginf_excursion_upper_bound(lambda, mean_service, budget, eps);
       int exceeded = 0;
-      const int reps = 300;
+      const int reps = bench::scaled(300, 20);
       for (int r = 0; r < reps; ++r) {
         MgInfQueue queue(lambda,
                          MgInfQueue::erlang_plus_exp(k, mu * (1 - xi), gamma),

@@ -62,10 +62,10 @@ int main() {
               transient.to_string().c_str(), piece_threshold(transient, 0));
 
   ProbeOptions options;
-  options.horizon = 1500;
-  options.sample_dt = 5;
-  options.replicas = 3;
-  options.initial_one_club = 150;
+  options.horizon = bench::scaled(1500.0, 60.0);
+  options.sample_dt = bench::scaled(5.0, 2.0);
+  options.replicas = bench::scaled(3, 1);
+  options.initial_one_club = bench::scaled(150, 10);
 
   bench::section("verdicts per policy (Theorem 14: all rows identical)");
   std::printf("%20s %12s %12s %12s %12s\n", "policy", "stable:slope",
@@ -85,10 +85,11 @@ int main() {
   std::printf("%20s %14s\n", "policy", "onset time");
   for (const char* policy : kPolicies) {
     double total = 0;
-    const int reps = 5;
+    const int reps = bench::scaled(5, 1);
     for (int r = 0; r < reps; ++r) {
       total += onset_time(transient, policy,
-                          1000 + static_cast<std::uint64_t>(r), 4000.0);
+                          1000 + static_cast<std::uint64_t>(r),
+                          bench::scaled(4000.0, 100.0));
     }
     std::printf("%20s %14.0f\n", policy, total / reps);
   }

@@ -87,7 +87,8 @@ int main() {
   }
 
   const int k = 6, q = 8;
-  const double lambda_total = 2.0, horizon = 1500;
+  const double lambda_total = 2.0;
+  const double horizon = bench::scaled(1500.0, 60.0);
   const auto t = coded_gift_thresholds(q, k);
   bench::section("simulable scale: q = 8, K = 6");
   std::printf("thresholds: transient below %.4f, recurrent above %.4f\n\n",

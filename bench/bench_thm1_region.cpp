@@ -53,16 +53,17 @@ int main() {
 
   Rng rng(20240612);
   ProbeOptions options;
-  options.horizon = 1200;
-  options.sample_dt = 5;
-  options.replicas = 2;
-  options.initial_one_club = 120;
+  options.horizon = bench::scaled(1200.0, 60.0);
+  options.sample_dt = bench::scaled(5.0, 2.0);
+  options.replicas = bench::scaled(2, 1);
+  options.initial_one_club = bench::scaled(120, 10);
 
   int agree = 0, disagree = 0, inconclusive = 0;
   int row = 0;
   std::printf("%4s %2s %6s %6s %7s %8s %11s %11s %6s\n", "#", "K", "Us",
               "gamma", "lambda", "margin", "theory", "probe", "agree");
-  while (row < 24) {
+  const int rows = bench::scaled(24, 4);
+  while (row < rows) {
     const SwarmParams params = random_params(rng);
     const auto theory = classify(params);
     if (theory.verdict == Stability::kBorderline) continue;

@@ -8,12 +8,29 @@
 
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "analysis/stability_probe.hpp"
 #include "core/stability.hpp"
 
 namespace p2p::bench {
+
+/// True when the P2P_SMOKE environment variable is set and nonzero. The
+/// smoke_examples CTest label runs every harness this way: tiny replica
+/// counts and horizons, so all drivers are built AND executed on every
+/// verify without turning the test suite into a benchmark run.
+inline bool smoke_mode() {
+  const char* env = std::getenv("P2P_SMOKE");
+  return env != nullptr && env[0] != '\0' &&
+         !(env[0] == '0' && env[1] == '\0');
+}
+
+/// `full` in a normal run, `tiny` under P2P_SMOKE=1.
+inline int scaled(int full, int tiny) { return smoke_mode() ? tiny : full; }
+inline double scaled(double full, double tiny) {
+  return smoke_mode() ? tiny : full;
+}
 
 inline void title(const std::string& id, const std::string& what,
                   const std::string& paper_ref) {

@@ -43,7 +43,7 @@ int main() {
                "Section VIII-C: the speedup is a capacity violation that "
                "can enlarge the push-model stability region");
 
-  const double horizon = 2000;
+  const double horizon = bench::scaled(2000.0, 60.0);
 
   bench::section("K = 1, transient by Theorem 1 (lambda/lambda* = 2.5)");
   {

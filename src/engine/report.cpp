@@ -1,0 +1,151 @@
+#include "engine/report.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace p2p::engine {
+
+std::string format_number(double value) {
+  if (std::isnan(value)) return "nan";
+  if (std::isinf(value)) return value > 0 ? "inf" : "-inf";
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.10g", value);
+  return buffer;
+}
+
+Table::Table(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {
+  P2P_ASSERT_MSG(!columns_.empty(), "a table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  P2P_ASSERT_MSG(cells.size() == columns_.size(),
+                 "row arity must match the column count");
+  rows_.push_back(std::move(cells));
+}
+
+namespace {
+
+void append_csv_cell(std::string& out, const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) {
+    out += cell;
+    return;
+  }
+  out += '"';
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+}
+
+/// True iff `cell` matches the JSON number grammar exactly
+/// (-?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?), so the emitter can
+/// leave it unquoted. Deliberately stricter than strtod, which also
+/// accepts spellings JSON parsers reject ("+5", "0x1F", " 12").
+bool is_json_number(const std::string& cell) {
+  std::size_t i = 0;
+  const auto digits = [&] {
+    const std::size_t start = i;
+    while (i < cell.size() && cell[i] >= '0' && cell[i] <= '9') ++i;
+    return i > start;
+  };
+  if (i < cell.size() && cell[i] == '-') ++i;
+  if (i < cell.size() && cell[i] == '0') {
+    ++i;  // a leading zero must stand alone ("01" is not JSON)
+  } else if (!digits()) {
+    return false;
+  }
+  if (i < cell.size() && cell[i] == '.') {
+    ++i;
+    if (!digits()) return false;
+  }
+  if (i < cell.size() && (cell[i] == 'e' || cell[i] == 'E')) {
+    ++i;
+    if (i < cell.size() && (cell[i] == '+' || cell[i] == '-')) ++i;
+    if (!digits()) return false;
+  }
+  return i == cell.size() && i > (cell[0] == '-' ? 1u : 0u);
+}
+
+void append_json_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+std::string Table::to_csv() const {
+  std::string out;
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    if (c > 0) out += ',';
+    append_csv_cell(out, columns_[c]);
+  }
+  out += '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out += ',';
+      append_csv_cell(out, row[c]);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string Table::to_json() const {
+  std::string out = "[\n";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    out += "  {";
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      if (c > 0) out += ", ";
+      append_json_string(out, columns_[c]);
+      out += ": ";
+      const std::string& cell = rows_[r][c];
+      if (is_json_number(cell)) {
+        out += cell;
+      } else if (cell == "inf" || cell == "-inf" || cell == "nan") {
+        out += "null";
+      } else {
+        append_json_string(out, cell);
+      }
+    }
+    out += r + 1 < rows_.size() ? "},\n" : "}\n";
+  }
+  out += "]\n";
+  return out;
+}
+
+void write_text(const std::string& path, const std::string& text) {
+  if (path.empty() || path == "-") {
+    const std::size_t written =
+        std::fwrite(text.data(), 1, text.size(), stdout);
+    P2P_ASSERT_MSG(written == text.size(), "short write to stdout");
+    return;
+  }
+  FILE* file = std::fopen(path.c_str(), "wb");
+  P2P_ASSERT_MSG(file != nullptr, "cannot open report output file");
+  const std::size_t written = std::fwrite(text.data(), 1, text.size(), file);
+  // fclose flushes the stdio buffer, so a full disk can surface there;
+  // a truncated report must not exit 0.
+  const bool closed = std::fclose(file) == 0;
+  P2P_ASSERT_MSG(written == text.size() && closed,
+                 "short write to report output file");
+}
+
+}  // namespace p2p::engine

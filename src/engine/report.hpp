@@ -1,0 +1,53 @@
+// Deterministic tabular report emitters (CSV and JSON) for sweep results.
+//
+// Cells are formatted to strings once, by the producer, in cell-index
+// order after the parallel phase has joined — so the emitted bytes depend
+// only on the results, never on thread count or scheduling. Numbers go
+// through format_number (shortest round-trippable-ish "%.10g", with
+// "inf"/"-inf"/"nan" spelled out) so CSV diffs are stable across runs.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace p2p::engine {
+
+/// Deterministic number rendering: "%.10g", except non-finite values
+/// become "inf", "-inf" or "nan".
+std::string format_number(double value);
+
+/// A rectangular table of pre-formatted cells with named columns.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns);
+
+  std::size_t num_columns() const { return columns_.size(); }
+  std::size_t num_rows() const { return rows_.size(); }
+  const std::vector<std::string>& columns() const { return columns_; }
+  const std::vector<std::string>& row(std::size_t i) const {
+    return rows_[i];
+  }
+
+  /// Appends a row; must have exactly num_columns() cells.
+  void add_row(std::vector<std::string> cells);
+
+  /// RFC-4180-ish CSV: header line + one line per row, '\n' terminated.
+  /// Cells containing commas, quotes or newlines are quoted and escaped.
+  std::string to_csv() const;
+
+  /// JSON array of objects keyed by column name. Cells produced by
+  /// format_number are emitted as JSON numbers ("inf"/"nan" become null);
+  /// everything else is a quoted string.
+  std::string to_json() const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Writes `text` to `path`, or to stdout when path is "-" or empty.
+/// Aborts with a message when the file cannot be opened.
+void write_text(const std::string& path, const std::string& text);
+
+}  // namespace p2p::engine

@@ -1,0 +1,248 @@
+#include "engine/sweep.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "core/model.hpp"
+#include "ctmc/stationary.hpp"
+#include "engine/thread_pool.hpp"
+#include "rand/rng.hpp"
+#include "sim/swarm.hpp"
+#include "util/assert.hpp"
+
+namespace p2p::engine {
+
+namespace {
+
+constexpr const char* kAxisNames[] = {"lambda", "us", "mu", "gamma", "k"};
+
+bool known_axis(const std::string& name) {
+  for (const char* known : kAxisNames) {
+    if (name == known) return true;
+  }
+  return false;
+}
+
+double parse_value(const std::string& token) {
+  if (token == "inf") return kInfiniteRate;
+  char* end = nullptr;
+  const double v = std::strtod(token.c_str(), &end);
+  P2P_ASSERT_MSG(!token.empty() && end == token.c_str() + token.size(),
+                 "axis values must be numbers (or 'inf')");
+  return v;
+}
+
+/// Seeds cell `index` independently of execution order: splitmix64 over
+/// (base_seed, index), the same derivation Rng::split uses.
+std::uint64_t cell_seed(std::uint64_t base_seed, std::size_t index) {
+  std::uint64_t sm =
+      base_seed ^
+      (0x9E3779B97F4A7C15ULL * (static_cast<std::uint64_t>(index) + 1));
+  return splitmix64(sm);
+}
+
+double axis_value(const SweepGrid& grid, const std::vector<double>& values,
+                  const std::string& name) {
+  for (std::size_t i = 0; i < grid.axes.size(); ++i) {
+    if (grid.axes[i].name == name) return values[i];
+  }
+  P2P_ASSERT_MSG(false, "sweep cell queried for an axis the grid lacks");
+  return 0;
+}
+
+CellResult sweep_cell(const SweepGrid& grid, const SweepOptions& options,
+                      std::size_t index) {
+  const std::vector<double> values = grid.cell_values(index);
+  CellResult r;
+  r.index = index;
+  r.lambda = axis_value(grid, values, "lambda");
+  r.us = axis_value(grid, values, "us");
+  r.mu = axis_value(grid, values, "mu");
+  r.gamma = axis_value(grid, values, "gamma");
+  const double k_raw = axis_value(grid, values, "k");
+  r.k = static_cast<int>(std::lround(k_raw));
+  P2P_ASSERT_MSG(r.k >= 1 && std::abs(k_raw - r.k) < 1e-9,
+                 "axis k must take positive integer values");
+
+  const SwarmParams params(r.k, r.us, r.mu, r.gamma,
+                           {{PieceSet{}, r.lambda}});
+  r.theory = classify(params);
+
+  SwarmSimOptions sim_options;
+  sim_options.rng_seed = cell_seed(options.base_seed, index);
+  SwarmSim sim(params, sim_options);
+  if (options.flash_crowd > 0) {
+    sim.inject_peers(PieceSet::full(r.k).without(0), options.flash_crowd);
+  }
+  sim.run_until(options.horizon);
+  r.sim_final_peers = static_cast<double>(sim.total_peers());
+  r.sim_mean_peers = sim.time_averaged_peers();
+  r.sim_mean_sojourn = sim.sojourn_stats().count() > 0
+                           ? sim.sojourn_stats().mean()
+                           : std::nan("");
+
+  r.ctmc_mean_peers = std::nan("");
+  if (options.ctmc_max_peers > 0 && r.k <= SweepOptions::kCtmcMaxPieces) {
+    r.ctmc_mean_peers =
+        solve_truncated_swarm(params, options.ctmc_max_peers).mean_peers();
+  }
+  return r;
+}
+
+}  // namespace
+
+Axis parse_axis(const std::string& spec) {
+  const auto eq = spec.find('=');
+  P2P_ASSERT_MSG(eq != std::string::npos && eq > 0 && eq + 1 < spec.size(),
+                 "axis spec must look like name=lo:hi:count, name=v1,v2 "
+                 "or name=v");
+  Axis axis;
+  axis.name = spec.substr(0, eq);
+  const std::string body = spec.substr(eq + 1);
+
+  if (body.find(':') != std::string::npos) {
+    // Inclusive linspace lo:hi:count.
+    const auto c1 = body.find(':');
+    const auto c2 = body.find(':', c1 + 1);
+    P2P_ASSERT_MSG(c2 != std::string::npos &&
+                       body.find(':', c2 + 1) == std::string::npos,
+                   "linspace axis must be name=lo:hi:count");
+    const double lo = parse_value(body.substr(0, c1));
+    const double hi = parse_value(body.substr(c1 + 1, c2 - c1 - 1));
+    const double count_raw = parse_value(body.substr(c2 + 1));
+    const long count = std::lround(count_raw);
+    P2P_ASSERT_MSG(count >= 1 && std::abs(count_raw - count) < 1e-9,
+                   "linspace count must be a positive integer");
+    P2P_ASSERT_MSG(std::isfinite(lo) && std::isfinite(hi),
+                   "linspace endpoints must be finite");
+    for (long i = 0; i < count; ++i) {
+      axis.values.push_back(
+          count == 1 ? lo
+                     : lo + (hi - lo) * static_cast<double>(i) /
+                                static_cast<double>(count - 1));
+    }
+  } else {
+    // Explicit list (possibly a single value).
+    std::size_t start = 0;
+    while (true) {
+      const auto comma = body.find(',', start);
+      axis.values.push_back(parse_value(
+          body.substr(start, comma == std::string::npos ? std::string::npos
+                                                        : comma - start)));
+      if (comma == std::string::npos) break;
+      start = comma + 1;
+    }
+  }
+  return axis;
+}
+
+std::size_t SweepGrid::num_cells() const {
+  std::size_t n = 1;
+  for (const auto& axis : axes) n *= axis.values.size();
+  return axes.empty() ? 0 : n;
+}
+
+std::vector<double> SweepGrid::cell_values(std::size_t index) const {
+  P2P_ASSERT(index < num_cells());
+  std::vector<double> values(axes.size());
+  std::size_t rem = index;
+  for (std::size_t i = axes.size(); i-- > 0;) {
+    const std::size_t size = axes[i].values.size();
+    values[i] = axes[i].values[rem % size];
+    rem /= size;
+  }
+  return values;
+}
+
+void SweepGrid::set_axis(Axis axis) {
+  for (auto& existing : axes) {
+    if (existing.name == axis.name) {
+      existing = std::move(axis);
+      return;
+    }
+  }
+  axes.push_back(std::move(axis));
+}
+
+const Axis* SweepGrid::find_axis(const std::string& name) const {
+  for (const auto& axis : axes) {
+    if (axis.name == name) return &axis;
+  }
+  return nullptr;
+}
+
+SweepGrid parse_grid(const std::string& spec) {
+  SweepGrid grid;
+  std::size_t start = 0;
+  while (start < spec.size()) {
+    auto semi = spec.find(';', start);
+    if (semi == std::string::npos) semi = spec.size();
+    if (semi > start) {
+      grid.set_axis(parse_axis(spec.substr(start, semi - start)));
+    }
+    start = semi + 1;
+  }
+  return grid;
+}
+
+SweepGrid default_region_grid() {
+  SweepGrid grid;
+  grid.set_axis(parse_axis("lambda=0.5:3.0:16"));
+  grid.set_axis(parse_axis("us=0.2:1.7:16"));
+  grid.set_axis(parse_axis("mu=1"));
+  grid.set_axis(parse_axis("gamma=1.25"));
+  grid.set_axis(parse_axis("k=3"));
+  return grid;
+}
+
+SweepResult run_sweep(const SweepGrid& grid, const SweepOptions& options) {
+  for (const auto& axis : grid.axes) {
+    P2P_ASSERT_MSG(known_axis(axis.name),
+                   "unknown sweep axis (valid: lambda, us, mu, gamma, k)");
+    P2P_ASSERT_MSG(!axis.values.empty(), "sweep axis has no values");
+  }
+  // Axes the caller did not specify take the default region grid's —
+  // the single source of fallback values, so a partial grid cannot
+  // silently simulate at undocumented parameters.
+  SweepGrid effective = default_region_grid();
+  for (const auto& axis : grid.axes) effective.set_axis(axis);
+  for (const auto& axis : effective.axes) {
+    if (axis.name == "gamma") continue;  // inf = immediate departure
+    for (const double v : axis.values) {
+      P2P_ASSERT_MSG(std::isfinite(v),
+                     "only the gamma axis may take inf values");
+    }
+  }
+
+  SweepResult result;
+  result.grid = effective;
+  result.options = options;
+  result.cells.resize(effective.num_cells());
+
+  ThreadPool pool(options.threads);
+  pool.parallel_for(result.cells.size(), [&](std::size_t i) {
+    result.cells[i] = sweep_cell(effective, options, i);
+  });
+  return result;
+}
+
+Table SweepResult::to_table() const {
+  Table table({"cell", "lambda", "us", "mu", "gamma", "k", "verdict",
+               "margin", "critical_piece", "sim_final_peers",
+               "sim_mean_peers", "sim_mean_sojourn", "ctmc_mean_peers"});
+  for (const auto& c : cells) {
+    table.add_row({format_number(static_cast<double>(c.index)),
+                   format_number(c.lambda), format_number(c.us),
+                   format_number(c.mu), format_number(c.gamma),
+                   format_number(c.k), to_string(c.theory.verdict),
+                   format_number(c.theory.margin),
+                   format_number(c.theory.critical_piece),
+                   format_number(c.sim_final_peers),
+                   format_number(c.sim_mean_peers),
+                   format_number(c.sim_mean_sojourn),
+                   format_number(c.ctmc_mean_peers)});
+  }
+  return table;
+}
+
+}  // namespace p2p::engine

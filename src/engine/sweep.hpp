@@ -1,0 +1,114 @@
+// Parameter-grid scenario sweeps over the Zhu–Hajek model.
+//
+// A sweep is a cartesian grid over the model's parameter axes
+// (lambda, us, mu, gamma, k). Each grid cell is classified three ways:
+//
+//   * theory  — Theorem 1 closed form (core/stability.hpp): verdict,
+//               stability margin, critical piece;
+//   * sim     — one SwarmSim replica to a time horizon (sim/swarm.hpp):
+//               final population, exact time-averaged population, mean
+//               sojourn of departed peers;
+//   * ctmc    — optionally, the truncated-chain stationary E[N]
+//               (ctmc/stationary.hpp) for small K, the exact answer the
+//               simulator should approach.
+//
+// Cells are independent, so the sweep fans them across a fixed thread
+// pool (engine/thread_pool.hpp). Determinism contract: every cell derives
+// its RNG stream from (base_seed, cell index) alone and results are
+// formatted in index order after the pool joins, so the emitted report is
+// byte-identical for any --threads value.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/stability.hpp"
+#include "engine/report.hpp"
+
+namespace p2p::engine {
+
+/// One sweep axis: a parameter name and the grid values it takes.
+/// Valid names: "lambda" (empty-arrival rate), "us", "mu", "gamma"
+/// ("inf" allowed), "k" (integral piece count).
+struct Axis {
+  std::string name;
+  std::vector<double> values;
+};
+
+/// Parses a single axis spec. Three forms:
+///   name=lo:hi:count   inclusive linspace with `count` >= 1 points
+///   name=v1,v2,...     explicit list
+///   name=v             single value
+/// "inf" is accepted as a value (for gamma). Aborts on malformed specs.
+Axis parse_axis(const std::string& spec);
+
+/// A cartesian grid: the cell index enumerates axis values row-major with
+/// the LAST axis fastest (cell 0 is every axis at its first value).
+struct SweepGrid {
+  std::vector<Axis> axes;
+
+  std::size_t num_cells() const;
+  /// The axis values of cell `index`, aligned with `axes`.
+  std::vector<double> cell_values(std::size_t index) const;
+  /// Replaces the axis with the same name, or appends a new one.
+  void set_axis(Axis axis);
+  const Axis* find_axis(const std::string& name) const;
+};
+
+/// Parses ';'-separated axis specs, e.g. "lambda=0.5:3.0:16;gamma=inf".
+SweepGrid parse_grid(const std::string& spec);
+
+/// The standard Theorem-1 region grid: lambda 0.5:3.0:16 crossed with
+/// us 0.2:1.7:16 (256 cells) at mu = 1, gamma = 1.25, K = 3 — the
+/// phase-diagram slice of Fig. 1(a) generalized to K pieces.
+SweepGrid default_region_grid();
+
+struct SweepOptions {
+  /// Simulated time per cell.
+  double horizon = 400;
+  /// Root seed; cell i simulates with a stream derived from (seed, i).
+  std::uint64_t base_seed = 1;
+  /// OS threads (callers usually pass hardware_concurrency).
+  int threads = 1;
+  /// Initial one-club flash crowd injected into every cell (0 = none).
+  std::int64_t flash_crowd = 0;
+  /// > 0: additionally solve the truncated chain with this peer cap for
+  /// cells with K <= kCtmcMaxPieces (state space explodes beyond that).
+  std::int64_t ctmc_max_peers = 0;
+
+  static constexpr int kCtmcMaxPieces = 2;
+};
+
+/// One classified grid cell.
+struct CellResult {
+  std::size_t index = 0;
+  double lambda = 0, us = 0, mu = 0, gamma = 0;
+  int k = 0;
+  StabilityReport theory;
+  double sim_final_peers = 0;
+  double sim_mean_peers = 0;
+  double sim_mean_sojourn = 0;
+  /// NaN unless the CTMC solve ran for this cell.
+  double ctmc_mean_peers = 0;
+};
+
+struct SweepResult {
+  SweepGrid grid;
+  SweepOptions options;
+  std::vector<CellResult> cells;
+
+  /// Fixed-schema table (cell-index order): cell, lambda, us, mu, gamma,
+  /// k, verdict, margin, critical_piece, sim_final_peers, sim_mean_peers,
+  /// sim_mean_sojourn, ctmc_mean_peers.
+  Table to_table() const;
+};
+
+/// Runs every cell of `grid` across `options.threads` threads. Axes not
+/// present in `grid` take the default_region_grid() values (so an empty
+/// grid runs the full 256-cell region sweep); the effective grid is
+/// returned in SweepResult::grid. Aborts on unknown axis names, inf on
+/// any axis but gamma, or invalid parameter values (lambda/mu <= 0, ...).
+SweepResult run_sweep(const SweepGrid& grid, const SweepOptions& options);
+
+}  // namespace p2p::engine

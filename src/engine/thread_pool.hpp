@@ -1,0 +1,124 @@
+// Fixed-size thread pool for embarrassingly parallel sweeps.
+//
+// Deliberately work-stealing-free: parallel_for hands out cell indices
+// one at a time from a shared cursor, so every index runs exactly once on
+// some thread. Cells are coarse (a whole simulation or CTMC solve), so a
+// mutex-protected claim is negligible next to the work itself and keeps
+// the pool small enough to reason about. Determinism is the caller's
+// contract: a cell's result may depend only on its index, never on which
+// thread ran it or in what order — then output is byte-identical for any
+// thread count.
+//
+// The calling thread participates in parallel_for, so ThreadPool(n) uses
+// exactly n OS threads (n-1 workers + the caller) and ThreadPool(1) runs
+// everything inline with no synchronization surprises.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace p2p::engine {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads) {
+    P2P_ASSERT_MSG(num_threads >= 1, "thread pool needs >= 1 thread");
+    workers_.reserve(static_cast<std::size_t>(num_threads - 1));
+    for (int i = 0; i + 1 < num_threads; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    job_cv_.notify_all();
+    for (auto& worker : workers_) worker.join();
+  }
+
+  /// Total OS threads used, including the caller.
+  int size() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Runs fn(i) for every i in [0, n), distributed over the pool; blocks
+  /// until all n calls have returned. fn must not throw. Not reentrant
+  /// (no parallel_for from inside fn) and not thread-safe: one
+  /// parallel_for at a time.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t)>& fn) {
+    if (n == 0) return;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      job_fn_ = &fn;
+      job_n_ = n;
+      next_ = 0;
+      completed_ = 0;
+      ++generation_;
+    }
+    job_cv_.notify_all();
+    run_items();
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [this] { return completed_ == job_n_; });
+    job_fn_ = nullptr;
+  }
+
+ private:
+  void worker_loop() {
+    std::uint64_t seen = 0;
+    while (true) {
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        job_cv_.wait(lock,
+                     [&, this] { return stop_ || generation_ != seen; });
+        if (stop_) return;
+        seen = generation_;
+      }
+      run_items();
+    }
+  }
+
+  /// Claims and runs indices until the cursor is exhausted. The claim is
+  /// made under the mutex; the call itself runs unlocked.
+  void run_items() {
+    while (true) {
+      const std::function<void(std::size_t)>* fn = nullptr;
+      std::size_t index = 0;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (job_fn_ == nullptr || next_ >= job_n_) return;
+        index = next_++;
+        fn = job_fn_;
+      }
+      (*fn)(index);
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++completed_;
+      }
+      done_cv_.notify_one();
+    }
+  }
+
+  std::mutex mutex_;
+  std::condition_variable job_cv_;
+  std::condition_variable done_cv_;
+  std::vector<std::thread> workers_;
+  const std::function<void(std::size_t)>* job_fn_ = nullptr;
+  std::size_t job_n_ = 0;
+  std::size_t next_ = 0;
+  std::size_t completed_ = 0;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace p2p::engine

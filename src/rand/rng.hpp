@@ -123,12 +123,14 @@ class Rng {
   /// Samples an index in [0, weights.size()) proportionally to weights.
   /// Zero-weight entries are never selected. Requires a positive total.
   std::size_t discrete(std::span<const double> weights) {
+    P2P_ASSERT_MSG(!weights.empty(),
+                   "discrete() requires a nonempty weight span");
     double total = 0;
     for (double w : weights) {
       P2P_ASSERT(w >= 0);
       total += w;
     }
-    P2P_ASSERT(total > 0);
+    P2P_ASSERT_MSG(total > 0, "discrete() requires a positive total weight");
     double u = uniform() * total;
     for (std::size_t i = 0; i + 1 < weights.size(); ++i) {
       if (u < weights[i]) return i;

@@ -273,10 +273,16 @@ void SwarmSim::dispatch(const EventRates& rates) {
   }
 }
 
+void SwarmSim::advance_time(double t) {
+  occupancy_integral_ +=
+      static_cast<double>(peers_.size()) * (t - now_);
+  now_ = t;
+}
+
 bool SwarmSim::step() {
   const EventRates rates = event_rates();
   if (rates.total() <= 0) return false;
-  now_ += rng_.exponential(rates.total());
+  advance_time(now_ + rng_.exponential(rates.total()));
   dispatch(rates);
   return true;
 }
@@ -301,7 +307,7 @@ void SwarmSim::run_sampled(double t_end, double dt,
       fn(next_sample);
       next_sample += dt;
     }
-    now_ = event_time;
+    advance_time(event_time);
     dispatch(rates);
   }
   while (next_sample <= t_end) {

@@ -115,6 +115,13 @@ class SwarmSim {
   /// Sojourn times of departed peers (arrival to departure).
   const OnlineStats& sojourn_stats() const { return sojourn_; }
 
+  /// Exact time average of the peer population over [0, now()]:
+  /// (1/t) integral of N_s ds, accumulated event-by-event (no sampling
+  /// error). 0 before any simulated time has passed.
+  double time_averaged_peers() const {
+    return now_ > 0 ? occupancy_integral_ / now_ : 0.0;
+  }
+
  private:
   struct Peer {
     PieceSet pieces;
@@ -140,6 +147,10 @@ class SwarmSim {
     kFormerOneClub = 3,
     kGifted = 4,
   };
+
+  /// Moves the clock to `t`, accruing the occupancy integral over the
+  /// holding interval (the population is constant between events).
+  void advance_time(double t);
 
   Group classify(const Peer& peer) const;
   std::int64_t& group_slot(Group g);
@@ -196,6 +207,7 @@ class SwarmSim {
   std::int64_t silent_ = 0;
   std::int64_t a_count_ = 0;
   std::int64_t d_count_ = 0;
+  double occupancy_integral_ = 0;
   OnlineStats sojourn_;
 };
 

@@ -8,6 +8,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "util/cxx20_check.hpp"
+
 namespace p2p::detail {
 
 [[noreturn]] inline void assert_fail(const char* expr, const char* file,

@@ -1,0 +1,22 @@
+// Hard compile-time check that the toolchain is actually in C++20 mode.
+//
+// The codebase uses std::span, std::popcount, and defaulted operator==.
+// When the seed was compiled without -std=c++20 (or with a pre-C++20
+// default standard) those failed with pages of unrelated template errors —
+// or worse, configured targets silently skipped registration. This header
+// is included from util/assert.hpp, which every translation unit reaches,
+// so a -std mismatch now fails immediately with one readable message.
+#pragma once
+
+#if !defined(__cplusplus) || __cplusplus < 202002L
+#error "p2p requires C++20: compile with -std=c++20 (CMake sets cxx_std_20)"
+#endif
+
+#include <version>
+
+static_assert(__cpp_impl_three_way_comparison >= 201907L,
+              "p2p requires C++20 defaulted comparisons (<=>/==)");
+static_assert(__cpp_lib_span >= 202002L,
+              "p2p requires std::span from <span> (C++20 standard library)");
+static_assert(__cpp_lib_bitops >= 201907L,
+              "p2p requires std::popcount from <bit> (C++20 standard library)");

@@ -6,8 +6,10 @@
 // different experiment).
 #pragma once
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <map>
 #include <set>
 #include <string>
@@ -26,12 +28,12 @@ class Flags {
       arg = arg.substr(2);
       const auto eq = arg.find('=');
       if (eq != std::string::npos) {
-        values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+        set_once(arg.substr(0, eq), arg.substr(eq + 1));
       } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) !=
                                      0) {
-        values_[arg] = argv[++i];
+        set_once(arg, argv[++i]);
       } else {
-        values_[arg] = "true";  // bare boolean flag
+        set_once(arg, "true");  // bare boolean flag
       }
     }
   }
@@ -52,8 +54,16 @@ class Flags {
 
   int get_int(const std::string& name, int fallback,
               const std::string& help) {
-    return static_cast<int>(
-        get_double(name, static_cast<double>(fallback), help));
+    const double v = get_double(name, static_cast<double>(fallback), help);
+    // Range-check before the cast: float-to-int conversion of an
+    // out-of-range value is undefined behavior, not a detectable wrap.
+    constexpr double lo = std::numeric_limits<int>::min();
+    constexpr double hi = std::numeric_limits<int>::max();
+    if (!(v >= lo && v <= hi) || v != std::floor(v)) {
+      fail("flag --" + name + " expects an integer, got '" +
+           std::to_string(v) + "'");
+    }
+    return static_cast<int>(v);
   }
 
   std::string get_string(const std::string& name, const std::string& fallback,
@@ -88,6 +98,14 @@ class Flags {
   }
 
  private:
+  /// A repeated flag is a hard error: letting the last occurrence win
+  /// silently runs a different experiment than the command line suggests.
+  void set_once(const std::string& name, std::string value) {
+    if (!values_.emplace(name, std::move(value)).second) {
+      fail("flag --" + name + " given more than once");
+    }
+  }
+
   struct Description {
     std::string fallback;
     std::string help;

@@ -51,6 +51,51 @@ TEST(Flags, BooleanFalseSpellings) {
   f.finish();
 }
 
+TEST(Flags, NegativeValueSpaceSyntax) {
+  // Regression: "-1.5" must parse as the value of --name, not as a flag.
+  Flags f = make({"--name", "-1.5"});
+  EXPECT_NEAR(f.get_double("name", 0.0, ""), -1.5, 1e-12);
+  f.finish();
+}
+
+TEST(Flags, NegativeValueEqualsSyntax) {
+  Flags f = make({"--name=-1.5", "--n=-3"});
+  EXPECT_NEAR(f.get_double("name", 0.0, ""), -1.5, 1e-12);
+  EXPECT_EQ(f.get_int("n", 0, ""), -3);
+  f.finish();
+}
+
+TEST(FlagsDeath, FractionalIntegerFlagAborts) {
+  EXPECT_DEATH(
+      {
+        Flags f = make({"--k=2.5"});
+        f.get_int("k", 1, "");
+      },
+      "expects an integer");
+}
+
+TEST(FlagsDeath, OutOfIntRangeFlagAborts) {
+  // Would be UB if cast before range-checking.
+  EXPECT_DEATH(
+      {
+        Flags f = make({"--seed=5000000000"});
+        f.get_int("seed", 1, "");
+      },
+      "expects an integer");
+}
+
+TEST(FlagsDeath, DuplicateFlagAborts) {
+  EXPECT_DEATH(make({"--k=1", "--k=2"}), "more than once");
+}
+
+TEST(FlagsDeath, DuplicateFlagMixedSyntaxAborts) {
+  EXPECT_DEATH(make({"--k", "1", "--k=1"}), "more than once");
+}
+
+TEST(FlagsDeath, DuplicateBareBooleanAborts) {
+  EXPECT_DEATH(make({"--verbose", "--verbose"}), "more than once");
+}
+
 TEST(FlagsDeath, UnknownFlagAborts) {
   EXPECT_DEATH(
       {

@@ -1,0 +1,89 @@
+#include "engine/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace p2p::engine {
+namespace {
+
+TEST(FormatNumber, FiniteValues) {
+  EXPECT_EQ(format_number(0.0), "0");
+  EXPECT_EQ(format_number(3.0), "3");
+  EXPECT_EQ(format_number(-1.5), "-1.5");
+  EXPECT_EQ(format_number(0.1), "0.1");
+}
+
+TEST(FormatNumber, NonFiniteValues) {
+  EXPECT_EQ(format_number(std::numeric_limits<double>::infinity()), "inf");
+  EXPECT_EQ(format_number(-std::numeric_limits<double>::infinity()), "-inf");
+  EXPECT_EQ(format_number(std::nan("")), "nan");
+}
+
+TEST(Table, CsvRoundTrip) {
+  Table table({"a", "b", "verdict"});
+  table.add_row({"1", "2.5", "stable"});
+  table.add_row({"2", "inf", "transient"});
+  EXPECT_EQ(table.num_rows(), 2u);
+  EXPECT_EQ(table.to_csv(),
+            "a,b,verdict\n"
+            "1,2.5,stable\n"
+            "2,inf,transient\n");
+}
+
+TEST(Table, CsvQuotesSpecialCells) {
+  Table table({"name"});
+  table.add_row({"a,b"});
+  table.add_row({"say \"hi\""});
+  EXPECT_EQ(table.to_csv(),
+            "name\n"
+            "\"a,b\"\n"
+            "\"say \"\"hi\"\"\"\n");
+}
+
+TEST(Table, JsonNumbersUnquotedTextQuotedNonFiniteNull) {
+  Table table({"x", "verdict", "extra"});
+  table.add_row({"1.5", "stable", "nan"});
+  EXPECT_EQ(table.to_json(),
+            "[\n"
+            "  {\"x\": 1.5, \"verdict\": \"stable\", \"extra\": null}\n"
+            "]\n");
+}
+
+TEST(Table, JsonSeparatesRowsWithCommas) {
+  Table table({"i"});
+  table.add_row({"1"});
+  table.add_row({"2"});
+  EXPECT_EQ(table.to_json(),
+            "[\n"
+            "  {\"i\": 1},\n"
+            "  {\"i\": 2}\n"
+            "]\n");
+}
+
+TEST(Table, JsonQuotesNonJsonNumberSpellings) {
+  // strtod would accept all of these, but JSON parsers reject them
+  // unquoted; the emitter must quote anything off the JSON grammar.
+  Table table({"a", "b", "c", "d"});
+  table.add_row({"+5", "0x1F", " 12", "01"});
+  table.add_row({"-0.5", "1e-3", "2E+4", "0"});
+  EXPECT_EQ(table.to_json(),
+            "[\n"
+            "  {\"a\": \"+5\", \"b\": \"0x1F\", \"c\": \" 12\", "
+            "\"d\": \"01\"},\n"
+            "  {\"a\": -0.5, \"b\": 1e-3, \"c\": 2E+4, \"d\": 0}\n"
+            "]\n");
+}
+
+TEST(TableDeath, RowArityMismatchAborts) {
+  Table table({"a", "b"});
+  EXPECT_DEATH(table.add_row({"only-one"}), "arity");
+}
+
+TEST(TableDeath, EmptyColumnListAborts) {
+  EXPECT_DEATH(Table({}), "at least one column");
+}
+
+}  // namespace
+}  // namespace p2p::engine

@@ -145,5 +145,17 @@ TEST(Rng, GeometricWithCertainSuccessIsZero) {
   for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.geometric_failures(1.0), 0);
 }
 
+TEST(RngDeath, DiscreteEmptySpanFailsFast) {
+  Rng rng(5);
+  const std::vector<double> empty;
+  EXPECT_DEATH(rng.discrete(empty), "nonempty weight span");
+}
+
+TEST(RngDeath, DiscreteAllZeroWeightsFailsFast) {
+  Rng rng(5);
+  const std::vector<double> zeros = {0.0, 0.0, 0.0};
+  EXPECT_DEATH(rng.discrete(zeros), "positive total weight");
+}
+
 }  // namespace
 }  // namespace p2p

@@ -242,5 +242,23 @@ TEST(SwarmSimRetry, FastRetryCanStabilizeAPushSystem) {
   EXPECT_LT(boosted.total_peers(), 60);
 }
 
+TEST(SwarmSim, TimeAveragedPeersMatchesEventByEventIntegral) {
+  // The population is constant between events, so the exact occupancy
+  // integral can be replicated externally around step().
+  const SwarmParams params(2, 1.0, 1.0, 2.0, {{PieceSet{}, 2.0}});
+  SwarmSim sim(params, SwarmSimOptions{.rng_seed = 11});
+  EXPECT_EQ(sim.time_averaged_peers(), 0.0);
+  double integral = 0;
+  while (sim.now() < 200.0) {
+    const double t0 = sim.now();
+    const double n0 = static_cast<double>(sim.total_peers());
+    if (!sim.step()) break;
+    integral += n0 * (sim.now() - t0);
+  }
+  ASSERT_GT(sim.now(), 0.0);
+  EXPECT_NEAR(sim.time_averaged_peers(), integral / sim.now(),
+              1e-9 * (1.0 + integral));
+}
+
 }  // namespace
 }  // namespace p2p

@@ -1,0 +1,158 @@
+#include "engine/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/model.hpp"
+
+namespace p2p::engine {
+namespace {
+
+TEST(ParseAxis, Linspace) {
+  const Axis axis = parse_axis("lambda=0.5:3.0:16");
+  EXPECT_EQ(axis.name, "lambda");
+  ASSERT_EQ(axis.values.size(), 16u);
+  EXPECT_NEAR(axis.values.front(), 0.5, 1e-12);
+  EXPECT_NEAR(axis.values.back(), 3.0, 1e-12);
+  EXPECT_NEAR(axis.values[1] - axis.values[0], 2.5 / 15.0, 1e-12);
+}
+
+TEST(ParseAxis, SinglePointLinspaceUsesLowerEndpoint) {
+  const Axis axis = parse_axis("mu=2.0:9.0:1");
+  ASSERT_EQ(axis.values.size(), 1u);
+  EXPECT_NEAR(axis.values[0], 2.0, 1e-12);
+}
+
+TEST(ParseAxis, SingleValueAndList) {
+  EXPECT_EQ(parse_axis("k=3").values, std::vector<double>({3.0}));
+  EXPECT_EQ(parse_axis("gamma=0.7,1.5,3").values,
+            std::vector<double>({0.7, 1.5, 3.0}));
+}
+
+TEST(ParseAxis, InfIsAccepted) {
+  const Axis axis = parse_axis("gamma=1.25,inf");
+  ASSERT_EQ(axis.values.size(), 2u);
+  EXPECT_EQ(axis.values[1], kInfiniteRate);
+}
+
+TEST(ParseAxisDeath, MalformedSpecsAbort) {
+  EXPECT_DEATH(parse_axis("lambda"), "axis spec");
+  EXPECT_DEATH(parse_axis("=1"), "axis spec");
+  EXPECT_DEATH(parse_axis("lambda="), "axis spec");
+  EXPECT_DEATH(parse_axis("lambda=a,b"), "numbers");
+  EXPECT_DEATH(parse_axis("lambda=1:2:0"), "positive integer");
+  EXPECT_DEATH(parse_axis("lambda=1:2:3:4"), "lo:hi:count");
+}
+
+TEST(SweepGrid, CartesianExpansionLastAxisFastest) {
+  SweepGrid grid = parse_grid("us=1,2;lambda=10,20,30");
+  ASSERT_EQ(grid.num_cells(), 6u);
+  EXPECT_EQ(grid.cell_values(0), std::vector<double>({1, 10}));
+  EXPECT_EQ(grid.cell_values(1), std::vector<double>({1, 20}));
+  EXPECT_EQ(grid.cell_values(2), std::vector<double>({1, 30}));
+  EXPECT_EQ(grid.cell_values(3), std::vector<double>({2, 10}));
+  EXPECT_EQ(grid.cell_values(5), std::vector<double>({2, 30}));
+}
+
+TEST(SweepGrid, SetAxisReplacesByName) {
+  SweepGrid grid = default_region_grid();
+  EXPECT_EQ(grid.num_cells(), 256u);  // the Theorem-1 region sweep
+  grid.set_axis(parse_axis("lambda=1"));
+  EXPECT_EQ(grid.num_cells(), 16u);
+  ASSERT_NE(grid.find_axis("lambda"), nullptr);
+  EXPECT_EQ(grid.find_axis("lambda")->values.size(), 1u);
+  EXPECT_EQ(grid.find_axis("nope"), nullptr);
+}
+
+TEST(RunSweep, TheoremOneVerdictsOnKnownCells) {
+  // K = 1, Us = 1, mu = 1, gamma = 1.25: critical lambda is
+  // Us / (1 - mu/gamma) = 5. lambda = 1 is stable, lambda = 9 transient.
+  SweepGrid grid = parse_grid("k=1;us=1;mu=1;gamma=1.25;lambda=1,9");
+  SweepOptions options;
+  options.horizon = 60;
+  const SweepResult result = run_sweep(grid, options);
+  ASSERT_EQ(result.cells.size(), 2u);
+  EXPECT_EQ(result.cells[0].theory.verdict, Stability::kPositiveRecurrent);
+  EXPECT_EQ(result.cells[1].theory.verdict, Stability::kTransient);
+  // The transient cell piles up peers; the stable one stays modest.
+  EXPECT_GT(result.cells[1].sim_final_peers,
+            4 * result.cells[0].sim_final_peers);
+}
+
+TEST(RunSweep, ByteIdenticalAcrossThreadCounts) {
+  SweepGrid grid = parse_grid("lambda=0.5:3.0:3;us=0.5,1.5;k=2");
+  SweepOptions one;
+  one.horizon = 40;
+  one.threads = 1;
+  SweepOptions four = one;
+  four.threads = 4;
+  const std::string csv1 = run_sweep(grid, one).to_table().to_csv();
+  const std::string csv4 = run_sweep(grid, four).to_table().to_csv();
+  EXPECT_FALSE(csv1.empty());
+  EXPECT_EQ(csv1, csv4);
+}
+
+TEST(RunSweep, SeedChangesSimButNotTheory) {
+  SweepGrid grid = parse_grid("lambda=2;us=0.5;k=2");
+  SweepOptions a;
+  a.horizon = 80;
+  a.base_seed = 1;
+  SweepOptions b = a;
+  b.base_seed = 2;
+  const CellResult ca = run_sweep(grid, a).cells[0];
+  const CellResult cb = run_sweep(grid, b).cells[0];
+  EXPECT_EQ(ca.theory.verdict, cb.theory.verdict);
+  EXPECT_NE(ca.sim_mean_peers, cb.sim_mean_peers);
+}
+
+TEST(RunSweep, CtmcColumnGatedByPieceCount) {
+  SweepGrid grid = parse_grid("lambda=1;us=1;k=2,3;gamma=1.25");
+  SweepOptions options;
+  options.horizon = 20;
+  options.ctmc_max_peers = 12;
+  const SweepResult result = run_sweep(grid, options);
+  ASSERT_EQ(result.cells.size(), 2u);
+  EXPECT_TRUE(std::isfinite(result.cells[0].ctmc_mean_peers));  // K = 2
+  EXPECT_GT(result.cells[0].ctmc_mean_peers, 0.0);
+  EXPECT_TRUE(std::isnan(result.cells[1].ctmc_mean_peers));  // K = 3
+}
+
+TEST(RunSweep, TableSchemaIsStable) {
+  SweepGrid grid = parse_grid("lambda=1;us=1;k=1");
+  SweepOptions options;
+  options.horizon = 10;
+  const Table table = run_sweep(grid, options).to_table();
+  ASSERT_EQ(table.num_columns(), 13u);
+  EXPECT_EQ(table.columns().front(), "cell");
+  EXPECT_EQ(table.columns().back(), "ctmc_mean_peers");
+  EXPECT_EQ(table.num_rows(), 1u);
+}
+
+TEST(RunSweep, MissingAxesFallBackToDefaultRegionGrid) {
+  // Only k given: the other four axes come from default_region_grid,
+  // so the effective grid is the 256-cell region sweep at K = 1.
+  SweepGrid grid = parse_grid("k=1");
+  SweepOptions options;
+  options.horizon = 5;
+  const SweepResult result = run_sweep(grid, options);
+  EXPECT_EQ(result.cells.size(), 256u);
+  ASSERT_NE(result.grid.find_axis("lambda"), nullptr);
+  EXPECT_EQ(result.grid.find_axis("lambda")->values.size(), 16u);
+  EXPECT_EQ(result.cells[0].k, 1);
+}
+
+TEST(RunSweepDeath, UnknownAxisAborts) {
+  SweepGrid grid = parse_grid("bogus=1;lambda=1");
+  EXPECT_DEATH(run_sweep(grid, SweepOptions{}), "unknown sweep axis");
+}
+
+TEST(RunSweepDeath, InfOnNonGammaAxisAborts) {
+  // An infinite lambda/us/mu makes the total event rate infinite and
+  // the simulation would spin forever; only gamma may be inf.
+  SweepGrid grid = parse_grid("lambda=inf;us=1;k=1");
+  EXPECT_DEATH(run_sweep(grid, SweepOptions{}), "only the gamma axis");
+}
+
+}  // namespace
+}  // namespace p2p::engine
