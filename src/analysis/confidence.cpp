@@ -11,8 +11,8 @@ namespace p2p {
 BatchMeansResult batch_means(std::span<const double> samples,
                              int num_batches) {
   P2P_ASSERT(num_batches >= 2);
-  P2P_ASSERT_MSG(samples.size() >= 2 * static_cast<std::size_t>(num_batches),
-                 "need at least 2 samples per batch");
+  P2P_ASSERT_MSG(samples.size() >= static_cast<std::size_t>(num_batches),
+                 "need at least 1 sample per batch");
   const std::size_t batch_size = samples.size() / num_batches;
   std::vector<double> means(static_cast<std::size_t>(num_batches), 0.0);
   for (int b = 0; b < num_batches; ++b) {
@@ -59,11 +59,15 @@ BootstrapResult block_bootstrap(
     stats[static_cast<std::size_t>(r)] = statistic(resample);
   }
   std::sort(stats.begin(), stats.end());
+  // Symmetric nearest-rank percentiles: round the lower index down and
+  // the upper index up. Truncating both (the old behavior) floor-biased
+  // the upper bound inward whenever (1-alpha)*(resamples-1) was not an
+  // integer, shrinking the CI below its nominal coverage.
   const double alpha = (1.0 - confidence) / 2.0;
   const auto lo_idx = static_cast<std::size_t>(
-      alpha * static_cast<double>(resamples - 1));
+      std::floor(alpha * static_cast<double>(resamples - 1)));
   const auto hi_idx = static_cast<std::size_t>(
-      (1.0 - alpha) * static_cast<double>(resamples - 1));
+      std::ceil((1.0 - alpha) * static_cast<double>(resamples - 1)));
   result.lower = stats[lo_idx];
   result.upper = stats[hi_idx];
   return result;

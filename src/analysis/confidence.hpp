@@ -22,7 +22,9 @@ struct BatchMeansResult {
 };
 
 /// Method of batch means over equally sized contiguous batches. Requires
-/// at least 2 * num_batches samples; trailing remainder is dropped.
+/// at least one sample per batch; trailing remainder is dropped. With
+/// num_batches == samples.size() (batch size 1) this is exactly the naive
+/// iid mean/SEM — appropriate for independent replicas, not trajectories.
 BatchMeansResult batch_means(std::span<const double> samples,
                              int num_batches = 20);
 

@@ -1,5 +1,6 @@
 #include "engine/report.hpp"
 
+#include <charconv>
 #include <cmath>
 
 #include "util/assert.hpp"
@@ -9,9 +10,15 @@ namespace p2p::engine {
 std::string format_number(double value) {
   if (std::isnan(value)) return "nan";
   if (std::isinf(value)) return value > 0 ? "inf" : "-inf";
+  // Shortest round-trip formatting: the emitted decimal parses back to
+  // the exact same bit pattern. The previous "%.10g" silently dropped
+  // precision (e.g. pi came back off by 4 ulps), so corpus CSVs were
+  // lossy archives of the runs that produced them.
   char buffer[64];
-  std::snprintf(buffer, sizeof(buffer), "%.10g", value);
-  return buffer;
+  const auto [end, ec] =
+      std::to_chars(buffer, buffer + sizeof(buffer), value);
+  P2P_ASSERT(ec == std::errc());
+  return std::string(buffer, end);
 }
 
 Table::Table(std::vector<std::string> columns)

@@ -3,8 +3,9 @@
 // Cells are formatted to strings once, by the producer, in cell-index
 // order after the parallel phase has joined — so the emitted bytes depend
 // only on the results, never on thread count or scheduling. Numbers go
-// through format_number (shortest round-trippable-ish "%.10g", with
-// "inf"/"-inf"/"nan" spelled out) so CSV diffs are stable across runs.
+// through format_number (std::to_chars shortest round-trip form, with
+// "inf"/"-inf"/"nan" spelled out) so CSV diffs are stable across runs
+// and every emitted decimal parses back to the exact bit pattern.
 #pragma once
 
 #include <cstdio>
@@ -13,8 +14,9 @@
 
 namespace p2p::engine {
 
-/// Deterministic number rendering: "%.10g", except non-finite values
-/// become "inf", "-inf" or "nan".
+/// Deterministic number rendering: std::to_chars shortest form that
+/// round-trips to the identical double; non-finite values become "inf",
+/// "-inf" or "nan".
 std::string format_number(double value);
 
 /// A rectangular table of pre-formatted cells with named columns.

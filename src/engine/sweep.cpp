@@ -2,7 +2,9 @@
 
 #include <cmath>
 #include <cstdlib>
+#include <span>
 
+#include "analysis/confidence.hpp"
 #include "core/model.hpp"
 #include "ctmc/stationary.hpp"
 #include "engine/thread_pool.hpp"
@@ -14,7 +16,14 @@ namespace p2p::engine {
 
 namespace {
 
-constexpr const char* kAxisNames[] = {"lambda", "us", "mu", "gamma", "k"};
+constexpr const char* kAxisNames[] = {"lambda", "us",  "mu",   "gamma",
+                                      "k",      "eta", "flash"};
+
+/// Axes the frontier refiner may bisect: the continuous parameters that
+/// enter the Theorem-1 closed form (eta and flash do not — Section
+/// VIII-C's point is that retries leave the stability region unchanged —
+/// and k is integral).
+constexpr const char* kRefinableAxes[] = {"lambda", "us", "mu", "gamma"};
 
 bool known_axis(const std::string& name) {
   for (const char* known : kAxisNames) {
@@ -32,61 +41,212 @@ double parse_value(const std::string& token) {
   return v;
 }
 
-/// Seeds cell `index` independently of execution order: splitmix64 over
-/// (base_seed, index), the same derivation Rng::split uses.
-std::uint64_t cell_seed(std::uint64_t base_seed, std::size_t index) {
+/// Independent named streams off one base seed, so replica sims, the
+/// aggregation bootstrap and frontier sims can never collide.
+enum Stream : std::uint64_t {
+  kStreamCellSim = 0,
+  kStreamCellAgg = 1,
+  kStreamFrontierSim = 2,
+  kStreamFrontierAgg = 3,
+};
+
+std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t index) {
   std::uint64_t sm =
-      base_seed ^
-      (0x9E3779B97F4A7C15ULL * (static_cast<std::uint64_t>(index) + 1));
+      seed ^ (0x9E3779B97F4A7C15ULL * (static_cast<std::uint64_t>(index) + 1));
   return splitmix64(sm);
 }
 
-double axis_value(const SweepGrid& grid, const std::vector<double>& values,
+/// Seeds work item (stream, a, b) independently of execution order:
+/// chained splitmix64, the same derivation Rng::split uses. Every
+/// replica's stream depends only on (base_seed, cell/row, replica), never
+/// on which thread ran it — the determinism contract.
+std::uint64_t derive_seed(std::uint64_t base_seed, Stream stream,
+                          std::uint64_t a, std::uint64_t b) {
+  return mix_seed(mix_seed(mix_seed(base_seed, stream), a), b);
+}
+
+double axis_value(const std::vector<Axis>& axes,
+                  const std::vector<double>& values,
                   const std::string& name) {
-  for (std::size_t i = 0; i < grid.axes.size(); ++i) {
-    if (grid.axes[i].name == name) return values[i];
+  for (std::size_t i = 0; i < axes.size(); ++i) {
+    if (axes[i].name == name) return values[i];
   }
   P2P_ASSERT_MSG(false, "sweep cell queried for an axis the grid lacks");
   return 0;
 }
 
-CellResult sweep_cell(const SweepGrid& grid, const SweepOptions& options,
-                      std::size_t index) {
-  const std::vector<double> values = grid.cell_values(index);
-  CellResult r;
-  r.index = index;
-  r.lambda = axis_value(grid, values, "lambda");
-  r.us = axis_value(grid, values, "us");
-  r.mu = axis_value(grid, values, "mu");
-  r.gamma = axis_value(grid, values, "gamma");
-  const double k_raw = axis_value(grid, values, "k");
-  r.k = static_cast<int>(std::lround(k_raw));
-  P2P_ASSERT_MSG(r.k >= 1 && std::abs(k_raw - r.k) < 1e-9,
+CellParams extract_params(const std::vector<Axis>& axes,
+                          const std::vector<double>& values) {
+  CellParams p;
+  p.lambda = axis_value(axes, values, "lambda");
+  p.us = axis_value(axes, values, "us");
+  p.mu = axis_value(axes, values, "mu");
+  p.gamma = axis_value(axes, values, "gamma");
+  p.eta = axis_value(axes, values, "eta");
+  const double k_raw = axis_value(axes, values, "k");
+  p.k = static_cast<int>(std::lround(k_raw));
+  P2P_ASSERT_MSG(p.k >= 1 && std::abs(k_raw - p.k) < 1e-9,
                  "axis k must take positive integer values");
+  const double flash_raw = axis_value(axes, values, "flash");
+  p.flash = std::llround(flash_raw);
+  P2P_ASSERT_MSG(p.flash >= 0 &&
+                     std::abs(flash_raw - static_cast<double>(p.flash)) < 1e-9,
+                 "axis flash must take nonnegative integer values");
+  return p;
+}
 
-  const SwarmParams params(r.k, r.us, r.mu, r.gamma,
-                           {{PieceSet{}, r.lambda}});
-  r.theory = classify(params);
+SwarmParams swarm_params(const CellParams& p) {
+  return SwarmParams(p.k, p.us, p.mu, p.gamma, {{PieceSet{}, p.lambda}});
+}
 
+/// One replica's simulation summary (pre-aggregation).
+struct ReplicaSample {
+  double final_peers = 0;
+  double mean_peers = 0;
+  double mean_sojourn = 0;
+};
+
+ReplicaSample simulate_replica(const CellParams& p,
+                               const SweepOptions& options,
+                               std::uint64_t seed) {
+  const SwarmParams params = swarm_params(p);
   SwarmSimOptions sim_options;
-  sim_options.rng_seed = cell_seed(options.base_seed, index);
+  sim_options.rng_seed = seed;
+  sim_options.retry_boost = p.eta;
   SwarmSim sim(params, sim_options);
-  if (options.flash_crowd > 0) {
-    sim.inject_peers(PieceSet::full(r.k).without(0), options.flash_crowd);
+  if (p.flash > 0) {
+    sim.inject_peers(PieceSet::full(p.k).without(0), p.flash);
+  }
+  // The occupancy integral over [warmup, horizon] is the total integral
+  // minus the integral at the warmup instant, so no simulator support is
+  // needed to discard the empty-start transient.
+  double warm_integral = 0, warm_time = 0;
+  if (options.warmup > 0) {
+    sim.run_until(options.warmup);
+    warm_time = sim.now();
+    warm_integral = sim.time_averaged_peers() * warm_time;
   }
   sim.run_until(options.horizon);
-  r.sim_final_peers = static_cast<double>(sim.total_peers());
-  r.sim_mean_peers = sim.time_averaged_peers();
-  r.sim_mean_sojourn = sim.sojourn_stats().count() > 0
-                           ? sim.sojourn_stats().mean()
-                           : std::nan("");
 
-  r.ctmc_mean_peers = std::nan("");
-  if (options.ctmc_max_peers > 0 && r.k <= SweepOptions::kCtmcMaxPieces) {
-    r.ctmc_mean_peers =
-        solve_truncated_swarm(params, options.ctmc_max_peers).mean_peers();
-  }
+  ReplicaSample r;
+  r.final_peers = static_cast<double>(sim.total_peers());
+  // run_until steps whole events, so the warmup run can overshoot past
+  // the horizon when the event rate is tiny; a zero-width measurement
+  // window then carries no information — report NaN, never a fake 0.
+  const double window = sim.now() - warm_time;
+  r.mean_peers =
+      window > 0
+          ? (sim.time_averaged_peers() * sim.now() - warm_integral) / window
+          : std::nan("");
+  r.mean_sojourn = sim.sojourn_stats().count() > 0
+                       ? sim.sojourn_stats().mean()
+                       : std::nan("");
   return r;
+}
+
+/// Collapses R replica samples into mean / SEM / bootstrap-CI. Runs
+/// serially in index order after the pool joins; `rng` drives only the
+/// bootstrap and is derived per cell, so the result is deterministic.
+SimAggregate aggregate_samples(std::span<const ReplicaSample> samples,
+                               const SweepOptions& options, Rng& rng) {
+  const int r = static_cast<int>(samples.size());
+  P2P_ASSERT(r >= 1);
+  SimAggregate agg;
+  agg.replicas = r;
+
+  // Replicas whose measurement window collapsed (NaN mean) carry no
+  // time-average information and are excluded, like departure-free
+  // replicas are from the sojourn mean.
+  std::vector<double> means;
+  means.reserve(samples.size());
+  double final_sum = 0, sojourn_sum = 0;
+  int sojourn_n = 0;
+  for (const ReplicaSample& s : samples) {
+    if (!std::isnan(s.mean_peers)) means.push_back(s.mean_peers);
+    final_sum += s.final_peers;
+    if (!std::isnan(s.mean_sojourn)) {
+      sojourn_sum += s.mean_sojourn;
+      ++sojourn_n;
+    }
+  }
+  agg.final_peers_mean = final_sum / r;
+  agg.mean_sojourn =
+      sojourn_n > 0 ? sojourn_sum / sojourn_n : std::nan("");
+
+  if (means.size() >= 2) {
+    // Replicas are independent, so batch size 1 is the exact iid SEM.
+    const BatchMeansResult bm =
+        batch_means(means, static_cast<int>(means.size()));
+    agg.mean_peers_mean = bm.mean;
+    agg.mean_peers_sem = bm.sem;
+    const BootstrapResult ci = block_bootstrap(
+        means,
+        [](std::span<const double> s) {
+          double m = 0;
+          for (double x : s) m += x;
+          return m / static_cast<double>(s.size());
+        },
+        /*block_length=*/1, options.bootstrap_resamples, options.confidence,
+        rng);
+    agg.mean_peers_lo = ci.lower;
+    agg.mean_peers_hi = ci.upper;
+  } else if (means.size() == 1) {
+    agg.mean_peers_mean = means[0];
+    // SEM/CI stay NaN: one trajectory carries no uncertainty estimate.
+  }
+  return agg;
+}
+
+void validate_caller_axes(const SweepGrid& grid) {
+  for (const auto& axis : grid.axes) {
+    P2P_ASSERT_MSG(known_axis(axis.name),
+                   "unknown sweep axis (valid: lambda, us, mu, gamma, k, "
+                   "eta, flash)");
+    P2P_ASSERT_MSG(!axis.values.empty(), "sweep axis has no values");
+  }
+}
+
+void validate_effective_axes(const SweepGrid& effective) {
+  for (const auto& axis : effective.axes) {
+    for (const double v : axis.values) {
+      if (axis.name != "gamma") {  // inf = immediate departure
+        P2P_ASSERT_MSG(std::isfinite(v),
+                       "only the gamma axis may take inf values");
+      }
+      if (axis.name == "eta") {
+        P2P_ASSERT_MSG(v >= 1.0,
+                       "axis eta must be >= 1 (Section VIII-C retry boost)");
+      }
+      if (axis.name == "k") {
+        P2P_ASSERT_MSG(v >= 1 && std::abs(v - std::lround(v)) < 1e-9,
+                       "axis k must take positive integer values");
+      }
+      if (axis.name == "flash") {
+        P2P_ASSERT_MSG(v >= 0 && std::abs(v - std::llround(v)) < 1e-9,
+                       "axis flash must take nonnegative integer values");
+      }
+    }
+  }
+}
+
+void validate_options(const SweepOptions& options) {
+  P2P_ASSERT_MSG(options.horizon > 0, "sweep horizon must be positive");
+  P2P_ASSERT_MSG(options.warmup >= 0 && options.warmup < options.horizon,
+                 "warmup must lie in [0, horizon)");
+  P2P_ASSERT_MSG(options.replicas >= 1, "replicas must be >= 1");
+  P2P_ASSERT_MSG(options.confidence > 0 && options.confidence < 1,
+                 "confidence must lie in (0, 1)");
+  P2P_ASSERT_MSG(options.bootstrap_resamples >= 10,
+                 "bootstrap resamples must be >= 10");
+}
+
+SweepGrid effective_grid(const SweepGrid& grid) {
+  // Axes the caller did not specify take the default region grid's —
+  // the single source of fallback values, so a partial grid cannot
+  // silently simulate at undocumented parameters.
+  SweepGrid effective = default_region_grid();
+  for (const auto& axis : grid.axes) effective.set_axis(axis);
+  return effective;
 }
 
 }  // namespace
@@ -192,55 +352,268 @@ SweepGrid default_region_grid() {
   grid.set_axis(parse_axis("mu=1"));
   grid.set_axis(parse_axis("gamma=1.25"));
   grid.set_axis(parse_axis("k=3"));
+  grid.set_axis(parse_axis("eta=1"));
+  grid.set_axis(parse_axis("flash=0"));
   return grid;
 }
 
 SweepResult run_sweep(const SweepGrid& grid, const SweepOptions& options) {
-  for (const auto& axis : grid.axes) {
-    P2P_ASSERT_MSG(known_axis(axis.name),
-                   "unknown sweep axis (valid: lambda, us, mu, gamma, k)");
-    P2P_ASSERT_MSG(!axis.values.empty(), "sweep axis has no values");
-  }
-  // Axes the caller did not specify take the default region grid's —
-  // the single source of fallback values, so a partial grid cannot
-  // silently simulate at undocumented parameters.
-  SweepGrid effective = default_region_grid();
-  for (const auto& axis : grid.axes) effective.set_axis(axis);
-  for (const auto& axis : effective.axes) {
-    if (axis.name == "gamma") continue;  // inf = immediate departure
-    for (const double v : axis.values) {
-      P2P_ASSERT_MSG(std::isfinite(v),
-                     "only the gamma axis may take inf values");
-    }
-  }
+  validate_caller_axes(grid);
+  validate_options(options);
+  const SweepGrid effective = effective_grid(grid);
+  validate_effective_axes(effective);
 
   SweepResult result;
   result.grid = effective;
   result.options = options;
-  result.cells.resize(effective.num_cells());
+  const std::size_t num_cells = effective.num_cells();
+  const std::size_t replicas = static_cast<std::size_t>(options.replicas);
+  result.cells.resize(num_cells);
+  std::vector<ReplicaSample> samples(num_cells * replicas);
 
+  // Every (cell, replica) pair is its own work item, so a small grid with
+  // many replicas saturates the pool just like a large grid. Replica 0's
+  // item additionally fills the cell's theory/CTMC fields (each cell's
+  // non-sim fields are written by exactly one item).
   ThreadPool pool(options.threads);
-  pool.parallel_for(result.cells.size(), [&](std::size_t i) {
-    result.cells[i] = sweep_cell(effective, options, i);
+  pool.parallel_for(samples.size(), [&](std::size_t item) {
+    const std::size_t cell = item / replicas;
+    const std::size_t replica = item % replicas;
+    const std::vector<double> values = effective.cell_values(cell);
+    const CellParams p = extract_params(effective.axes, values);
+    if (replica == 0) {
+      CellResult& r = result.cells[cell];
+      r.index = cell;
+      r.lambda = p.lambda;
+      r.us = p.us;
+      r.mu = p.mu;
+      r.gamma = p.gamma;
+      r.k = p.k;
+      r.eta = p.eta;
+      r.flash = p.flash;
+      r.theory = classify(swarm_params(p));
+      if (options.ctmc_max_peers > 0 &&
+          p.k <= SweepOptions::kCtmcMaxPieces) {
+        r.ctmc_mean_peers =
+            solve_truncated_swarm(swarm_params(p), options.ctmc_max_peers)
+                .mean_peers();
+      }
+    }
+    samples[item] = simulate_replica(
+        p, options,
+        derive_seed(options.base_seed, kStreamCellSim, cell, replica));
   });
+
+  // Aggregation is serial and in cell order; the bootstrap RNG is derived
+  // per cell, so the report never depends on scheduling.
+  for (std::size_t cell = 0; cell < num_cells; ++cell) {
+    Rng agg_rng(derive_seed(options.base_seed, kStreamCellAgg, cell, 0));
+    result.cells[cell].sim = aggregate_samples(
+        std::span<const ReplicaSample>(samples.data() + cell * replicas,
+                                       replicas),
+        options, agg_rng);
+  }
   return result;
 }
 
 Table SweepResult::to_table() const {
-  Table table({"cell", "lambda", "us", "mu", "gamma", "k", "verdict",
-               "margin", "critical_piece", "sim_final_peers",
-               "sim_mean_peers", "sim_mean_sojourn", "ctmc_mean_peers"});
+  Table table({"cell", "lambda", "us", "mu", "gamma", "k", "eta", "flash",
+               "verdict", "margin", "critical_piece", "replicas",
+               "sim_final_peers", "sim_mean_peers", "sim_mean_sojourn",
+               "sim_mean_peers_sem", "sim_mean_peers_lo",
+               "sim_mean_peers_hi", "ctmc_mean_peers"});
   for (const auto& c : cells) {
     table.add_row({format_number(static_cast<double>(c.index)),
                    format_number(c.lambda), format_number(c.us),
                    format_number(c.mu), format_number(c.gamma),
-                   format_number(c.k), to_string(c.theory.verdict),
+                   format_number(c.k), format_number(c.eta),
+                   format_number(static_cast<double>(c.flash)),
+                   to_string(c.theory.verdict),
                    format_number(c.theory.margin),
                    format_number(c.theory.critical_piece),
-                   format_number(c.sim_final_peers),
-                   format_number(c.sim_mean_peers),
-                   format_number(c.sim_mean_sojourn),
+                   format_number(c.sim.replicas),
+                   format_number(c.sim.final_peers_mean),
+                   format_number(c.sim.mean_peers_mean),
+                   format_number(c.sim.mean_sojourn),
+                   format_number(c.sim.mean_peers_sem),
+                   format_number(c.sim.mean_peers_lo),
+                   format_number(c.sim.mean_peers_hi),
                    format_number(c.ctmc_mean_peers)});
+  }
+  return table;
+}
+
+RefineOptions parse_refine(const std::string& spec) {
+  const auto colon = spec.find(':');
+  P2P_ASSERT_MSG(colon != std::string::npos && colon > 0 &&
+                     colon + 1 < spec.size(),
+                 "refine spec must look like axis:tol, e.g. lambda:0.01");
+  RefineOptions refine;
+  refine.axis = spec.substr(0, colon);
+  refine.tol = parse_value(spec.substr(colon + 1));
+  P2P_ASSERT_MSG(std::isfinite(refine.tol) && refine.tol > 0,
+                 "refine tolerance must be positive and finite");
+  return refine;
+}
+
+namespace {
+
+bool refinable_axis(const std::string& name) {
+  for (const char* known : kRefinableAxes) {
+    if (name == known) return true;
+  }
+  return false;
+}
+
+/// Closed-form bisection of one row: scan the refined axis's coarse
+/// values for the first adjacent verdict change, then halve the bracket
+/// until it is at most `tol` wide. No simulation runs here — Theorem 1
+/// is a formula — which is what lets refinement localize the boundary
+/// ~10 bisections deep for the price of one coarse cell.
+FrontierPoint bisect_row(const SweepGrid& rows, std::size_t row,
+                         const Axis& refined, const RefineOptions& refine) {
+  std::vector<Axis> axes = rows.axes;
+  axes.push_back(Axis{refined.name, {}});
+  std::vector<double> values = rows.cell_values(row);
+  values.push_back(0);
+  const auto params_at = [&](double v) {
+    values.back() = v;
+    return extract_params(axes, values);
+  };
+
+  FrontierPoint pt;
+  pt.row = row;
+
+  std::vector<Stability> verdicts(refined.values.size());
+  for (std::size_t i = 0; i < refined.values.size(); ++i) {
+    verdicts[i] = classify(swarm_params(params_at(refined.values[i]))).verdict;
+  }
+  std::size_t bracket = refined.values.size();
+  for (std::size_t i = 0; i + 1 < refined.values.size(); ++i) {
+    if (verdicts[i] != verdicts[i + 1]) {
+      bracket = i;
+      break;
+    }
+  }
+  if (bracket == refined.values.size()) {
+    // No flip inside the coarse range: report the row's parameters with
+    // the refined slot (and everything downstream) NaN.
+    pt.params = params_at(std::nan(""));
+    return pt;
+  }
+
+  double lo = refined.values[bracket];
+  double hi = refined.values[bracket + 1];
+  const Stability at_lo = verdicts[bracket];
+  // 200 iterations caps runaway loops when tol is below the bracket's
+  // floating-point resolution; each halving is one classify() call.
+  for (int iter = 0; std::abs(hi - lo) > refine.tol && iter < 200; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (classify(swarm_params(params_at(mid))).verdict == at_lo) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+
+  pt.bracketed = true;
+  pt.value_lo = lo;
+  pt.value_hi = hi;
+  pt.value = 0.5 * (lo + hi);
+  pt.params = params_at(pt.value);
+  pt.margin = classify(swarm_params(pt.params)).margin;
+  return pt;
+}
+
+}  // namespace
+
+FrontierResult refine_frontier(const SweepGrid& grid,
+                               const SweepOptions& options,
+                               const RefineOptions& refine) {
+  validate_caller_axes(grid);
+  validate_options(options);
+  const SweepGrid effective = effective_grid(grid);
+  validate_effective_axes(effective);
+
+  P2P_ASSERT_MSG(refinable_axis(refine.axis),
+                 "refine axis must be one of lambda, us, mu, gamma");
+  P2P_ASSERT_MSG(std::isfinite(refine.tol) && refine.tol > 0,
+                 "refine tolerance must be positive and finite");
+  const Axis* refined = effective.find_axis(refine.axis);
+  P2P_ASSERT(refined != nullptr);
+  P2P_ASSERT_MSG(refined->values.size() >= 2,
+                 "refined axis needs >= 2 coarse values to bracket a flip");
+  for (const double v : refined->values) {
+    P2P_ASSERT_MSG(std::isfinite(v), "refined axis values must be finite");
+  }
+
+  SweepGrid rows;
+  for (const auto& axis : effective.axes) {
+    if (axis.name != refine.axis) rows.axes.push_back(axis);
+  }
+  const std::size_t num_rows = rows.num_cells();
+
+  FrontierResult result;
+  result.grid = effective;
+  result.refine = refine;
+  result.options = options;
+  result.points.resize(num_rows);
+
+  ThreadPool pool(options.threads);
+  // Phase 1: closed-form bisection, one row per item.
+  pool.parallel_for(num_rows, [&](std::size_t row) {
+    result.points[row] = bisect_row(rows, row, *refined, refine);
+  });
+
+  // Phase 2: replica sims at the bracketed frontier points, one
+  // (row, replica) pair per item. Seeds key on the row index (not the
+  // compacted item index), so adding an unbracketed row elsewhere in the
+  // grid never shifts another row's streams.
+  std::vector<std::size_t> sim_rows;
+  for (const auto& pt : result.points) {
+    if (pt.bracketed) sim_rows.push_back(pt.row);
+  }
+  const std::size_t replicas = static_cast<std::size_t>(options.replicas);
+  std::vector<ReplicaSample> samples(sim_rows.size() * replicas);
+  pool.parallel_for(samples.size(), [&](std::size_t item) {
+    const std::size_t row = sim_rows[item / replicas];
+    const std::size_t replica = item % replicas;
+    samples[item] = simulate_replica(
+        result.points[row].params, options,
+        derive_seed(options.base_seed, kStreamFrontierSim, row, replica));
+  });
+
+  // Phase 3: serial aggregation in row order (determinism).
+  for (std::size_t i = 0; i < sim_rows.size(); ++i) {
+    const std::size_t row = sim_rows[i];
+    Rng agg_rng(derive_seed(options.base_seed, kStreamFrontierAgg, row, 0));
+    result.points[row].sim = aggregate_samples(
+        std::span<const ReplicaSample>(samples.data() + i * replicas,
+                                       replicas),
+        options, agg_rng);
+  }
+  return result;
+}
+
+Table FrontierResult::to_table() const {
+  Table table({"row", "axis", "bracketed", "value", "value_lo", "value_hi",
+               "margin", "lambda", "us", "mu", "gamma", "k", "eta", "flash",
+               "replicas", "sim_mean_peers", "sim_mean_peers_sem",
+               "sim_mean_peers_lo", "sim_mean_peers_hi"});
+  for (const auto& pt : points) {
+    table.add_row({format_number(static_cast<double>(pt.row)), refine.axis,
+                   format_number(pt.bracketed ? 1 : 0),
+                   format_number(pt.value), format_number(pt.value_lo),
+                   format_number(pt.value_hi), format_number(pt.margin),
+                   format_number(pt.params.lambda), format_number(pt.params.us),
+                   format_number(pt.params.mu), format_number(pt.params.gamma),
+                   format_number(pt.params.k), format_number(pt.params.eta),
+                   format_number(static_cast<double>(pt.params.flash)),
+                   format_number(pt.sim.replicas),
+                   format_number(pt.sim.mean_peers_mean),
+                   format_number(pt.sim.mean_peers_sem),
+                   format_number(pt.sim.mean_peers_lo),
+                   format_number(pt.sim.mean_peers_hi)});
   }
   return table;
 }

@@ -1,24 +1,38 @@
 // Parameter-grid scenario sweeps over the Zhu–Hajek model.
 //
 // A sweep is a cartesian grid over the model's parameter axes
-// (lambda, us, mu, gamma, k). Each grid cell is classified three ways:
+// (lambda, us, mu, gamma, k, eta, flash). Each grid cell is classified
+// three ways:
 //
 //   * theory  — Theorem 1 closed form (core/stability.hpp): verdict,
 //               stability margin, critical piece;
-//   * sim     — one SwarmSim replica to a time horizon (sim/swarm.hpp):
-//               final population, exact time-averaged population, mean
-//               sojourn of departed peers;
+//   * sim     — R independent SwarmSim replicas to a time horizon
+//               (sim/swarm.hpp): final population, exact time-averaged
+//               population, mean sojourn of departed peers — aggregated
+//               across replicas into mean / SEM / bootstrap-CI columns
+//               (analysis/confidence.hpp);
 //   * ctmc    — optionally, the truncated-chain stationary E[N]
 //               (ctmc/stationary.hpp) for small K, the exact answer the
 //               simulator should approach.
 //
-// Cells are independent, so the sweep fans them across a fixed thread
-// pool (engine/thread_pool.hpp). Determinism contract: every cell derives
-// its RNG stream from (base_seed, cell index) alone and results are
-// formatted in index order after the pool joins, so the emitted report is
-// byte-identical for any --threads value.
+// Replicas are independent, so the sweep fans the (cell, replica) pairs
+// individually across a fixed thread pool (engine/thread_pool.hpp) —
+// a grid of few cells with large R parallelizes just as well as a large
+// grid. Determinism contract: every replica derives its RNG stream from
+// (base_seed, cell, replica) alone, aggregation runs in index order
+// after the pool joins, so the emitted report is byte-identical for any
+// --threads value.
+//
+// Boundary refinement (refine_frontier) localizes the Theorem-1 phase
+// boundary instead of rasterizing it: per combination of the non-refined
+// axes ("row"), it scans the refined axis's coarse values for a verdict
+// flip, bisects the bracket down to a requested tolerance (the verdict
+// is closed form, so bisection costs no simulation), and then spends the
+// simulation budget only at the localized frontier point — R replicas
+// with the same CI aggregation as replica mode.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -30,7 +44,9 @@ namespace p2p::engine {
 
 /// One sweep axis: a parameter name and the grid values it takes.
 /// Valid names: "lambda" (empty-arrival rate), "us", "mu", "gamma"
-/// ("inf" allowed), "k" (integral piece count).
+/// ("inf" allowed), "k" (integral piece count), "eta" (Section VIII-C
+/// retry boost, >= 1), "flash" (one-club peers injected at t = 0,
+/// nonnegative integer).
 struct Axis {
   std::string name;
   std::vector<double> values;
@@ -60,19 +76,29 @@ struct SweepGrid {
 SweepGrid parse_grid(const std::string& spec);
 
 /// The standard Theorem-1 region grid: lambda 0.5:3.0:16 crossed with
-/// us 0.2:1.7:16 (256 cells) at mu = 1, gamma = 1.25, K = 3 — the
-/// phase-diagram slice of Fig. 1(a) generalized to K pieces.
+/// us 0.2:1.7:16 (256 cells) at mu = 1, gamma = 1.25, K = 3, eta = 1,
+/// flash = 0 — the phase-diagram slice of Fig. 1(a) generalized to K
+/// pieces.
 SweepGrid default_region_grid();
 
 struct SweepOptions {
-  /// Simulated time per cell.
+  /// Simulated time per replica.
   double horizon = 400;
-  /// Root seed; cell i simulates with a stream derived from (seed, i).
+  /// Simulated time discarded from the time-averaged population (the
+  /// occupancy integral starts at `warmup`), so stationary estimates are
+  /// not dragged down by the empty-start transient. Must be < horizon.
+  double warmup = 0;
+  /// Root seed; replica r of cell i simulates with a stream derived from
+  /// (seed, i, r).
   std::uint64_t base_seed = 1;
   /// OS threads (callers usually pass hardware_concurrency).
   int threads = 1;
-  /// Initial one-club flash crowd injected into every cell (0 = none).
-  std::int64_t flash_crowd = 0;
+  /// Independent replicas per cell, fanned as individual work items.
+  int replicas = 1;
+  /// Confidence level of the replica-mean bootstrap CI.
+  double confidence = 0.95;
+  /// Bootstrap resamples for the CI (>= 10).
+  int bootstrap_resamples = 256;
   /// > 0: additionally solve the truncated chain with this peer cap for
   /// cells with K <= kCtmcMaxPieces (state space explodes beyond that).
   std::int64_t ctmc_max_peers = 0;
@@ -80,17 +106,45 @@ struct SweepOptions {
   static constexpr int kCtmcMaxPieces = 2;
 };
 
+/// The model-parameter tuple a single grid point denotes.
+struct CellParams {
+  double lambda = 0, us = 0, mu = 0, gamma = 0, eta = 1;
+  int k = 0;
+  std::int64_t flash = 0;
+};
+
+/// Replica-aggregated simulation statistics for one parameter point.
+/// With a single replica the uncertainty fields are NaN.
+struct SimAggregate {
+  int replicas = 0;
+  double final_peers_mean = std::nan("");
+  double mean_peers_mean = std::nan("");
+  /// SEM of mean_peers across replicas (batch means, batch size 1).
+  double mean_peers_sem = std::nan("");
+  /// Percentile bootstrap CI for the replica mean at
+  /// SweepOptions::confidence.
+  double mean_peers_lo = std::nan("");
+  double mean_peers_hi = std::nan("");
+  /// Mean sojourn over the replicas that saw departures; NaN if none did.
+  /// (Similarly, mean_peers statistics cover only replicas whose
+  /// measurement window was nonempty — replicas counts the requested
+  /// total.)
+  double mean_sojourn = std::nan("");
+};
+
 /// One classified grid cell.
 struct CellResult {
   std::size_t index = 0;
   double lambda = 0, us = 0, mu = 0, gamma = 0;
   int k = 0;
+  /// Section VIII-C retry boost (1 = base model).
+  double eta = 1;
+  /// One-club flash crowd injected at t = 0.
+  std::int64_t flash = 0;
   StabilityReport theory;
-  double sim_final_peers = 0;
-  double sim_mean_peers = 0;
-  double sim_mean_sojourn = 0;
+  SimAggregate sim;
   /// NaN unless the CTMC solve ran for this cell.
-  double ctmc_mean_peers = 0;
+  double ctmc_mean_peers = std::nan("");
 };
 
 struct SweepResult {
@@ -99,16 +153,83 @@ struct SweepResult {
   std::vector<CellResult> cells;
 
   /// Fixed-schema table (cell-index order): cell, lambda, us, mu, gamma,
-  /// k, verdict, margin, critical_piece, sim_final_peers, sim_mean_peers,
-  /// sim_mean_sojourn, ctmc_mean_peers.
+  /// k, eta, flash, verdict, margin, critical_piece, replicas,
+  /// sim_final_peers, sim_mean_peers, sim_mean_sojourn,
+  /// sim_mean_peers_sem, sim_mean_peers_lo, sim_mean_peers_hi,
+  /// ctmc_mean_peers.
   Table to_table() const;
 };
 
-/// Runs every cell of `grid` across `options.threads` threads. Axes not
-/// present in `grid` take the default_region_grid() values (so an empty
-/// grid runs the full 256-cell region sweep); the effective grid is
-/// returned in SweepResult::grid. Aborts on unknown axis names, inf on
-/// any axis but gamma, or invalid parameter values (lambda/mu <= 0, ...).
+/// Runs every (cell, replica) pair of `grid` across `options.threads`
+/// threads. Axes not present in `grid` take the default_region_grid()
+/// values (so an empty grid runs the full 256-cell region sweep); the
+/// effective grid is returned in SweepResult::grid. Aborts on unknown
+/// axis names, inf on any axis but gamma, or invalid parameter values
+/// (lambda/mu <= 0, eta < 1, fractional flash, ...).
 SweepResult run_sweep(const SweepGrid& grid, const SweepOptions& options);
+
+// --- Theorem-1 boundary refinement ---
+
+struct RefineOptions {
+  /// Axis bisected toward the verdict flip; must be one of the
+  /// continuous theory axes "lambda", "us", "mu", "gamma".
+  std::string axis;
+  /// Absolute tolerance: bisection stops once the bracket is this wide.
+  double tol = 1e-3;
+};
+
+/// Parses "axis:tol", e.g. "lambda:0.01". Aborts on malformed specs.
+RefineOptions parse_refine(const std::string& spec);
+
+/// One localized frontier point: the Theorem-1 verdict flip along the
+/// refined axis for one combination of the remaining axes.
+struct FrontierPoint {
+  /// Row index over the non-refined axes (last axis fastest).
+  std::size_t row = 0;
+  /// False when the coarse scan found no verdict flip in this row: no
+  /// simulation runs, value/value_lo/value_hi/margin and the sim fields
+  /// are NaN, and `params` still reports the row's values (with NaN in
+  /// the refined axis's slot).
+  bool bracketed = false;
+  /// Cell parameters at the frontier estimate (the refined axis's slot
+  /// holds `value`).
+  CellParams params;
+  /// Frontier estimate: midpoint of the final bracket [value_lo,
+  /// value_hi], which is at most `tol` wide and contains the flip.
+  double value = std::nan("");
+  double value_lo = std::nan("");
+  double value_hi = std::nan("");
+  /// Theorem-1 stability margin at `value` (~0 by construction).
+  double margin = std::nan("");
+  /// R replicas simulated at the frontier point.
+  SimAggregate sim;
+};
+
+struct FrontierResult {
+  /// The effective (defaults-filled) grid refinement started from.
+  SweepGrid grid;
+  RefineOptions refine;
+  SweepOptions options;
+  /// One point per row, in row order.
+  std::vector<FrontierPoint> points;
+
+  /// Fixed-schema table (row order): row, axis, bracketed, value,
+  /// value_lo, value_hi, margin, lambda, us, mu, gamma, k, eta, flash,
+  /// replicas, sim_mean_peers, sim_mean_peers_sem, sim_mean_peers_lo,
+  /// sim_mean_peers_hi.
+  Table to_table() const;
+};
+
+/// For each combination of the non-refined axes, scans the refined
+/// axis's coarse values (in axis order) for the first adjacent
+/// Theorem-1 verdict change, bisects that bracket down to `refine.tol`
+/// (closed form, no simulation), then runs options.replicas SwarmSim
+/// replicas at the localized frontier point — fanned across the pool as
+/// individual (row, replica) items. Same determinism contract as
+/// run_sweep. Aborts if the refined axis is missing, non-refinable,
+/// has < 2 values, or contains inf.
+FrontierResult refine_frontier(const SweepGrid& grid,
+                               const SweepOptions& options,
+                               const RefineOptions& refine);
 
 }  // namespace p2p::engine

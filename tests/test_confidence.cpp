@@ -96,6 +96,42 @@ TEST(Bootstrap, MeanCiCoversTruthOnIid) {
   EXPECT_GE(covered, 38);
 }
 
+TEST(Bootstrap, PercentileIndicesAreSymmetricNearestRank) {
+  // Regression: both percentile indices used to be computed with
+  // truncating casts, which floor-biased the UPPER bound inward whenever
+  // (1-alpha)*(resamples-1) was fractional. With resamples = 20 and
+  // confidence 0.9: lower index floor(0.05 * 19) = 0, upper index must be
+  // ceil(0.95 * 19) = ceil(18.05) = 19 — the old code picked 18.
+  //
+  // A counting statistic makes the resample order observable: call 0 is
+  // the plug-in estimate on the original sample, calls 1..20 are the
+  // resamples, so the sorted resample statistics are exactly 1..20.
+  Rng rng(7);
+  const std::vector<double> xs(25, 0.0);
+  int calls = 0;
+  const auto result = block_bootstrap(
+      xs,
+      [&calls](std::span<const double>) {
+        return static_cast<double>(calls++);
+      },
+      /*block_length=*/5, /*resamples=*/20, /*confidence=*/0.9, rng);
+  EXPECT_EQ(result.estimate, 0.0);
+  EXPECT_EQ(result.lower, 1.0);   // stats[floor(0.95)] = stats[0]
+  EXPECT_EQ(result.upper, 20.0);  // stats[ceil(18.05)] = stats[19]
+}
+
+TEST(BatchMeans, BatchSizeOneIsNaiveIidSem) {
+  // num_batches == n: each replica is its own batch, so mean/SEM are the
+  // plain sample mean and s / sqrt(n) — the right estimator for
+  // independent replicas.
+  const std::vector<double> xs = {1, 2, 3, 4};
+  const auto result = batch_means(xs, 4);
+  EXPECT_EQ(result.batches, 4);
+  EXPECT_NEAR(result.mean, 2.5, 1e-12);
+  // Sample variance 5/3; SEM = sqrt(5/3 / 4).
+  EXPECT_NEAR(result.sem, std::sqrt(5.0 / 12.0), 1e-12);
+}
+
 TEST(Bootstrap, EstimateIsPlugIn) {
   Rng rng(6);
   const std::vector<double> xs = {1, 2, 3, 4, 5};

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cmath>
+#include <cstdint>
+#include <cstdlib>
 #include <limits>
 
 namespace p2p::engine {
@@ -13,6 +16,33 @@ TEST(FormatNumber, FiniteValues) {
   EXPECT_EQ(format_number(3.0), "3");
   EXPECT_EQ(format_number(-1.5), "-1.5");
   EXPECT_EQ(format_number(0.1), "0.1");
+}
+
+TEST(FormatNumber, RoundTripsExactBitPatterns) {
+  // Regression: "%.10g" truncated doubles to 10 significant digits, so
+  // corpus CSVs silently lost precision (pi came back 4 ulps off). The
+  // shortest-round-trip form must parse back to the identical bits.
+  const double values[] = {
+      0.1,
+      1.0 / 3.0,
+      3.141592653589793,        // needs all 16 digits
+      2.718281828459045,
+      1e-300,                   // subnormal-adjacent magnitudes
+      6.02214076e23,
+      std::nextafter(1.0, 2.0),  // 1 + 1 ulp
+      std::nextafter(0.0, 1.0),  // smallest subnormal
+      -0.0,
+      123456789.123456789,
+  };
+  for (const double v : values) {
+    const std::string s = format_number(v);
+    char* end = nullptr;
+    const double parsed = std::strtod(s.c_str(), &end);
+    ASSERT_EQ(end, s.c_str() + s.size()) << s;
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(parsed),
+              std::bit_cast<std::uint64_t>(v))
+        << "'" << s << "' does not round-trip";
+  }
 }
 
 TEST(FormatNumber, NonFiniteValues) {

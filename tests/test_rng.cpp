@@ -107,6 +107,41 @@ INSTANTIATE_TEST_SUITE_P(Means, PoissonMeanTest,
                          ::testing::Values(0.0, 0.3, 1.0, 4.0, 12.0, 45.0,
                                            80.0));
 
+TEST(Rng, PoissonChunkedPathMatchesExactMoments) {
+  // mean > 30 takes the chunked path (summed Poisson(15) chunks plus an
+  // inversion remainder); Poisson additivity makes that exact in law, so
+  // mean and variance must both match `mean` within Monte-Carlo noise.
+  Rng rng(101);
+  const double mean = 61.7;  // 4 chunks + fractional remainder
+  const int trials = 200000;
+  double sum = 0, sum_sq = 0;
+  for (int i = 0; i < trials; ++i) {
+    const auto x = static_cast<double>(rng.poisson(mean));
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double m = sum / trials;
+  const double v = sum_sq / trials - m * m;
+  // SE(mean) = sqrt(mean/trials) ~ 0.018; SE(var) ~ sqrt(2/trials)*mean.
+  EXPECT_NEAR(m, mean, 5.0 * std::sqrt(mean / trials));
+  EXPECT_NEAR(v, mean, 5.0 * mean * std::sqrt(2.0 / trials) + 0.5);
+}
+
+TEST(Rng, PoissonChunkedGoldenStream) {
+  // Fixed-seed golden values pin the exact output stream of the chunked
+  // path, so a refactor of the chunk split (e.g. chunk size or order)
+  // cannot silently change every downstream simulation.
+  Rng rng(424242);
+  const std::int64_t golden[] = {rng.poisson(31.0), rng.poisson(61.7),
+                                 rng.poisson(100.0), rng.poisson(1000.0),
+                                 rng.poisson(30.0)};  // last: inversion path
+  EXPECT_EQ(golden[0], 37);
+  EXPECT_EQ(golden[1], 51);
+  EXPECT_EQ(golden[2], 107);
+  EXPECT_EQ(golden[3], 967);
+  EXPECT_EQ(golden[4], 37);
+}
+
 TEST(Rng, BernoulliFrequency) {
   Rng rng(19);
   int hits = 0;

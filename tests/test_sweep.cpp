@@ -76,8 +76,8 @@ TEST(RunSweep, TheoremOneVerdictsOnKnownCells) {
   EXPECT_EQ(result.cells[0].theory.verdict, Stability::kPositiveRecurrent);
   EXPECT_EQ(result.cells[1].theory.verdict, Stability::kTransient);
   // The transient cell piles up peers; the stable one stays modest.
-  EXPECT_GT(result.cells[1].sim_final_peers,
-            4 * result.cells[0].sim_final_peers);
+  EXPECT_GT(result.cells[1].sim.final_peers_mean,
+            4 * result.cells[0].sim.final_peers_mean);
 }
 
 TEST(RunSweep, ByteIdenticalAcrossThreadCounts) {
@@ -103,7 +103,7 @@ TEST(RunSweep, SeedChangesSimButNotTheory) {
   const CellResult ca = run_sweep(grid, a).cells[0];
   const CellResult cb = run_sweep(grid, b).cells[0];
   EXPECT_EQ(ca.theory.verdict, cb.theory.verdict);
-  EXPECT_NE(ca.sim_mean_peers, cb.sim_mean_peers);
+  EXPECT_NE(ca.sim.mean_peers_mean, cb.sim.mean_peers_mean);
 }
 
 TEST(RunSweep, CtmcColumnGatedByPieceCount) {
@@ -116,6 +116,18 @@ TEST(RunSweep, CtmcColumnGatedByPieceCount) {
   EXPECT_TRUE(std::isfinite(result.cells[0].ctmc_mean_peers));  // K = 2
   EXPECT_GT(result.cells[0].ctmc_mean_peers, 0.0);
   EXPECT_TRUE(std::isnan(result.cells[1].ctmc_mean_peers));  // K = 3
+  // A skipped solve must read as "nan" in the table, never as 0 — the
+  // column is documented "NaN unless the CTMC solve ran".
+  const Table table = result.to_table();
+  EXPECT_EQ(table.row(1).back(), "nan");
+}
+
+TEST(CellResult, CtmcDefaultsToNaNNotZero) {
+  // A default-constructed cell must not claim "exact E[N] = 0": the field
+  // previously default-initialized to 0, which is a valid-looking answer.
+  const CellResult cell;
+  EXPECT_TRUE(std::isnan(cell.ctmc_mean_peers));
+  EXPECT_TRUE(std::isnan(cell.sim.mean_peers_sem));
 }
 
 TEST(RunSweep, TableSchemaIsStable) {
@@ -123,10 +135,137 @@ TEST(RunSweep, TableSchemaIsStable) {
   SweepOptions options;
   options.horizon = 10;
   const Table table = run_sweep(grid, options).to_table();
-  ASSERT_EQ(table.num_columns(), 13u);
+  ASSERT_EQ(table.num_columns(), 19u);
   EXPECT_EQ(table.columns().front(), "cell");
   EXPECT_EQ(table.columns().back(), "ctmc_mean_peers");
   EXPECT_EQ(table.num_rows(), 1u);
+}
+
+TEST(RunSweep, SingleReplicaEmitsNaNUncertainty) {
+  SweepGrid grid = parse_grid("lambda=1;us=1;k=1");
+  SweepOptions options;
+  options.horizon = 20;
+  const SweepResult result = run_sweep(grid, options);
+  ASSERT_EQ(result.cells.size(), 1u);
+  const SimAggregate& sim = result.cells[0].sim;
+  EXPECT_EQ(sim.replicas, 1);
+  EXPECT_TRUE(std::isfinite(sim.mean_peers_mean));
+  EXPECT_TRUE(std::isnan(sim.mean_peers_sem));
+  EXPECT_TRUE(std::isnan(sim.mean_peers_lo));
+  EXPECT_TRUE(std::isnan(sim.mean_peers_hi));
+}
+
+TEST(RunSweep, ReplicaAggregatesAreOrderedAndFinite) {
+  SweepGrid grid = parse_grid("lambda=2;us=1;k=1");
+  SweepOptions options;
+  options.horizon = 60;
+  options.replicas = 6;
+  const SweepResult result = run_sweep(grid, options);
+  const SimAggregate& sim = result.cells[0].sim;
+  EXPECT_EQ(sim.replicas, 6);
+  EXPECT_GT(sim.mean_peers_sem, 0.0);
+  EXPECT_LE(sim.mean_peers_lo, sim.mean_peers_mean);
+  EXPECT_LE(sim.mean_peers_mean, sim.mean_peers_hi);
+  EXPECT_LT(sim.mean_peers_lo, sim.mean_peers_hi);
+}
+
+TEST(RunSweep, ReplicaModeByteIdenticalAcrossThreadCounts) {
+  SweepGrid grid = parse_grid("lambda=1,2;us=0.5,1.5;k=2");
+  SweepOptions one;
+  one.horizon = 30;
+  one.replicas = 5;
+  one.threads = 1;
+  SweepOptions four = one;
+  four.threads = 4;
+  const std::string csv1 = run_sweep(grid, one).to_table().to_csv();
+  const std::string csv4 = run_sweep(grid, four).to_table().to_csv();
+  EXPECT_FALSE(csv1.empty());
+  EXPECT_EQ(csv1, csv4);
+}
+
+TEST(RunSweep, ReplicaCiCoversExactStationaryMean) {
+  // Acceptance check: a stable K = 1 cell where the truncated chain is
+  // effectively exact (cap far above the typical population). The
+  // replica-mean CI over warmed-up time averages must cover E[N].
+  SweepGrid grid = parse_grid("lambda=1;us=1;mu=1;gamma=1.25;k=1");
+  SweepOptions options;
+  options.horizon = 400;
+  options.warmup = 80;
+  options.replicas = 16;
+  options.ctmc_max_peers = 60;
+  const SweepResult result = run_sweep(grid, options);
+  const CellResult& cell = result.cells[0];
+  ASSERT_TRUE(std::isfinite(cell.ctmc_mean_peers));
+  EXPECT_LE(cell.sim.mean_peers_lo, cell.ctmc_mean_peers);
+  EXPECT_GE(cell.sim.mean_peers_hi, cell.ctmc_mean_peers);
+  // The CI should also be meaningfully tight, not a vacuous cover.
+  EXPECT_LT(cell.sim.mean_peers_hi - cell.sim.mean_peers_lo,
+            cell.ctmc_mean_peers);
+}
+
+TEST(RunSweep, WarmupRemovesEmptyStartBias) {
+  // For a stable system started empty, the raw [0, T] time average sits
+  // below the warmed [warmup, T] one (the transient drags it down).
+  SweepGrid grid = parse_grid("lambda=2;us=1;mu=1;gamma=1.25;k=1");
+  SweepOptions cold;
+  cold.horizon = 200;
+  cold.replicas = 8;
+  SweepOptions warm = cold;
+  warm.warmup = 50;
+  const double cold_mean =
+      run_sweep(grid, cold).cells[0].sim.mean_peers_mean;
+  const double warm_mean =
+      run_sweep(grid, warm).cells[0].sim.mean_peers_mean;
+  EXPECT_GT(warm_mean, cold_mean);
+}
+
+TEST(RunSweep, CollapsedMeasurementWindowYieldsNaNNotZero) {
+  // run_until steps whole events, so with a near-zero event rate the
+  // warmup run overshoots past the horizon and the measurement window
+  // collapses. The replica must report NaN (no information), never a
+  // fabricated population of 0.
+  SweepGrid grid = parse_grid("lambda=1e-9;us=0;mu=1;gamma=1.25;k=1");
+  SweepOptions options;
+  options.horizon = 1;
+  options.warmup = 0.5;
+  options.replicas = 3;
+  const SweepResult result = run_sweep(grid, options);
+  const SimAggregate& sim = result.cells[0].sim;
+  EXPECT_EQ(sim.replicas, 3);
+  EXPECT_TRUE(std::isnan(sim.mean_peers_mean));
+  EXPECT_TRUE(std::isnan(sim.mean_peers_sem));
+}
+
+TEST(RunSweep, FlashAxisInjectsOneClubCrowd) {
+  // A one-club flash crowd in a transient cell persists; final population
+  // must dominate the flashless run. The theory verdict ignores flash.
+  SweepGrid grid = parse_grid("lambda=2;us=0.2;mu=1;gamma=1.25;k=2;"
+                              "flash=0,200");
+  SweepOptions options;
+  options.horizon = 30;
+  const SweepResult result = run_sweep(grid, options);
+  ASSERT_EQ(result.cells.size(), 2u);
+  EXPECT_EQ(result.cells[0].flash, 0);
+  EXPECT_EQ(result.cells[1].flash, 200);
+  EXPECT_EQ(result.cells[0].theory.verdict, result.cells[1].theory.verdict);
+  EXPECT_GT(result.cells[1].sim.final_peers_mean,
+            result.cells[0].sim.final_peers_mean + 100);
+}
+
+TEST(RunSweep, EtaAxisLeavesTheoryFixedButChangesSim) {
+  // Section VIII-C: faster retry does not move the stability region, so
+  // the Theorem-1 columns must be identical along the eta axis while the
+  // simulated trajectories differ.
+  SweepGrid grid = parse_grid("lambda=2;us=0.5;mu=1;gamma=1.25;k=2;"
+                              "eta=1,8");
+  SweepOptions options;
+  options.horizon = 60;
+  const SweepResult result = run_sweep(grid, options);
+  ASSERT_EQ(result.cells.size(), 2u);
+  EXPECT_EQ(result.cells[0].theory.verdict, result.cells[1].theory.verdict);
+  EXPECT_EQ(result.cells[0].theory.margin, result.cells[1].theory.margin);
+  EXPECT_NE(result.cells[0].sim.mean_peers_mean,
+            result.cells[1].sim.mean_peers_mean);
 }
 
 TEST(RunSweep, MissingAxesFallBackToDefaultRegionGrid) {
@@ -152,6 +291,33 @@ TEST(RunSweepDeath, InfOnNonGammaAxisAborts) {
   // the simulation would spin forever; only gamma may be inf.
   SweepGrid grid = parse_grid("lambda=inf;us=1;k=1");
   EXPECT_DEATH(run_sweep(grid, SweepOptions{}), "only the gamma axis");
+}
+
+TEST(RunSweepDeath, EtaBelowOneAborts) {
+  SweepGrid grid = parse_grid("lambda=1;us=1;k=1;eta=0.5");
+  EXPECT_DEATH(run_sweep(grid, SweepOptions{}), "eta must be >= 1");
+}
+
+TEST(RunSweepDeath, FractionalOrNegativeFlashAborts) {
+  SweepOptions options;
+  options.horizon = 5;
+  EXPECT_DEATH(run_sweep(parse_grid("lambda=1;us=1;k=1;flash=0.5"), options),
+               "nonnegative integer");
+  EXPECT_DEATH(run_sweep(parse_grid("lambda=1;us=1;k=1;flash=-2"), options),
+               "nonnegative integer");
+}
+
+TEST(RunSweepDeath, InvalidReplicaOptionsAbort) {
+  const SweepGrid grid = parse_grid("lambda=1;us=1;k=1");
+  SweepOptions options;
+  options.replicas = 0;
+  EXPECT_DEATH(run_sweep(grid, options), "replicas");
+  options.replicas = 1;
+  options.warmup = options.horizon;
+  EXPECT_DEATH(run_sweep(grid, options), "warmup");
+  options.warmup = 0;
+  options.confidence = 1.0;
+  EXPECT_DEATH(run_sweep(grid, options), "confidence");
 }
 
 }  // namespace

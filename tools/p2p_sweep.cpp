@@ -1,22 +1,31 @@
 // p2p_sweep: parallel scenario sweeps over the Zhu–Hajek parameter space.
 //
-// Fans independent grid cells (one SwarmSim run + Theorem-1 closed form,
-// optionally a truncated-CTMC stationary solve) across a fixed thread
-// pool and emits one CSV/JSON row per cell. Per-cell RNG streams are
-// derived from (seed, cell index), so the report is byte-identical for
-// any --threads value.
+// Fans independent (cell, replica) work items — each one SwarmSim run,
+// plus the Theorem-1 closed form and optionally a truncated-CTMC
+// stationary solve per cell — across a fixed thread pool and emits one
+// CSV/JSON row per cell with replica-mean / SEM / bootstrap-CI columns.
+// Per-replica RNG streams are derived from (seed, cell, replica), so the
+// report is byte-identical for any --threads value.
 //
-//   # 256-cell Theorem-1 stability region (lambda x Us phase diagram):
-//   $ ./p2p_sweep --grid lambda=0.5:3.0:16 --threads 8 --out region.csv
+//   # 256-cell Theorem-1 stability region (lambda x Us phase diagram),
+//   # 8 replicas per cell with 95% CIs:
+//   $ ./p2p_sweep --grid lambda=0.5:3.0:16 --replicas 8 --threads 8 \
+//       --out region.csv
 //
 //   # Custom slice: dwell-rate axis with an immediate-departure endpoint,
 //   # exact E[N] cross-check for K = 2:
 //   $ ./p2p_sweep --grid "k=2;gamma=0.5,1.25,5,inf;lambda=0.5:2.5:9" \
 //       --ctmc-cap 30 --format json
 //
+//   # Boundary refinement: bisect the Theorem-1 verdict flip along
+//   # lambda (to +-0.01) for each Us in the coarse grid, then simulate
+//   # 8 replicas at each localized frontier point:
+//   $ ./p2p_sweep --grid "k=1;us=0.4:1.6:7;lambda=1:9:5" \
+//       --refine lambda:0.01 --replicas 8 --warmup 100 --out frontier.csv
+//
 // Unspecified axes keep the default region grid's values (lambda and Us
-// 16-point linspaces, mu = 1, gamma = 1.25, K = 3); naming an axis in
-// --grid replaces just that axis.
+// 16-point linspaces, mu = 1, gamma = 1.25, K = 3, eta = 1, flash = 0);
+// naming an axis in --grid replaces just that axis.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -40,13 +49,25 @@ int main(int argc, char** argv) {
   const int threads_flag =
       flags.get_int("threads", 0, "worker threads (0 = all hardware cores)");
   const double horizon =
-      flags.get_double("horizon", 400.0, "simulated time per cell");
+      flags.get_double("horizon", 400.0, "simulated time per replica");
+  const double warmup = flags.get_double(
+      "warmup", 0.0, "simulated time discarded from time averages");
   const int seed = flags.get_int("seed", 1, "root RNG seed");
+  const int replicas = flags.get_int(
+      "replicas", 1, "independent SwarmSim replicas per cell");
+  const double confidence = flags.get_double(
+      "confidence", 0.95, "confidence level of the replica-mean CI");
   const int flash = flags.get_int(
-      "flash", 0, "one-club peers injected into every cell at t=0");
+      "flash", 0,
+      "one-club peers injected into every cell at t=0 (shorthand for a "
+      "single-value flash axis)");
   const int ctmc_cap = flags.get_int(
       "ctmc-cap", 0,
       "truncated-CTMC peer cap for exact E[N] on K<=2 cells (0 = off)");
+  const std::string refine_spec = flags.get_string(
+      "refine", "",
+      "axis:tol — per row, bisect the Theorem-1 verdict flip along axis "
+      "to within tol and emit a frontier table instead of the grid");
   const std::string format =
       flags.get_string("format", "csv", "output format: csv | json");
   const std::string out =
@@ -60,12 +81,28 @@ int main(int argc, char** argv) {
 
   // run_sweep fills axes missing from the spec from the default region
   // grid, so an empty --grid runs the full 256-cell sweep.
-  const SweepGrid grid = parse_grid(grid_spec);
+  SweepGrid grid = parse_grid(grid_spec);
+  if (flash < 0) {
+    // The axis path rejects negatives; the shorthand must not silently
+    // run flashless instead.
+    std::fprintf(stderr, "error: --flash must be nonnegative\n");
+    return 2;
+  }
+  if (flash > 0) {
+    if (grid.find_axis("flash") != nullptr) {
+      std::fprintf(stderr,
+                   "error: give either --flash or a flash axis, not both\n");
+      return 2;
+    }
+    grid.set_axis(Axis{"flash", {static_cast<double>(flash)}});
+  }
 
   SweepOptions options;
   options.horizon = horizon;
+  options.warmup = warmup;
   options.base_seed = static_cast<std::uint64_t>(seed);
-  options.flash_crowd = static_cast<std::int64_t>(flash);
+  options.replicas = replicas;
+  options.confidence = confidence;
   options.ctmc_max_peers = static_cast<std::int64_t>(ctmc_cap);
   options.threads = threads_flag > 0
                         ? threads_flag
@@ -73,6 +110,34 @@ int main(int argc, char** argv) {
                               1u, std::thread::hardware_concurrency()));
 
   const auto t0 = std::chrono::steady_clock::now();
+
+  if (!refine_spec.empty()) {
+    if (ctmc_cap > 0) {
+      // The frontier table has no ctmc column; silently accepting the
+      // flag would look like the cross-check ran.
+      std::fprintf(stderr,
+                   "error: --ctmc-cap applies to grid mode only, not "
+                   "--refine\n");
+      return 2;
+    }
+    const RefineOptions refine = parse_refine(refine_spec);
+    const FrontierResult result = refine_frontier(grid, options, refine);
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    const Table table = result.to_table();
+    write_text(out, format == "json" ? table.to_json() : table.to_csv());
+
+    std::size_t bracketed = 0;
+    for (const auto& pt : result.points) bracketed += pt.bracketed;
+    std::fprintf(stderr,
+                 "p2p_sweep: frontier along %s (tol %g): %zu rows, %zu "
+                 "bracketed, %d replicas/point in %.2fs on %d threads\n",
+                 refine.axis.c_str(), refine.tol, result.points.size(),
+                 bracketed, options.replicas, elapsed, options.threads);
+    return 0;
+  }
+
   const SweepResult result = run_sweep(grid, options);
   const double elapsed =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
@@ -97,9 +162,10 @@ int main(int argc, char** argv) {
   }
   std::fprintf(stderr,
                "p2p_sweep: %zu cells (%zu stable / %zu transient / %zu "
-               "borderline) in %.2fs on %d threads (%.1f cells/s)\n",
-               result.cells.size(), stable, transient, borderline, elapsed,
-               options.threads,
+               "borderline) x %d replicas in %.2fs on %d threads "
+               "(%.1f cells/s)\n",
+               result.cells.size(), stable, transient, borderline,
+               options.replicas, elapsed, options.threads,
                static_cast<double>(result.cells.size()) / elapsed);
   return 0;
 }
