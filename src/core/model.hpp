@@ -147,6 +147,49 @@ class SwarmParams {
                         {PieceSet::single(2), lambda3}});
   }
 
+  // --- Named arrival mixes (unit-total typed streams) ---
+  //
+  // A "mix" is a list of ArrivalSpecs whose rates are *fractions* summing
+  // to 1: multiply every rate by lambda_total to obtain an arrival stream
+  // of that composition. The scenario layer (engine/scenario.hpp)
+  // interpolates between the empty-arrival stream and a named mix.
+
+  /// Rescales `mix` so its rates sum to 1. Total must be positive.
+  static std::vector<ArrivalSpec> normalized_mix(std::vector<ArrivalSpec> mix) {
+    double total = 0;
+    for (const auto& a : mix) {
+      P2P_ASSERT_MSG(a.rate >= 0, "mix weights must be nonnegative");
+      total += a.rate;
+    }
+    P2P_ASSERT_MSG(total > 0, "mix weights must have a positive sum");
+    for (auto& a : mix) a.rate /= total;
+    return mix;
+  }
+
+  /// Example 2's paired-halves mix over K = 4: type {1,2} at relative
+  /// weight w12, type {3,4} at w34 (paper numbering; fractions normalized).
+  static std::vector<ArrivalSpec> example2_mix(double w12, double w34) {
+    return normalized_mix({{PieceSet::single(0).with(1), w12},
+                           {PieceSet::single(2).with(3), w34}});
+  }
+
+  /// Example 3's single-piece mix over K = 3: type {i} at weight wi.
+  static std::vector<ArrivalSpec> example3_mix(double w1, double w2,
+                                               double w3) {
+    return normalized_mix({{PieceSet::single(0), w1},
+                           {PieceSet::single(1), w2},
+                           {PieceSet::single(2), w3}});
+  }
+
+  /// The one-club mix over K >= 2 pieces: every arrival already holds
+  /// F - {0} (all but the paper's piece one) — the missing-piece-syndrome
+  /// stream of Section V.
+  static std::vector<ArrivalSpec> one_club_mix(int num_pieces) {
+    P2P_ASSERT_MSG(num_pieces >= 2 && num_pieces <= kMaxPieces,
+                   "one-club mix needs K in [2, 64]");
+    return {{PieceSet::full(num_pieces).without(0), 1.0}};
+  }
+
   std::string to_string() const {
     std::string s = "SwarmParams{K=" + std::to_string(num_pieces_) +
                     ", Us=" + std::to_string(seed_rate_) +

@@ -1,0 +1,50 @@
+// Shared low-level parsing for the engine's CLI spec grammars
+// (axis specs, refine specs, scenario specs): one strtod-full-consumption
+// number parser and one separator splitter, so the grammars cannot drift
+// apart on locale/whitespace/partial-token handling.
+#pragma once
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace p2p::engine {
+
+/// Parses one number token. `spec` is the enclosing CLI spec, echoed
+/// verbatim on failure so the user sees which argument is bad. When
+/// `allow_inf`, the token "inf" parses to +infinity; otherwise only
+/// finite decimal spellings are accepted (strtod must consume the whole
+/// token — "1x", "", " 2" all abort).
+inline double parse_number(const std::string& token, const std::string& spec,
+                           bool allow_inf, const char* what) {
+  if (allow_inf && token == "inf") {
+    return std::numeric_limits<double>::infinity();
+  }
+  char* end = nullptr;
+  const double v = std::strtod(token.c_str(), &end);
+  P2P_ASSERT_MSG(!token.empty() && end == token.c_str() + token.size() &&
+                     (allow_inf || std::isfinite(v)),
+                 std::string(what) + " (got \"" + spec + "\")");
+  return v;
+}
+
+/// Splits `body` at every `sep` (no escaping; empty pieces preserved).
+inline std::vector<std::string> split_list(const std::string& body,
+                                           char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const auto pos = body.find(sep, start);
+    out.push_back(body.substr(
+        start, pos == std::string::npos ? std::string::npos : pos - start));
+    if (pos == std::string::npos) break;
+    start = pos + 1;
+  }
+  return out;
+}
+
+}  // namespace p2p::engine

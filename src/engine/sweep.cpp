@@ -7,6 +7,7 @@
 #include "analysis/confidence.hpp"
 #include "core/model.hpp"
 #include "ctmc/stationary.hpp"
+#include "engine/parse_util.hpp"
 #include "engine/thread_pool.hpp"
 #include "rand/rng.hpp"
 #include "sim/swarm.hpp"
@@ -16,14 +17,18 @@ namespace p2p::engine {
 
 namespace {
 
-constexpr const char* kAxisNames[] = {"lambda", "us",  "mu",   "gamma",
-                                      "k",      "eta", "flash"};
+constexpr const char* kAxisNames[] = {"lambda", "us",    "mu",
+                                      "gamma",  "k",     "eta",
+                                      "flash",  "mix",   "hetero"};
 
 /// Axes the frontier refiner may bisect: the continuous parameters that
-/// enter the Theorem-1 closed form (eta and flash do not — Section
-/// VIII-C's point is that retries leave the stability region unchanged —
-/// and k is integral).
-constexpr const char* kRefinableAxes[] = {"lambda", "us", "mu", "gamma"};
+/// enter the Theorem-1 closed form. mix qualifies — the verdict depends
+/// on the arrival composition — but eta, hetero and flash do not (Section
+/// VIII-C's point is that retries leave the stability region unchanged,
+/// the theory is homogeneous in upload rate, and flash only moves the
+/// initial state), and k is integral.
+constexpr const char* kRefinableAxes[] = {"lambda", "us", "mu", "gamma",
+                                          "mix"};
 
 bool known_axis(const std::string& name) {
   for (const char* known : kAxisNames) {
@@ -32,13 +37,11 @@ bool known_axis(const std::string& name) {
   return false;
 }
 
-double parse_value(const std::string& token) {
-  if (token == "inf") return kInfiniteRate;
-  char* end = nullptr;
-  const double v = std::strtod(token.c_str(), &end);
-  P2P_ASSERT_MSG(!token.empty() && end == token.c_str() + token.size(),
-                 "axis values must be numbers (or 'inf')");
-  return v;
+/// Parses one axis/tolerance value; `spec` is the enclosing CLI spec,
+/// echoed verbatim on failure so the user sees which argument is bad.
+double parse_value(const std::string& token, const std::string& spec) {
+  return parse_number(token, spec, /*allow_inf=*/true,
+                      "axis values must be numbers (or 'inf')");
 }
 
 /// Independent named streams off one base seed, so replica sims, the
@@ -83,6 +86,8 @@ CellParams extract_params(const std::vector<Axis>& axes,
   p.mu = axis_value(axes, values, "mu");
   p.gamma = axis_value(axes, values, "gamma");
   p.eta = axis_value(axes, values, "eta");
+  p.mix = axis_value(axes, values, "mix");
+  p.hetero = axis_value(axes, values, "hetero");
   const double k_raw = axis_value(axes, values, "k");
   p.k = static_cast<int>(std::lround(k_raw));
   P2P_ASSERT_MSG(p.k >= 1 && std::abs(k_raw - p.k) < 1e-9,
@@ -95,10 +100,6 @@ CellParams extract_params(const std::vector<Axis>& axes,
   return p;
 }
 
-SwarmParams swarm_params(const CellParams& p) {
-  return SwarmParams(p.k, p.us, p.mu, p.gamma, {{PieceSet{}, p.lambda}});
-}
-
 /// One replica's simulation summary (pre-aggregation).
 struct ReplicaSample {
   double final_peers = 0;
@@ -109,11 +110,9 @@ struct ReplicaSample {
 ReplicaSample simulate_replica(const CellParams& p,
                                const SweepOptions& options,
                                std::uint64_t seed) {
-  const SwarmParams params = swarm_params(p);
-  SwarmSimOptions sim_options;
-  sim_options.rng_seed = seed;
-  sim_options.retry_boost = p.eta;
-  SwarmSim sim(params, sim_options);
+  ExpandedCell cell = expand(options.scenario, p);
+  cell.sim.rng_seed = seed;
+  SwarmSim sim(cell.params, cell.sim);
   if (p.flash > 0) {
     sim.inject_peers(PieceSet::full(p.k).without(0), p.flash);
   }
@@ -201,12 +200,15 @@ void validate_caller_axes(const SweepGrid& grid) {
   for (const auto& axis : grid.axes) {
     P2P_ASSERT_MSG(known_axis(axis.name),
                    "unknown sweep axis (valid: lambda, us, mu, gamma, k, "
-                   "eta, flash)");
-    P2P_ASSERT_MSG(!axis.values.empty(), "sweep axis has no values");
+                   "eta, flash, mix, hetero; got \"" +
+                       axis.name + "\")");
+    P2P_ASSERT_MSG(!axis.values.empty(),
+                   "sweep axis has no values (axis \"" + axis.name + "\")");
   }
 }
 
-void validate_effective_axes(const SweepGrid& effective) {
+void validate_effective_axes(const SweepGrid& effective,
+                             const SweepOptions& options) {
   for (const auto& axis : effective.axes) {
     for (const double v : axis.values) {
       if (axis.name != "gamma") {  // inf = immediate departure
@@ -220,10 +222,27 @@ void validate_effective_axes(const SweepGrid& effective) {
       if (axis.name == "k") {
         P2P_ASSERT_MSG(v >= 1 && std::abs(v - std::lround(v)) < 1e-9,
                        "axis k must take positive integer values");
+        P2P_ASSERT_MSG(
+            options.scenario.empty() ||
+                std::lround(v) == options.scenario.num_pieces,
+            "axis k must equal the scenario's piece count (mix \"" +
+                options.scenario.name + "\" is defined over K = " +
+                std::to_string(options.scenario.num_pieces) + ")");
       }
       if (axis.name == "flash") {
         P2P_ASSERT_MSG(v >= 0 && std::abs(v - std::llround(v)) < 1e-9,
                        "axis flash must take nonnegative integer values");
+      }
+      if (axis.name == "mix") {
+        P2P_ASSERT_MSG(v >= 0 && v <= 1, "axis mix must lie in [0, 1]");
+        P2P_ASSERT_MSG(v == 0 || !options.scenario.empty(),
+                       "axis mix needs a named scenario (--mix) to "
+                       "interpolate toward");
+      }
+      if (axis.name == "hetero") {
+        P2P_ASSERT_MSG(v >= 0 && v < 1,
+                       "axis hetero must lie in [0, 1) (slow multiplier "
+                       "1 - h must stay positive)");
       }
     }
   }
@@ -240,6 +259,21 @@ void validate_options(const SweepOptions& options) {
                  "bootstrap resamples must be >= 10");
 }
 
+/// True when the truncated chain for (K, cap) fits the solver's budget:
+/// the state count grows like C(cap + 2^K, 2^K), so a cap that is cheap
+/// at K = 1 (a few thousand states) is billions of states at K = 3.
+/// Intractable cells skip the solve (NaN column, like the K gate) rather
+/// than hanging the sweep.
+bool ctmc_tractable(int k, std::int64_t cap) {
+  const int types = 1 << k;  // k <= kCtmcMaxPieces, so at most 8
+  double states = 1;
+  for (int i = 1; i <= types; ++i) {
+    states *= static_cast<double>(cap + i) / static_cast<double>(i);
+    if (states > SweepOptions::kCtmcMaxStates) return false;
+  }
+  return true;
+}
+
 SweepGrid effective_grid(const SweepGrid& grid) {
   // Axes the caller did not specify take the default region grid's —
   // the single source of fallback values, so a partial grid cannot
@@ -252,10 +286,15 @@ SweepGrid effective_grid(const SweepGrid& grid) {
 }  // namespace
 
 Axis parse_axis(const std::string& spec) {
+  // Every message names the offending spec verbatim: a sweep command
+  // often carries half a dozen ';'-separated axes, and an abort that
+  // does not say which one is malformed sends the user diffing specs by
+  // hand.
   const auto eq = spec.find('=');
   P2P_ASSERT_MSG(eq != std::string::npos && eq > 0 && eq + 1 < spec.size(),
                  "axis spec must look like name=lo:hi:count, name=v1,v2 "
-                 "or name=v");
+                 "or name=v (got \"" +
+                     spec + "\")");
   Axis axis;
   axis.name = spec.substr(0, eq);
   const std::string body = spec.substr(eq + 1);
@@ -266,15 +305,18 @@ Axis parse_axis(const std::string& spec) {
     const auto c2 = body.find(':', c1 + 1);
     P2P_ASSERT_MSG(c2 != std::string::npos &&
                        body.find(':', c2 + 1) == std::string::npos,
-                   "linspace axis must be name=lo:hi:count");
-    const double lo = parse_value(body.substr(0, c1));
-    const double hi = parse_value(body.substr(c1 + 1, c2 - c1 - 1));
-    const double count_raw = parse_value(body.substr(c2 + 1));
+                   "linspace axis must be name=lo:hi:count (got \"" + spec +
+                       "\")");
+    const double lo = parse_value(body.substr(0, c1), spec);
+    const double hi = parse_value(body.substr(c1 + 1, c2 - c1 - 1), spec);
+    const double count_raw = parse_value(body.substr(c2 + 1), spec);
     const long count = std::lround(count_raw);
     P2P_ASSERT_MSG(count >= 1 && std::abs(count_raw - count) < 1e-9,
-                   "linspace count must be a positive integer");
+                   "linspace count must be a positive integer (got \"" +
+                       spec + "\")");
     P2P_ASSERT_MSG(std::isfinite(lo) && std::isfinite(hi),
-                   "linspace endpoints must be finite");
+                   "linspace endpoints must be finite (got \"" + spec +
+                       "\")");
     for (long i = 0; i < count; ++i) {
       axis.values.push_back(
           count == 1 ? lo
@@ -283,14 +325,8 @@ Axis parse_axis(const std::string& spec) {
     }
   } else {
     // Explicit list (possibly a single value).
-    std::size_t start = 0;
-    while (true) {
-      const auto comma = body.find(',', start);
-      axis.values.push_back(parse_value(
-          body.substr(start, comma == std::string::npos ? std::string::npos
-                                                        : comma - start)));
-      if (comma == std::string::npos) break;
-      start = comma + 1;
+    for (const std::string& token : split_list(body, ',')) {
+      axis.values.push_back(parse_value(token, spec));
     }
   }
   return axis;
@@ -354,6 +390,8 @@ SweepGrid default_region_grid() {
   grid.set_axis(parse_axis("k=3"));
   grid.set_axis(parse_axis("eta=1"));
   grid.set_axis(parse_axis("flash=0"));
+  grid.set_axis(parse_axis("mix=0"));
+  grid.set_axis(parse_axis("hetero=0"));
   return grid;
 }
 
@@ -361,7 +399,7 @@ SweepResult run_sweep(const SweepGrid& grid, const SweepOptions& options) {
   validate_caller_axes(grid);
   validate_options(options);
   const SweepGrid effective = effective_grid(grid);
-  validate_effective_axes(effective);
+  validate_effective_axes(effective, options);
 
   SweepResult result;
   result.grid = effective;
@@ -391,11 +429,21 @@ SweepResult run_sweep(const SweepGrid& grid, const SweepOptions& options) {
       r.k = p.k;
       r.eta = p.eta;
       r.flash = p.flash;
-      r.theory = classify(swarm_params(p));
+      r.mix = p.mix;
+      r.hetero = p.hetero;
+      const SwarmParams model = expand(options.scenario, p).params;
+      r.theory = classify(model);
+      // The truncated chain is the *homogeneous* law: under a retry
+      // boost or a rate spread its stationary mean is not the answer the
+      // simulator approaches, so the column stays NaN rather than posing
+      // as an exact cross-check. Typed mixes are fine — the chain is
+      // typed by construction.
       if (options.ctmc_max_peers > 0 &&
-          p.k <= SweepOptions::kCtmcMaxPieces) {
+          p.k <= SweepOptions::kCtmcMaxPieces && p.eta == 1 &&
+          p.hetero == 0 &&
+          ctmc_tractable(p.k, options.ctmc_max_peers)) {
         r.ctmc_mean_peers =
-            solve_truncated_swarm(swarm_params(p), options.ctmc_max_peers)
+            solve_truncated_swarm(model, options.ctmc_max_peers)
                 .mean_peers();
       }
     }
@@ -416,29 +464,70 @@ SweepResult run_sweep(const SweepGrid& grid, const SweepOptions& options) {
   return result;
 }
 
+namespace {
+
+/// Column name of one typed arrival stream: "lambda_t" + one-based piece
+/// indices joined by '.' (e.g. {0,1} -> "lambda_t1.2"). Dots instead of
+/// commas keep CSV headers unquoted, so archived corpora stay naively
+/// splittable.
+std::string mix_column_name(PieceSet type) {
+  std::string name = "lambda_t";
+  bool first = true;
+  for (int piece : type) {
+    if (!first) name += '.';
+    name += std::to_string(piece + 1);
+    first = false;
+  }
+  return name;
+}
+
+}  // namespace
+
 Table SweepResult::to_table() const {
-  Table table({"cell", "lambda", "us", "mu", "gamma", "k", "eta", "flash",
-               "verdict", "margin", "critical_piece", "replicas",
-               "sim_final_peers", "sim_mean_peers", "sim_mean_sojourn",
-               "sim_mean_peers_sem", "sim_mean_peers_lo",
-               "sim_mean_peers_hi", "ctmc_mean_peers"});
+  const ScenarioSpec& scenario = options.scenario;
+  std::vector<std::string> cols = {"cell", "lambda", "us",    "mu",  "gamma",
+                                   "k",    "eta",    "flash", "mix", "hetero"};
+  if (!scenario.empty()) {
+    // Per-type arrival-rate columns: the composition the mix axis
+    // actually produced, one column per stream of the scenario.
+    cols.push_back("lambda_empty");
+    for (const auto& a : scenario.mix) cols.push_back(mix_column_name(a.type));
+  }
+  for (const char* c :
+       {"verdict", "margin", "critical_piece", "replicas", "sim_final_peers",
+        "sim_mean_peers", "sim_mean_sojourn", "sim_mean_peers_sem",
+        "sim_mean_peers_lo", "sim_mean_peers_hi", "ctmc_mean_peers"}) {
+    cols.push_back(c);
+  }
+  Table table(std::move(cols));
   for (const auto& c : cells) {
-    table.add_row({format_number(static_cast<double>(c.index)),
-                   format_number(c.lambda), format_number(c.us),
-                   format_number(c.mu), format_number(c.gamma),
-                   format_number(c.k), format_number(c.eta),
-                   format_number(static_cast<double>(c.flash)),
-                   to_string(c.theory.verdict),
-                   format_number(c.theory.margin),
-                   format_number(c.theory.critical_piece),
-                   format_number(c.sim.replicas),
-                   format_number(c.sim.final_peers_mean),
-                   format_number(c.sim.mean_peers_mean),
-                   format_number(c.sim.mean_sojourn),
-                   format_number(c.sim.mean_peers_sem),
-                   format_number(c.sim.mean_peers_lo),
-                   format_number(c.sim.mean_peers_hi),
-                   format_number(c.ctmc_mean_peers)});
+    std::vector<std::string> row = {
+        format_number(static_cast<double>(c.index)), format_number(c.lambda),
+        format_number(c.us),                         format_number(c.mu),
+        format_number(c.gamma),                      format_number(c.k),
+        format_number(c.eta),
+        format_number(static_cast<double>(c.flash)), format_number(c.mix),
+        format_number(c.hetero)};
+    if (!scenario.empty()) {
+      row.push_back(format_number((1.0 - c.mix) * c.lambda));
+      for (const auto& a : scenario.mix) {
+        row.push_back(format_number(c.mix * c.lambda * a.rate));
+      }
+    }
+    for (std::string cell :
+         {to_string(c.theory.verdict), format_number(c.theory.margin),
+          format_number(c.theory.critical_piece),
+          format_number(c.sim.replicas),
+          format_number(c.sim.final_peers_mean),
+          format_number(c.sim.mean_peers_mean),
+          format_number(c.sim.mean_sojourn),
+          format_number(c.sim.mean_peers_sem),
+          format_number(c.sim.mean_peers_lo),
+          format_number(c.sim.mean_peers_hi),
+          format_number(c.ctmc_mean_peers)}) {
+      row.push_back(std::move(cell));
+    }
+    table.add_row(std::move(row));
   }
   return table;
 }
@@ -447,12 +536,15 @@ RefineOptions parse_refine(const std::string& spec) {
   const auto colon = spec.find(':');
   P2P_ASSERT_MSG(colon != std::string::npos && colon > 0 &&
                      colon + 1 < spec.size(),
-                 "refine spec must look like axis:tol, e.g. lambda:0.01");
+                 "refine spec must look like axis:tol, e.g. lambda:0.01 "
+                 "(got \"" +
+                     spec + "\")");
   RefineOptions refine;
   refine.axis = spec.substr(0, colon);
-  refine.tol = parse_value(spec.substr(colon + 1));
+  refine.tol = parse_value(spec.substr(colon + 1), spec);
   P2P_ASSERT_MSG(std::isfinite(refine.tol) && refine.tol > 0,
-                 "refine tolerance must be positive and finite");
+                 "refine tolerance must be positive and finite (got \"" +
+                     spec + "\")");
   return refine;
 }
 
@@ -471,7 +563,8 @@ bool refinable_axis(const std::string& name) {
 /// is a formula — which is what lets refinement localize the boundary
 /// ~10 bisections deep for the price of one coarse cell.
 FrontierPoint bisect_row(const SweepGrid& rows, std::size_t row,
-                         const Axis& refined, const RefineOptions& refine) {
+                         const Axis& refined, const RefineOptions& refine,
+                         const ScenarioSpec& scenario) {
   std::vector<Axis> axes = rows.axes;
   axes.push_back(Axis{refined.name, {}});
   std::vector<double> values = rows.cell_values(row);
@@ -480,13 +573,16 @@ FrontierPoint bisect_row(const SweepGrid& rows, std::size_t row,
     values.back() = v;
     return extract_params(axes, values);
   };
+  const auto verdict_at = [&](double v) {
+    return classify(expand(scenario, params_at(v)).params).verdict;
+  };
 
   FrontierPoint pt;
   pt.row = row;
 
   std::vector<Stability> verdicts(refined.values.size());
   for (std::size_t i = 0; i < refined.values.size(); ++i) {
-    verdicts[i] = classify(swarm_params(params_at(refined.values[i]))).verdict;
+    verdicts[i] = verdict_at(refined.values[i]);
   }
   std::size_t bracket = refined.values.size();
   for (std::size_t i = 0; i + 1 < refined.values.size(); ++i) {
@@ -509,7 +605,7 @@ FrontierPoint bisect_row(const SweepGrid& rows, std::size_t row,
   // floating-point resolution; each halving is one classify() call.
   for (int iter = 0; std::abs(hi - lo) > refine.tol && iter < 200; ++iter) {
     const double mid = 0.5 * (lo + hi);
-    if (classify(swarm_params(params_at(mid))).verdict == at_lo) {
+    if (verdict_at(mid) == at_lo) {
       lo = mid;
     } else {
       hi = mid;
@@ -521,7 +617,7 @@ FrontierPoint bisect_row(const SweepGrid& rows, std::size_t row,
   pt.value_hi = hi;
   pt.value = 0.5 * (lo + hi);
   pt.params = params_at(pt.value);
-  pt.margin = classify(swarm_params(pt.params)).margin;
+  pt.margin = classify(expand(scenario, pt.params).params).margin;
   return pt;
 }
 
@@ -533,10 +629,10 @@ FrontierResult refine_frontier(const SweepGrid& grid,
   validate_caller_axes(grid);
   validate_options(options);
   const SweepGrid effective = effective_grid(grid);
-  validate_effective_axes(effective);
+  validate_effective_axes(effective, options);
 
   P2P_ASSERT_MSG(refinable_axis(refine.axis),
-                 "refine axis must be one of lambda, us, mu, gamma");
+                 "refine axis must be one of lambda, us, mu, gamma, mix");
   P2P_ASSERT_MSG(std::isfinite(refine.tol) && refine.tol > 0,
                  "refine tolerance must be positive and finite");
   const Axis* refined = effective.find_axis(refine.axis);
@@ -562,7 +658,8 @@ FrontierResult refine_frontier(const SweepGrid& grid,
   ThreadPool pool(options.threads);
   // Phase 1: closed-form bisection, one row per item.
   pool.parallel_for(num_rows, [&](std::size_t row) {
-    result.points[row] = bisect_row(rows, row, *refined, refine);
+    result.points[row] =
+        bisect_row(rows, row, *refined, refine, options.scenario);
   });
 
   // Phase 2: replica sims at the bracketed frontier points, one
@@ -596,24 +693,49 @@ FrontierResult refine_frontier(const SweepGrid& grid,
 }
 
 Table FrontierResult::to_table() const {
-  Table table({"row", "axis", "bracketed", "value", "value_lo", "value_hi",
-               "margin", "lambda", "us", "mu", "gamma", "k", "eta", "flash",
-               "replicas", "sim_mean_peers", "sim_mean_peers_sem",
-               "sim_mean_peers_lo", "sim_mean_peers_hi"});
+  const ScenarioSpec& scenario = options.scenario;
+  std::vector<std::string> cols = {
+      "row", "axis",   "bracketed", "value", "value_lo", "value_hi",
+      "margin", "lambda", "us", "mu", "gamma", "k", "eta", "flash",
+      "mix", "hetero"};
+  if (!scenario.empty()) {
+    // Same per-type arrival-rate columns as the grid table, so an
+    // archived frontier CSV also records the composition each localized
+    // point ran (NaN when the row never bracketed a flip).
+    cols.push_back("lambda_empty");
+    for (const auto& a : scenario.mix) cols.push_back(mix_column_name(a.type));
+  }
+  for (const char* c : {"replicas", "sim_mean_peers", "sim_mean_peers_sem",
+                        "sim_mean_peers_lo", "sim_mean_peers_hi"}) {
+    cols.push_back(c);
+  }
+  Table table(std::move(cols));
   for (const auto& pt : points) {
-    table.add_row({format_number(static_cast<double>(pt.row)), refine.axis,
-                   format_number(pt.bracketed ? 1 : 0),
-                   format_number(pt.value), format_number(pt.value_lo),
-                   format_number(pt.value_hi), format_number(pt.margin),
-                   format_number(pt.params.lambda), format_number(pt.params.us),
-                   format_number(pt.params.mu), format_number(pt.params.gamma),
-                   format_number(pt.params.k), format_number(pt.params.eta),
-                   format_number(static_cast<double>(pt.params.flash)),
-                   format_number(pt.sim.replicas),
-                   format_number(pt.sim.mean_peers_mean),
-                   format_number(pt.sim.mean_peers_sem),
-                   format_number(pt.sim.mean_peers_lo),
-                   format_number(pt.sim.mean_peers_hi)});
+    std::vector<std::string> row = {
+        format_number(static_cast<double>(pt.row)), refine.axis,
+        format_number(pt.bracketed ? 1 : 0), format_number(pt.value),
+        format_number(pt.value_lo), format_number(pt.value_hi),
+        format_number(pt.margin), format_number(pt.params.lambda),
+        format_number(pt.params.us), format_number(pt.params.mu),
+        format_number(pt.params.gamma), format_number(pt.params.k),
+        format_number(pt.params.eta),
+        format_number(static_cast<double>(pt.params.flash)),
+        format_number(pt.params.mix), format_number(pt.params.hetero)};
+    if (!scenario.empty()) {
+      row.push_back(format_number((1.0 - pt.params.mix) * pt.params.lambda));
+      for (const auto& a : scenario.mix) {
+        row.push_back(
+            format_number(pt.params.mix * pt.params.lambda * a.rate));
+      }
+    }
+    for (std::string cell : {format_number(pt.sim.replicas),
+                             format_number(pt.sim.mean_peers_mean),
+                             format_number(pt.sim.mean_peers_sem),
+                             format_number(pt.sim.mean_peers_lo),
+                             format_number(pt.sim.mean_peers_hi)}) {
+      row.push_back(std::move(cell));
+    }
+    table.add_row(std::move(row));
   }
   return table;
 }

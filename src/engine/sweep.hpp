@@ -1,8 +1,11 @@
 // Parameter-grid scenario sweeps over the Zhu–Hajek model.
 //
 // A sweep is a cartesian grid over the model's parameter axes
-// (lambda, us, mu, gamma, k, eta, flash). Each grid cell is classified
-// three ways:
+// (lambda, us, mu, gamma, k, eta, flash, mix, hetero). The mix and
+// hetero axes leave the homogeneous slice: mix interpolates the arrival
+// composition between the empty-arrival stream and a named typed mix
+// (engine/scenario.hpp), hetero spreads the two-class upload-rate
+// multiplier around mean 1. Each grid cell is classified three ways:
 //
 //   * theory  — Theorem 1 closed form (core/stability.hpp): verdict,
 //               stability margin, critical piece;
@@ -39,14 +42,17 @@
 
 #include "core/stability.hpp"
 #include "engine/report.hpp"
+#include "engine/scenario.hpp"
 
 namespace p2p::engine {
 
 /// One sweep axis: a parameter name and the grid values it takes.
-/// Valid names: "lambda" (empty-arrival rate), "us", "mu", "gamma"
+/// Valid names: "lambda" (total arrival rate), "us", "mu", "gamma"
 /// ("inf" allowed), "k" (integral piece count), "eta" (Section VIII-C
 /// retry boost, >= 1), "flash" (one-club peers injected at t = 0,
-/// nonnegative integer).
+/// nonnegative integer), "mix" (arrival-composition interpolation in
+/// [0, 1] toward SweepOptions::scenario; nonzero values require a named
+/// scenario), "hetero" (mean-preserving two-class rate spread in [0, 1)).
 struct Axis {
   std::string name;
   std::vector<double> values;
@@ -77,8 +83,9 @@ SweepGrid parse_grid(const std::string& spec);
 
 /// The standard Theorem-1 region grid: lambda 0.5:3.0:16 crossed with
 /// us 0.2:1.7:16 (256 cells) at mu = 1, gamma = 1.25, K = 3, eta = 1,
-/// flash = 0 — the phase-diagram slice of Fig. 1(a) generalized to K
-/// pieces.
+/// flash = 0, mix = 0, hetero = 0 — the phase-diagram slice of Fig. 1(a)
+/// generalized to K pieces (and pinned to the homogeneous slice of the
+/// scenario space).
 SweepGrid default_region_grid();
 
 struct SweepOptions {
@@ -100,17 +107,21 @@ struct SweepOptions {
   /// Bootstrap resamples for the CI (>= 10).
   int bootstrap_resamples = 256;
   /// > 0: additionally solve the truncated chain with this peer cap for
-  /// cells with K <= kCtmcMaxPieces (state space explodes beyond that).
+  /// cells with K <= kCtmcMaxPieces whose state count C(cap + 2^K, 2^K)
+  /// stays within kCtmcMaxStates (the space explodes combinatorially: a
+  /// cap of 60 is ~2e3 states at K = 1 and ~7e9 at K = 3). The solve is
+  /// also skipped — the column stays NaN, "NaN unless the solve ran" —
+  /// for cells whose simulated law is not the homogeneous chain's
+  /// (eta != 1 or hetero != 0); typed mixes are fine, the chain is typed
+  /// by nature.
   std::int64_t ctmc_max_peers = 0;
 
-  static constexpr int kCtmcMaxPieces = 2;
-};
+  /// Typed-arrival scenario the mix/hetero axes act on; default empty
+  /// (the mix axis must then be 0 everywhere).
+  ScenarioSpec scenario;
 
-/// The model-parameter tuple a single grid point denotes.
-struct CellParams {
-  double lambda = 0, us = 0, mu = 0, gamma = 0, eta = 1;
-  int k = 0;
-  std::int64_t flash = 0;
+  static constexpr int kCtmcMaxPieces = 3;
+  static constexpr double kCtmcMaxStates = 2e6;
 };
 
 /// Replica-aggregated simulation statistics for one parameter point.
@@ -141,6 +152,11 @@ struct CellResult {
   double eta = 1;
   /// One-club flash crowd injected at t = 0.
   std::int64_t flash = 0;
+  /// Arrival-composition interpolation toward the scenario mix (0 =
+  /// empty-arrival stream).
+  double mix = 0;
+  /// Two-class upload-rate spread (0 = homogeneous).
+  double hetero = 0;
   StabilityReport theory;
   SimAggregate sim;
   /// NaN unless the CTMC solve ran for this cell.
@@ -153,10 +169,12 @@ struct SweepResult {
   std::vector<CellResult> cells;
 
   /// Fixed-schema table (cell-index order): cell, lambda, us, mu, gamma,
-  /// k, eta, flash, verdict, margin, critical_piece, replicas,
-  /// sim_final_peers, sim_mean_peers, sim_mean_sojourn,
-  /// sim_mean_peers_sem, sim_mean_peers_lo, sim_mean_peers_hi,
-  /// ctmc_mean_peers.
+  /// k, eta, flash, mix, hetero, [per-type arrival-rate columns when the
+  /// scenario is non-empty: lambda_empty then lambda_t<pieces> per mix
+  /// type, one-based and '.'-joined, e.g. lambda_t1.2], verdict, margin,
+  /// critical_piece, replicas, sim_final_peers, sim_mean_peers,
+  /// sim_mean_sojourn, sim_mean_peers_sem, sim_mean_peers_lo,
+  /// sim_mean_peers_hi, ctmc_mean_peers.
   Table to_table() const;
 };
 
@@ -172,7 +190,9 @@ SweepResult run_sweep(const SweepGrid& grid, const SweepOptions& options);
 
 struct RefineOptions {
   /// Axis bisected toward the verdict flip; must be one of the
-  /// continuous theory axes "lambda", "us", "mu", "gamma".
+  /// continuous theory axes "lambda", "us", "mu", "gamma", "mix" (the
+  /// verdict depends on the arrival composition, so the Theorem-1 flip
+  /// can be localized along the mix interpolation too).
   std::string axis;
   /// Absolute tolerance: bisection stops once the bracket is this wide.
   double tol = 1e-3;
@@ -215,8 +235,9 @@ struct FrontierResult {
 
   /// Fixed-schema table (row order): row, axis, bracketed, value,
   /// value_lo, value_hi, margin, lambda, us, mu, gamma, k, eta, flash,
-  /// replicas, sim_mean_peers, sim_mean_peers_sem, sim_mean_peers_lo,
-  /// sim_mean_peers_hi.
+  /// mix, hetero, [the same per-type arrival-rate columns as the grid
+  /// table when the scenario is non-empty], replicas, sim_mean_peers,
+  /// sim_mean_peers_sem, sim_mean_peers_lo, sim_mean_peers_hi.
   Table to_table() const;
 };
 

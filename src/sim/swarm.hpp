@@ -53,6 +53,25 @@ struct RateClass {
   double multiplier = 1;  // upload-rate multiplier, > 0
 };
 
+/// Mean-preserving two-class heterogeneity: a slow class at multiplier
+/// 1 - h and a fast class at 1 + h * slow_weight / fast_weight, so the
+/// selection-weighted mean multiplier is exactly 1 and mu keeps its
+/// Theorem-1 meaning as the mean upload capacity. h = 0 returns the empty
+/// vector (the homogeneous fast path: no per-peer class draw at all).
+/// Requires h in [0, 1) and positive weights.
+inline std::vector<RateClass> two_class_spread(double h,
+                                               double slow_weight = 1,
+                                               double fast_weight = 1) {
+  P2P_ASSERT_MSG(h >= 0 && h < 1,
+                 "hetero spread must lie in [0, 1) (slow multiplier 1 - h "
+                 "must stay positive)");
+  P2P_ASSERT_MSG(slow_weight > 0 && fast_weight > 0,
+                 "hetero class weights must be positive");
+  if (h == 0) return {};
+  return {{slow_weight, 1.0 - h},
+          {fast_weight, 1.0 + h * slow_weight / fast_weight}};
+}
+
 struct SwarmSimOptions {
   /// Piece whose scarcity is tracked for the Fig. 2 partition.
   int tracked_piece = 0;

@@ -7,6 +7,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 
 #include "util/cxx20_check.hpp"
 
@@ -17,6 +18,13 @@ namespace p2p::detail {
   std::fprintf(stderr, "P2P_ASSERT failed: %s\n  at %s:%d\n  %s\n", expr, file,
                line, msg != nullptr ? msg : "");
   std::abort();
+}
+
+/// std::string overload so messages can embed runtime context (e.g. the
+/// offending CLI spec, verbatim).
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const std::string& msg) {
+  assert_fail(expr, file, line, msg.c_str());
 }
 
 }  // namespace p2p::detail

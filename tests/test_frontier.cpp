@@ -148,8 +148,10 @@ TEST(RefineFrontier, TableSchemaIsStable) {
   refine.tol = 0.1;
   const Table table =
       refine_frontier(grid, options, refine).to_table();
-  ASSERT_EQ(table.num_columns(), 19u);
+  ASSERT_EQ(table.num_columns(), 21u);
   EXPECT_EQ(table.columns().front(), "row");
+  EXPECT_EQ(table.columns()[14], "mix");
+  EXPECT_EQ(table.columns()[15], "hetero");
   EXPECT_EQ(table.columns().back(), "sim_mean_peers_hi");
   ASSERT_EQ(table.num_rows(), 1u);
   EXPECT_EQ(table.row(0)[1], "lambda");
@@ -164,6 +166,8 @@ TEST(RefineFrontierDeath, NonRefinableAxesAbort) {
   refine.axis = "k";
   EXPECT_DEATH(refine_frontier(grid, options, refine), "refine axis");
   refine.axis = "eta";
+  EXPECT_DEATH(refine_frontier(grid, options, refine), "refine axis");
+  refine.axis = "hetero";  // theory is homogeneous: nothing to bisect
   EXPECT_DEATH(refine_frontier(grid, options, refine), "refine axis");
   refine.axis = "bogus";
   EXPECT_DEATH(refine_frontier(grid, options, refine), "refine axis");

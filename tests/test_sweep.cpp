@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "core/model.hpp"
+#include "rand/rng.hpp"
 
 namespace p2p::engine {
 namespace {
@@ -45,6 +46,19 @@ TEST(ParseAxisDeath, MalformedSpecsAbort) {
   EXPECT_DEATH(parse_axis("lambda=1:2:3:4"), "lo:hi:count");
 }
 
+TEST(ParseAxisDeath, MessagesEchoTheOffendingSpecVerbatim) {
+  // A sweep command often carries half a dozen ';'-separated axes; the
+  // abort must name the one that is malformed, not make the user diff
+  // specs by hand.
+  EXPECT_DEATH(parse_axis("lambda"), "got \"lambda\"");
+  EXPECT_DEATH(parse_axis("lambda=a,b"), "got \"lambda=a,b\"");
+  EXPECT_DEATH(parse_axis("lambda=1:2:0"), "got \"lambda=1:2:0\"");
+  EXPECT_DEATH(parse_axis("us=1:2:3:4"), "got \"us=1:2:3:4\"");
+  EXPECT_DEATH(parse_axis("gamma=inf:2:3"), "got \"gamma=inf:2:3\"");
+  EXPECT_DEATH(parse_refine("lambda:zero"), "got \"lambda:zero\"");
+  EXPECT_DEATH(parse_refine("lambda:-1"), "got \"lambda:-1\"");
+}
+
 TEST(SweepGrid, CartesianExpansionLastAxisFastest) {
   SweepGrid grid = parse_grid("us=1,2;lambda=10,20,30");
   ASSERT_EQ(grid.num_cells(), 6u);
@@ -63,6 +77,72 @@ TEST(SweepGrid, SetAxisReplacesByName) {
   ASSERT_NE(grid.find_axis("lambda"), nullptr);
   EXPECT_EQ(grid.find_axis("lambda")->values.size(), 1u);
   EXPECT_EQ(grid.find_axis("nope"), nullptr);
+}
+
+TEST(SweepGrid, SetAxisReplaceKeepsPositionAppendGoesLast) {
+  // Replace-vs-append semantics: replacing an axis must keep its slot
+  // (cell enumeration order depends on axis order), appending must grow
+  // the axis list at the end.
+  SweepGrid grid = parse_grid("us=1,2;lambda=10,20");
+  ASSERT_EQ(grid.axes.size(), 2u);
+  grid.set_axis(parse_axis("us=7,8,9"));
+  ASSERT_EQ(grid.axes.size(), 2u);
+  EXPECT_EQ(grid.axes[0].name, "us");  // still first
+  EXPECT_EQ(grid.axes[0].values, std::vector<double>({7, 8, 9}));
+  EXPECT_EQ(grid.axes[1].name, "lambda");
+  grid.set_axis(parse_axis("mu=3"));
+  ASSERT_EQ(grid.axes.size(), 3u);
+  EXPECT_EQ(grid.axes[2].name, "mu");  // appended last
+  EXPECT_EQ(grid.num_cells(), 6u);
+  // After a replace, cell enumeration still runs the last axis fastest.
+  EXPECT_EQ(grid.cell_values(1), std::vector<double>({7, 20, 3}));
+  EXPECT_EQ(grid.cell_values(2), std::vector<double>({8, 10, 3}));
+}
+
+TEST(SweepGrid, CellValuesRoundTripOverRandomAxisSets) {
+  // Property: cell_values is the row-major (last axis fastest) digit
+  // expansion of the index — re-encoding the returned values must give
+  // back the index, for every cell of randomized grids.
+  Rng rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    SweepGrid grid;
+    const int num_axes = 1 + static_cast<int>(rng.uniform_int(4ULL));
+    for (int a = 0; a < num_axes; ++a) {
+      Axis axis;
+      axis.name = "axis" + std::to_string(a);
+      const int size = 1 + static_cast<int>(rng.uniform_int(4ULL));
+      for (int v = 0; v < size; ++v) {
+        axis.values.push_back(static_cast<double>(a * 100 + v));
+      }
+      grid.axes.push_back(std::move(axis));
+    }
+    std::size_t expected_cells = 1;
+    for (const auto& axis : grid.axes) expected_cells *= axis.values.size();
+    ASSERT_EQ(grid.num_cells(), expected_cells);
+    for (std::size_t cell = 0; cell < grid.num_cells(); ++cell) {
+      const std::vector<double> values = grid.cell_values(cell);
+      ASSERT_EQ(values.size(), grid.axes.size());
+      std::size_t reencoded = 0;
+      for (std::size_t a = 0; a < grid.axes.size(); ++a) {
+        const auto& axis_values = grid.axes[a].values;
+        std::size_t digit = axis_values.size();
+        for (std::size_t i = 0; i < axis_values.size(); ++i) {
+          if (axis_values[i] == values[a]) {
+            digit = i;
+            break;
+          }
+        }
+        ASSERT_LT(digit, axis_values.size()) << "value not on its axis";
+        reencoded = reencoded * axis_values.size() + digit;
+      }
+      ASSERT_EQ(reencoded, cell);
+    }
+  }
+}
+
+TEST(SweepGrid, EmptyGridHasNoCells) {
+  const SweepGrid grid;
+  EXPECT_EQ(grid.num_cells(), 0u);
 }
 
 TEST(RunSweep, TheoremOneVerdictsOnKnownCells) {
@@ -107,19 +187,36 @@ TEST(RunSweep, SeedChangesSimButNotTheory) {
 }
 
 TEST(RunSweep, CtmcColumnGatedByPieceCount) {
-  SweepGrid grid = parse_grid("lambda=1;us=1;k=2,3;gamma=1.25");
+  // The gate now admits K = 3 (the typed-mix examples live there); K = 4
+  // would need ~C(cap + 16, 16) states and stays out.
+  SweepGrid grid = parse_grid("lambda=1;us=1;k=3,4;gamma=1.25");
   SweepOptions options;
   options.horizon = 20;
-  options.ctmc_max_peers = 12;
+  options.ctmc_max_peers = 6;
   const SweepResult result = run_sweep(grid, options);
   ASSERT_EQ(result.cells.size(), 2u);
-  EXPECT_TRUE(std::isfinite(result.cells[0].ctmc_mean_peers));  // K = 2
+  EXPECT_TRUE(std::isfinite(result.cells[0].ctmc_mean_peers));  // K = 3
   EXPECT_GT(result.cells[0].ctmc_mean_peers, 0.0);
-  EXPECT_TRUE(std::isnan(result.cells[1].ctmc_mean_peers));  // K = 3
+  EXPECT_TRUE(std::isnan(result.cells[1].ctmc_mean_peers));  // K = 4
   // A skipped solve must read as "nan" in the table, never as 0 — the
   // column is documented "NaN unless the CTMC solve ran".
   const Table table = result.to_table();
   EXPECT_EQ(table.row(1).back(), "nan");
+}
+
+TEST(RunSweep, CtmcColumnGatedByStateBudget) {
+  // A cap that is cheap at K = 1 (~2e3 states) is ~7e9 states at K = 3;
+  // the budget guard must skip the intractable solve (NaN, like the K
+  // gate) instead of hanging the sweep. This test completing at all is
+  // the point — an unguarded K = 3 / cap = 60 solve would OOM.
+  SweepGrid grid = parse_grid("lambda=1;us=1;k=1,3;gamma=1.25");
+  SweepOptions options;
+  options.horizon = 5;
+  options.ctmc_max_peers = 60;
+  const SweepResult result = run_sweep(grid, options);
+  ASSERT_EQ(result.cells.size(), 2u);
+  EXPECT_TRUE(std::isfinite(result.cells[0].ctmc_mean_peers));  // K = 1
+  EXPECT_TRUE(std::isnan(result.cells[1].ctmc_mean_peers));     // K = 3
 }
 
 TEST(CellResult, CtmcDefaultsToNaNNotZero) {
@@ -135,8 +232,10 @@ TEST(RunSweep, TableSchemaIsStable) {
   SweepOptions options;
   options.horizon = 10;
   const Table table = run_sweep(grid, options).to_table();
-  ASSERT_EQ(table.num_columns(), 19u);
+  ASSERT_EQ(table.num_columns(), 21u);
   EXPECT_EQ(table.columns().front(), "cell");
+  EXPECT_EQ(table.columns()[8], "mix");
+  EXPECT_EQ(table.columns()[9], "hetero");
   EXPECT_EQ(table.columns().back(), "ctmc_mean_peers");
   EXPECT_EQ(table.num_rows(), 1u);
 }

@@ -23,9 +23,19 @@
 //   $ ./p2p_sweep --grid "k=1;us=0.4:1.6:7;lambda=1:9:5" \
 //       --refine lambda:0.01 --replicas 8 --warmup 100 --out frontier.csv
 //
+//   # Typed-arrival mix: interpolate the arrival composition from the
+//   # empty-arrival stream (mix=0) to Example 2's paired-halves mix at
+//   # weights 3:1 (mix=1), and localize the verdict flip along mix:
+//   $ ./p2p_sweep --mix example2:3,1 \
+//       --grid "us=1;gamma=inf;lambda=2;mix=0:1:5" \
+//       --refine mix:0.001 --replicas 8 --out mix_frontier.csv
+//
 // Unspecified axes keep the default region grid's values (lambda and Us
-// 16-point linspaces, mu = 1, gamma = 1.25, K = 3, eta = 1, flash = 0);
-// naming an axis in --grid replaces just that axis.
+// 16-point linspaces, mu = 1, gamma = 1.25, K = 3, eta = 1, flash = 0,
+// mix = 0, hetero = 0); naming an axis in --grid replaces just that
+// axis. --mix names the scenario the mix/hetero axes act on (example2,
+// example3, oneclub:K) and, unless the grid says otherwise, pins the k
+// axis to the scenario's piece count and the mix axis to 1.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -61,9 +71,18 @@ int main(int argc, char** argv) {
       "flash", 0,
       "one-club peers injected into every cell at t=0 (shorthand for a "
       "single-value flash axis)");
+  const std::string mix_spec = flags.get_string(
+      "mix", "",
+      "typed-arrival scenario for the mix/hetero axes: example2[:w12,w34] "
+      "| example3[:w1,w2,w3] | oneclub:K");
+  const double hetero = flags.get_double(
+      "hetero", 0.0,
+      "mean-preserving two-class upload-rate spread in [0,1) (shorthand "
+      "for a single-value hetero axis)");
   const int ctmc_cap = flags.get_int(
       "ctmc-cap", 0,
-      "truncated-CTMC peer cap for exact E[N] on K<=2 cells (0 = off)");
+      "truncated-CTMC peer cap for exact E[N] on K<=3 homogeneous cells "
+      "(0 = off)");
   const std::string refine_spec = flags.get_string(
       "refine", "",
       "axis:tol — per row, bisect the Theorem-1 verdict flip along axis "
@@ -96,8 +115,50 @@ int main(int argc, char** argv) {
     }
     grid.set_axis(Axis{"flash", {static_cast<double>(flash)}});
   }
+  if (hetero < 0 || hetero >= 1) {
+    // The axis path rejects out-of-range values; the shorthand must not
+    // silently run homogeneous (or die deep in the engine) instead.
+    std::fprintf(stderr, "error: --hetero must lie in [0, 1)\n");
+    return 2;
+  }
+  if (hetero > 0) {
+    if (grid.find_axis("hetero") != nullptr) {
+      std::fprintf(stderr,
+                   "error: give either --hetero or a hetero axis, not both\n");
+      return 2;
+    }
+    grid.set_axis(Axis{"hetero", {hetero}});
+  }
 
   SweepOptions options;
+  if (!mix_spec.empty()) {
+    options.scenario = parse_scenario(mix_spec);
+    // Asking for a named mix means running it: pin the k axis to the
+    // scenario's piece count and default the mix axis to the full mix —
+    // or, when refining along mix, to the whole [0, 1] bracket so the
+    // bisection has a coarse pair to scan — unless the grid explicitly
+    // says otherwise (a mismatched explicit k axis still aborts in the
+    // engine with a message naming the mix).
+    const bool refining_mix =
+        !refine_spec.empty() && parse_refine(refine_spec).axis == "mix";
+    if (grid.find_axis("k") == nullptr) {
+      grid.set_axis(
+          Axis{"k", {static_cast<double>(options.scenario.num_pieces)}});
+    }
+    if (grid.find_axis("mix") == nullptr) {
+      grid.set_axis(refining_mix ? Axis{"mix", {0.0, 1.0}}
+                                 : Axis{"mix", {1.0}});
+    }
+  } else if (const Axis* mix_axis = grid.find_axis("mix")) {
+    for (const double v : mix_axis->values) {
+      if (v != 0) {
+        std::fprintf(stderr,
+                     "error: a nonzero mix axis needs --mix to name the "
+                     "scenario it interpolates toward\n");
+        return 2;
+      }
+    }
+  }
   options.horizon = horizon;
   options.warmup = warmup;
   options.base_seed = static_cast<std::uint64_t>(seed);
@@ -109,6 +170,10 @@ int main(int argc, char** argv) {
                         : static_cast<int>(std::max(
                               1u, std::thread::hardware_concurrency()));
 
+  const std::string scenario_note =
+      options.scenario.empty()
+          ? std::string()
+          : " [mix " + options.scenario.name + "]";
   const auto t0 = std::chrono::steady_clock::now();
 
   if (!refine_spec.empty()) {
@@ -131,10 +196,11 @@ int main(int argc, char** argv) {
     std::size_t bracketed = 0;
     for (const auto& pt : result.points) bracketed += pt.bracketed;
     std::fprintf(stderr,
-                 "p2p_sweep: frontier along %s (tol %g): %zu rows, %zu "
+                 "p2p_sweep: frontier along %s (tol %g)%s: %zu rows, %zu "
                  "bracketed, %d replicas/point in %.2fs on %d threads\n",
-                 refine.axis.c_str(), refine.tol, result.points.size(),
-                 bracketed, options.replicas, elapsed, options.threads);
+                 refine.axis.c_str(), refine.tol, scenario_note.c_str(),
+                 result.points.size(), bracketed, options.replicas, elapsed,
+                 options.threads);
     return 0;
   }
 
@@ -161,11 +227,11 @@ int main(int argc, char** argv) {
     }
   }
   std::fprintf(stderr,
-               "p2p_sweep: %zu cells (%zu stable / %zu transient / %zu "
+               "p2p_sweep: %zu cells%s (%zu stable / %zu transient / %zu "
                "borderline) x %d replicas in %.2fs on %d threads "
                "(%.1f cells/s)\n",
-               result.cells.size(), stable, transient, borderline,
-               options.replicas, elapsed, options.threads,
+               result.cells.size(), scenario_note.c_str(), stable, transient,
+               borderline, options.replicas, elapsed, options.threads,
                static_cast<double>(result.cells.size()) / elapsed);
   return 0;
 }
