@@ -1,0 +1,163 @@
+// bench_sweep_engine: throughput of the chunked sweep pipeline.
+//
+// Drives a closed-form-only (theory_only — no simulation) Theorem-1 grid
+// at 1e5+ cells through the real streaming path (grid expansion ->
+// chunked thread pool -> classify -> streaming ReportWriter) and records
+// cells/sec. Two curves:
+//
+//   * threads curve  — auto chunk, threads 1..8: parallel speedup of the
+//                      pipeline end to end;
+//   * chunk curve    — fixed 8 threads, chunk 1 vs. powers of 4 vs.
+//                      auto: what per-item claiming costs when cells are
+//                      closed-form cheap. chunk = 1 takes the claim
+//                      mutex once per cell; at a million cells that is a
+//                      million lock round-trips the chunked path avoids.
+//
+// Emits BENCH_sweep.json (one measurement per row plus the headline
+// chunk-1 vs. auto ratio) so the perf trajectory has machine-readable
+// data; EXPERIMENTS.md archives one run.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "engine/report.hpp"
+#include "engine/sweep.hpp"
+#include "util/assert.hpp"
+#include "util/flags.hpp"
+
+namespace {
+
+using namespace p2p;
+using namespace p2p::engine;
+
+struct Measurement {
+  int threads = 0;
+  std::size_t chunk = 0;  // 0 = auto
+  std::size_t cells = 0;
+  double seconds = 0;
+  double cells_per_sec = 0;
+};
+
+/// One timed theory-only streaming sweep of `grid`, rows discarded into
+/// /dev/null so the measurement covers the full pipeline (claiming,
+/// classify, formatting, emission) without filesystem noise. Best of
+/// `repeats` runs: the minimum is the least-perturbed sample.
+Measurement measure(const SweepGrid& grid, int threads, std::size_t chunk,
+                    int repeats) {
+  SweepOptions options;
+  options.theory_only = true;
+  options.threads = threads;
+  options.chunk = chunk;
+  Measurement m;
+  m.threads = threads;
+  m.chunk = chunk;
+  m.seconds = 1e300;
+  for (int r = 0; r < repeats; ++r) {
+    ReportWriter writer("/dev/null", ReportFormat::kCsv,
+                        sweep_columns(options));
+    const auto t0 = std::chrono::steady_clock::now();
+    const SweepSummary summary = run_sweep_stream(grid, options, writer);
+    writer.finish();
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    m.cells = summary.cells;
+    m.seconds = std::min(m.seconds, elapsed);
+  }
+  m.cells_per_sec = static_cast<double>(m.cells) / m.seconds;
+  return m;
+}
+
+void append_measurement(std::string& json, const Measurement& m,
+                        bool last) {
+  json += "    {\"threads\": " + std::to_string(m.threads) +
+          ", \"chunk\": " + std::to_string(m.chunk) +
+          ", \"cells\": " + std::to_string(m.cells) +
+          ", \"seconds\": " + format_number(m.seconds) +
+          ", \"cells_per_sec\": " + format_number(m.cells_per_sec) + "}" +
+          (last ? "\n" : ",\n");
+}
+
+void print_measurement(const Measurement& m) {
+  const std::string chunk_label =
+      m.chunk == 0 ? "auto" : std::to_string(m.chunk);
+  std::printf("  threads %d  chunk %8s  %9zu cells  %8.3fs  %12.0f cells/s\n",
+              m.threads, chunk_label.c_str(), m.cells, m.seconds,
+              m.cells_per_sec);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  // 500 x 200 = 1e5 cells by default; P2P_SMOKE shrinks to 2e3 so the
+  // CTest smoke entry still exercises every code path in milliseconds.
+  const int cells_flag = flags.get_int(
+      "cells", bench::scaled(100000, 2000),
+      "approximate grid size (rows of 200 lambda points)");
+  const int repeats =
+      flags.get_int("repeats", bench::scaled(3, 1), "timing repeats (best-of)");
+  const std::string out = flags.get_string(
+      "out", "BENCH_sweep.json", "machine-readable results path");
+  flags.finish();
+
+  const int us_points = 200;
+  const int lambda_points = std::max(1, cells_flag / us_points);
+  const SweepGrid grid = parse_grid(
+      "lambda=0.5:3.0:" + std::to_string(lambda_points) +
+      ";us=0.2:1.7:" + std::to_string(us_points) +
+      ";k=3;mu=1;gamma=1.25");
+
+  bench::title("E13", "sweep-engine throughput (chunked scheduling + "
+               "streaming reports)",
+               "Theorem 1 phase diagram at scale; engine/thread_pool.hpp");
+  std::printf("grid: %d x %d = %zu closed-form cells, best of %d\n",
+              lambda_points, us_points, grid.num_cells(), repeats);
+
+  bench::section("threads curve (auto chunk)");
+  std::vector<Measurement> threads_curve;
+  for (const int t : {1, 2, 4, 8}) {
+    threads_curve.push_back(measure(grid, t, 0, repeats));
+    print_measurement(threads_curve.back());
+  }
+
+  bench::section("chunk curve (8 threads)");
+  std::vector<Measurement> chunk_curve;
+  for (const std::size_t c : {std::size_t{1}, std::size_t{16},
+                              std::size_t{256}, std::size_t{0}}) {
+    chunk_curve.push_back(measure(grid, 8, c, repeats));
+    print_measurement(chunk_curve.back());
+  }
+
+  // Headline: what chunked claiming buys over per-item claiming on 8
+  // threads (the satellite acceptance figure).
+  const double chunk1 = chunk_curve.front().cells_per_sec;
+  const double chunk_auto = chunk_curve.back().cells_per_sec;
+  const double auto_over_chunk1 = chunk_auto / chunk1;
+  std::printf("\nauto-chunk vs chunk=1 on 8 threads: %.2fx\n",
+              auto_over_chunk1);
+
+  std::string json = "{\n";
+  json += "  \"cells\": " + std::to_string(grid.num_cells()) + ",\n";
+  json += "  \"repeats\": " + std::to_string(repeats) + ",\n";
+  json += "  \"single_thread_cells_per_sec\": " +
+          format_number(threads_curve.front().cells_per_sec) + ",\n";
+  json += "  \"auto_chunk_over_chunk1_8threads\": " +
+          format_number(auto_over_chunk1) + ",\n";
+  json += "  \"threads_curve\": [\n";
+  for (std::size_t i = 0; i < threads_curve.size(); ++i) {
+    append_measurement(json, threads_curve[i],
+                       i + 1 == threads_curve.size());
+  }
+  json += "  ],\n  \"chunk_curve\": [\n";
+  for (std::size_t i = 0; i < chunk_curve.size(); ++i) {
+    append_measurement(json, chunk_curve[i], i + 1 == chunk_curve.size());
+  }
+  json += "  ]\n}\n";
+  write_text(out, json);
+  std::printf("wrote %s\n", out.c_str());
+  return 0;
+}

@@ -21,17 +21,6 @@ std::string format_number(double value) {
   return std::string(buffer, end);
 }
 
-Table::Table(std::vector<std::string> columns)
-    : columns_(std::move(columns)) {
-  P2P_ASSERT_MSG(!columns_.empty(), "a table needs at least one column");
-}
-
-void Table::add_row(std::vector<std::string> cells) {
-  P2P_ASSERT_MSG(cells.size() == columns_.size(),
-                 "row arity must match the column count");
-  rows_.push_back(std::move(cells));
-}
-
 namespace {
 
 void append_csv_cell(std::string& out, const std::string& cell) {
@@ -45,6 +34,14 @@ void append_csv_cell(std::string& out, const std::string& cell) {
     out += c;
   }
   out += '"';
+}
+
+void append_csv_row(std::string& out, const std::vector<std::string>& cells) {
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    if (c > 0) out += ',';
+    append_csv_cell(out, cells[c]);
+  }
+  out += '\n';
 }
 
 /// True iff `cell` matches the JSON number grammar exactly
@@ -96,45 +93,146 @@ void append_json_string(std::string& out, const std::string& s) {
   out += '"';
 }
 
+/// One row object WITHOUT its "}..." terminator: the streaming writer
+/// cannot know whether a row is the last one until finish(), so the
+/// terminator ("},\n" before a successor, "}\n" before the closer) is
+/// emitted by whoever learns which it is.
+void append_json_row_open(std::string& out,
+                          const std::vector<std::string>& columns,
+                          const std::vector<std::string>& cells) {
+  out += "  {";
+  for (std::size_t c = 0; c < columns.size(); ++c) {
+    if (c > 0) out += ", ";
+    append_json_string(out, columns[c]);
+    out += ": ";
+    const std::string& cell = cells[c];
+    if (is_json_number(cell)) {
+      out += cell;
+    } else if (cell == "inf" || cell == "-inf" || cell == "nan") {
+      out += "null";
+    } else {
+      append_json_string(out, cell);
+    }
+  }
+}
+
+/// Flush threshold for the file-backed writer: large enough that fwrite
+/// costs amortize away, small enough that the buffer stays cache-warm.
+constexpr std::size_t kFlushBytes = 1 << 16;
+
 }  // namespace
 
+ReportWriter::ReportWriter(const std::string& path, ReportFormat format,
+                           std::vector<std::string> columns)
+    : columns_(std::move(columns)), format_(format), path_(path) {
+  P2P_ASSERT_MSG(!columns_.empty(), "a report needs at least one column");
+  if (path_.empty() || path_ == "-") {
+    file_ = stdout;
+  }
+  // A named file is opened lazily, at the first flush: a producer that
+  // aborts in validation before writing anything (bad axis spec, ...)
+  // must not have truncated a previously good output file — the old
+  // write-after-success path never did.
+  if (format_ == ReportFormat::kCsv) {
+    append_csv_row(buffer_, columns_);
+  } else {
+    buffer_ += "[\n";
+  }
+}
+
+ReportWriter::ReportWriter(std::string* sink, ReportFormat format,
+                           std::vector<std::string> columns)
+    : columns_(std::move(columns)), format_(format), sink_(sink) {
+  P2P_ASSERT_MSG(!columns_.empty(), "a report needs at least one column");
+  P2P_ASSERT(sink_ != nullptr);
+  if (format_ == ReportFormat::kCsv) {
+    append_csv_row(*sink_, columns_);
+  } else {
+    *sink_ += "[\n";
+  }
+}
+
+ReportWriter::~ReportWriter() {
+  if (!finished_) finish();
+}
+
+void ReportWriter::write_row(const std::vector<std::string>& cells) {
+  P2P_ASSERT_MSG(!finished_, "write_row after finish()");
+  P2P_ASSERT_MSG(cells.size() == columns_.size(),
+                 "row arity must match the column count");
+  std::string& out = sink_ != nullptr ? *sink_ : buffer_;
+  if (format_ == ReportFormat::kCsv) {
+    append_csv_row(out, cells);
+  } else {
+    if (rows_ > 0) out += "},\n";
+    append_json_row_open(out, columns_, cells);
+  }
+  ++rows_;
+  if (sink_ == nullptr && buffer_.size() >= kFlushBytes) flush_to_file();
+}
+
+void ReportWriter::finish() {
+  P2P_ASSERT_MSG(!finished_, "finish() called twice");
+  finished_ = true;
+  std::string& out = sink_ != nullptr ? *sink_ : buffer_;
+  if (format_ == ReportFormat::kJson) {
+    if (rows_ > 0) out += "}\n";
+    out += "]\n";
+  }
+  if (sink_ != nullptr) return;
+  flush_to_file();
+  if (owns_file_) {
+    // fclose flushes the stdio buffer, so a full disk can surface there;
+    // a truncated report must not exit 0.
+    P2P_ASSERT_MSG(std::fclose(file_) == 0,
+                   "short write to report output file");
+  } else {
+    P2P_ASSERT_MSG(std::fflush(file_) == 0, "short write to stdout");
+  }
+  file_ = nullptr;
+}
+
+void ReportWriter::flush_to_file() {
+  if (buffer_.empty()) return;
+  if (file_ == nullptr) {
+    file_ = std::fopen(path_.c_str(), "wb");
+    P2P_ASSERT_MSG(file_ != nullptr,
+                   "cannot open report output file \"" + path_ + "\"");
+    owns_file_ = true;
+  }
+  const std::size_t written =
+      std::fwrite(buffer_.data(), 1, buffer_.size(), file_);
+  P2P_ASSERT_MSG(written == buffer_.size(),
+                 "short write to report output file");
+  buffer_.clear();
+}
+
+Table::Table(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {
+  P2P_ASSERT_MSG(!columns_.empty(), "a table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  P2P_ASSERT_MSG(cells.size() == columns_.size(),
+                 "row arity must match the column count");
+  rows_.push_back(std::move(cells));
+}
+
+// to_csv/to_json render through ReportWriter, so the streaming and
+// in-memory paths cannot drift apart byte-wise.
 std::string Table::to_csv() const {
   std::string out;
-  for (std::size_t c = 0; c < columns_.size(); ++c) {
-    if (c > 0) out += ',';
-    append_csv_cell(out, columns_[c]);
-  }
-  out += '\n';
-  for (const auto& row : rows_) {
-    for (std::size_t c = 0; c < row.size(); ++c) {
-      if (c > 0) out += ',';
-      append_csv_cell(out, row[c]);
-    }
-    out += '\n';
-  }
+  ReportWriter writer(&out, ReportFormat::kCsv, columns_);
+  for (const auto& row : rows_) writer.write_row(row);
+  writer.finish();
   return out;
 }
 
 std::string Table::to_json() const {
-  std::string out = "[\n";
-  for (std::size_t r = 0; r < rows_.size(); ++r) {
-    out += "  {";
-    for (std::size_t c = 0; c < columns_.size(); ++c) {
-      if (c > 0) out += ", ";
-      append_json_string(out, columns_[c]);
-      out += ": ";
-      const std::string& cell = rows_[r][c];
-      if (is_json_number(cell)) {
-        out += cell;
-      } else if (cell == "inf" || cell == "-inf" || cell == "nan") {
-        out += "null";
-      } else {
-        append_json_string(out, cell);
-      }
-    }
-    out += r + 1 < rows_.size() ? "},\n" : "}\n";
-  }
-  out += "]\n";
+  std::string out;
+  ReportWriter writer(&out, ReportFormat::kJson, columns_);
+  for (const auto& row : rows_) writer.write_row(row);
+  writer.finish();
   return out;
 }
 

@@ -1,11 +1,21 @@
 // Deterministic tabular report emitters (CSV and JSON) for sweep results.
 //
 // Cells are formatted to strings once, by the producer, in cell-index
-// order after the parallel phase has joined — so the emitted bytes depend
-// only on the results, never on thread count or scheduling. Numbers go
-// through format_number (std::to_chars shortest round-trip form, with
-// "inf"/"-inf"/"nan" spelled out) so CSV diffs are stable across runs
-// and every emitted decimal parses back to the exact bit pattern.
+// order — so the emitted bytes depend only on the results, never on
+// thread count or scheduling. Numbers go through format_number
+// (std::to_chars shortest round-trip form, with "inf"/"-inf"/"nan"
+// spelled out) so CSV diffs are stable across runs and every emitted
+// decimal parses back to the exact bit pattern.
+//
+// Two emit paths share one serializer:
+//
+//   * Table        — in-memory rows, rendered whole by to_csv/to_json;
+//   * ReportWriter — streaming: header up front, rows appended as they
+//                    become final, closer written by finish(). Emitted
+//                    bytes are identical to Table's for the same rows
+//                    (Table's renderers are implemented ON ReportWriter),
+//                    but peak memory is one I/O buffer, not the table —
+//                    the emitter million-cell sweeps stream through.
 #pragma once
 
 #include <cstdio>
@@ -18,6 +28,57 @@ namespace p2p::engine {
 /// round-trips to the identical double; non-finite values become "inf",
 /// "-inf" or "nan".
 std::string format_number(double value);
+
+enum class ReportFormat { kCsv, kJson };
+
+/// Streams a rectangular table row by row to a file (or a string, for
+/// tests and in-memory consumers) without retaining the rows. The
+/// constructor emits the header, write_row one row, finish() the JSON
+/// closer + flush; byte-for-byte the output equals Table::to_csv /
+/// to_json of the same rows.
+class ReportWriter {
+ public:
+  /// Streams to `path`; "-" or empty means stdout. A named file is
+  /// opened (and truncated) lazily at the first buffer flush, so a
+  /// producer that aborts before writing anything leaves a pre-existing
+  /// file untouched; an unopenable path aborts at that first flush.
+  ReportWriter(const std::string& path, ReportFormat format,
+               std::vector<std::string> columns);
+  /// Streams into `*sink` (appended; not cleared first).
+  ReportWriter(std::string* sink, ReportFormat format,
+               std::vector<std::string> columns);
+
+  ReportWriter(const ReportWriter&) = delete;
+  ReportWriter& operator=(const ReportWriter&) = delete;
+
+  /// Finishes implicitly if finish() was not called; prefer calling it
+  /// explicitly — a short write still aborts, just later.
+  ~ReportWriter();
+
+  const std::vector<std::string>& columns() const { return columns_; }
+  std::size_t rows_written() const { return rows_; }
+
+  /// Appends a row; must have exactly columns().size() cells.
+  void write_row(const std::vector<std::string>& cells);
+
+  /// Writes the JSON closer, flushes, and closes the file. A truncated
+  /// report (disk full, broken pipe) aborts rather than exiting 0.
+  /// Exactly once; write_row is invalid afterwards.
+  void finish();
+
+ private:
+  void flush_to_file();
+
+  std::vector<std::string> columns_;
+  ReportFormat format_;
+  std::string* sink_ = nullptr;
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  bool owns_file_ = false;
+  std::string buffer_;
+  std::size_t rows_ = 0;
+  bool finished_ = false;
+};
 
 /// A rectangular table of pre-formatted cells with named columns.
 class Table {

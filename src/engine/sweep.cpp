@@ -1,7 +1,10 @@
 #include "engine/sweep.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <cstdlib>
+#include <functional>
 #include <span>
 
 #include "analysis/confidence.hpp"
@@ -249,6 +252,7 @@ void validate_effective_axes(const SweepGrid& effective,
 }
 
 void validate_options(const SweepOptions& options) {
+  P2P_ASSERT_MSG(options.threads >= 1, "sweep threads must be >= 1");
   P2P_ASSERT_MSG(options.horizon > 0, "sweep horizon must be positive");
   P2P_ASSERT_MSG(options.warmup >= 0 && options.warmup < options.horizon,
                  "warmup must lie in [0, horizon)");
@@ -281,6 +285,142 @@ SweepGrid effective_grid(const SweepGrid& grid) {
   SweepGrid effective = default_region_grid();
   for (const auto& axis : grid.axes) effective.set_axis(axis);
   return effective;
+}
+
+/// Fills the non-sim fields of one cell — everything replica 0's work
+/// item computes besides its own simulation. Resets the struct first:
+/// the streaming pipeline recycles ring slots, and a stale CTMC value
+/// from a previous occupant must not survive a skipped solve.
+void fill_cell(CellResult& r, std::size_t cell, const CellParams& p,
+               const SweepOptions& options) {
+  r = CellResult{};
+  r.index = cell;
+  r.lambda = p.lambda;
+  r.us = p.us;
+  r.mu = p.mu;
+  r.gamma = p.gamma;
+  r.k = p.k;
+  r.eta = p.eta;
+  r.flash = p.flash;
+  r.mix = p.mix;
+  r.hetero = p.hetero;
+  const SwarmParams model = expand(options.scenario, p).params;
+  r.theory = classify(model);
+  // The truncated chain is the *homogeneous* law: under a retry boost or
+  // a rate spread its stationary mean is not the answer the simulator
+  // approaches, so the column stays NaN rather than posing as an exact
+  // cross-check. Typed mixes are fine — the chain is typed by nature.
+  if (options.ctmc_max_peers > 0 && p.k <= SweepOptions::kCtmcMaxPieces &&
+      p.eta == 1 && p.hetero == 0 &&
+      ctmc_tractable(p.k, options.ctmc_max_peers)) {
+    r.ctmc_mean_peers =
+        solve_truncated_swarm(model, options.ctmc_max_peers).mean_peers();
+  }
+}
+
+/// The shared sweep pipeline behind run_sweep and run_sweep_stream:
+/// validates, expands the grid, fans the (cell, replica) items across
+/// the pool in chunks, and calls `sink` with each finished cell in index
+/// order as soon as every cell before it is complete. Live state is a
+/// ring of O(window) items — the sink decides whether cells are retained
+/// (run_sweep) or emitted and dropped (run_sweep_stream).
+SweepSummary sweep_cells_ordered(
+    const SweepGrid& grid, const SweepOptions& options,
+    const std::function<void(CellResult&&)>& sink) {
+  validate_caller_axes(grid);
+  validate_options(options);
+  const SweepGrid effective = effective_grid(grid);
+  validate_effective_axes(effective, options);
+
+  const std::size_t num_cells = effective.num_cells();
+  // Theory-only sweeps run one closed-form item per cell: fanning unused
+  // replica slots would just multiply claim traffic.
+  const std::size_t replicas =
+      options.theory_only ? 1 : static_cast<std::size_t>(options.replicas);
+  P2P_ASSERT_MSG(num_cells <= SIZE_MAX / replicas,
+                 "sweep work item count overflows size_t (" +
+                     std::to_string(num_cells) + " cells x " +
+                     std::to_string(replicas) + " replicas)");
+  const std::size_t num_items = num_cells * replicas;
+
+  const std::size_t chunk =
+      options.chunk != 0 ? options.chunk
+                         : ThreadPool::auto_chunk(num_items, options.threads);
+  // Claims may run this many chunks past the emitted prefix: enough
+  // slack that one slow chunk does not stall the claimers, while keeping
+  // live results O(chunk * threads) rather than O(num_items).
+  const std::size_t window_chunks =
+      4 * static_cast<std::size_t>(options.threads) + 2;
+  // Result rings. The live span of unaggregated samples is the claim
+  // window PLUS up to replicas-1 items of the cell the consumed prefix
+  // stopped inside (cells are only aggregated whole), rounded up to a
+  // whole number of replica blocks so each cell's samples stay
+  // contiguous modulo the ring, and capped at the job itself. Ring reuse
+  // is safe because the pool opens the claim window only after the
+  // consumer has taken the prefix: a writer's slot can then only collide
+  // with an item of a fully aggregated cell. (Sizing to the bare window
+  // was a real bug: with chunk % replicas != 0 a mid-cell prefix let a
+  // claimable tail item overwrite the straddling cell's samples.)
+  std::size_t ring_items = window_chunks * chunk + (replicas - 1);
+  ring_items = ((ring_items + replicas - 1) / replicas) * replicas;
+  ring_items = std::min(ring_items, num_items);
+  const std::size_t cell_ring = ring_items / replicas + 1;
+
+  std::vector<ReplicaSample> samples(options.theory_only ? 0 : ring_items);
+  std::vector<CellResult> cells(cell_ring);
+
+  SweepSummary summary;
+  summary.cells = num_cells;
+  std::size_t emitted = 0;
+
+  ThreadPool pool(options.threads);
+  pool.parallel_for_streaming(
+      num_items, chunk, window_chunks * chunk,
+      [&](std::size_t item) {
+        const std::size_t cell = item / replicas;
+        const std::size_t replica = item % replicas;
+        const std::vector<double> values = effective.cell_values(cell);
+        const CellParams p = extract_params(effective.axes, values);
+        if (replica == 0) {
+          fill_cell(cells[cell % cell_ring], cell, p, options);
+        }
+        if (!options.theory_only) {
+          samples[item % ring_items] = simulate_replica(
+              p, options,
+              derive_seed(options.base_seed, kStreamCellSim, cell, replica));
+        }
+      },
+      [&](std::size_t prefix_items) {
+        // Aggregation and emission run serially on the calling thread in
+        // cell order; the bootstrap RNG is derived per cell, so the
+        // output never depends on scheduling.
+        const std::size_t complete_cells = prefix_items / replicas;
+        for (; emitted < complete_cells; ++emitted) {
+          CellResult& r = cells[emitted % cell_ring];
+          if (!options.theory_only) {
+            Rng agg_rng(
+                derive_seed(options.base_seed, kStreamCellAgg, emitted, 0));
+            r.sim = aggregate_samples(
+                std::span<const ReplicaSample>(
+                    samples.data() + (emitted * replicas) % ring_items,
+                    replicas),
+                options, agg_rng);
+          }
+          switch (r.theory.verdict) {
+            case Stability::kPositiveRecurrent:
+              ++summary.stable;
+              break;
+            case Stability::kTransient:
+              ++summary.transient;
+              break;
+            case Stability::kBorderline:
+              ++summary.borderline;
+              break;
+          }
+          sink(std::move(r));
+        }
+      });
+  return summary;
 }
 
 }  // namespace
@@ -334,7 +474,23 @@ Axis parse_axis(const std::string& spec) {
 
 std::size_t SweepGrid::num_cells() const {
   std::size_t n = 1;
-  for (const auto& axis : axes) n *= axis.values.size();
+  for (const auto& axis : axes) {
+    const std::size_t size = axis.values.size();
+    // A hostile spec (four 65536-point linspaces) would wrap the product
+    // and silently under-allocate the whole sweep; fail fast and name
+    // the grid's axis sizes so the user sees which spec did it.
+    if (size != 0 && n > SIZE_MAX / size) {
+      std::string shape;
+      for (const auto& a : axes) {
+        if (!shape.empty()) shape += " x ";
+        shape += a.name + "[" + std::to_string(a.values.size()) + "]";
+      }
+      P2P_ASSERT_MSG(false,
+                     "sweep grid cell count overflows size_t (grid " +
+                         shape + ")");
+    }
+    n *= size;
+  }
   return axes.empty() ? 0 : n;
 }
 
@@ -396,72 +552,24 @@ SweepGrid default_region_grid() {
 }
 
 SweepResult run_sweep(const SweepGrid& grid, const SweepOptions& options) {
-  validate_caller_axes(grid);
-  validate_options(options);
-  const SweepGrid effective = effective_grid(grid);
-  validate_effective_axes(effective, options);
-
   SweepResult result;
-  result.grid = effective;
   result.options = options;
-  const std::size_t num_cells = effective.num_cells();
-  const std::size_t replicas = static_cast<std::size_t>(options.replicas);
-  result.cells.resize(num_cells);
-  std::vector<ReplicaSample> samples(num_cells * replicas);
-
-  // Every (cell, replica) pair is its own work item, so a small grid with
-  // many replicas saturates the pool just like a large grid. Replica 0's
-  // item additionally fills the cell's theory/CTMC fields (each cell's
-  // non-sim fields are written by exactly one item).
-  ThreadPool pool(options.threads);
-  pool.parallel_for(samples.size(), [&](std::size_t item) {
-    const std::size_t cell = item / replicas;
-    const std::size_t replica = item % replicas;
-    const std::vector<double> values = effective.cell_values(cell);
-    const CellParams p = extract_params(effective.axes, values);
-    if (replica == 0) {
-      CellResult& r = result.cells[cell];
-      r.index = cell;
-      r.lambda = p.lambda;
-      r.us = p.us;
-      r.mu = p.mu;
-      r.gamma = p.gamma;
-      r.k = p.k;
-      r.eta = p.eta;
-      r.flash = p.flash;
-      r.mix = p.mix;
-      r.hetero = p.hetero;
-      const SwarmParams model = expand(options.scenario, p).params;
-      r.theory = classify(model);
-      // The truncated chain is the *homogeneous* law: under a retry
-      // boost or a rate spread its stationary mean is not the answer the
-      // simulator approaches, so the column stays NaN rather than posing
-      // as an exact cross-check. Typed mixes are fine — the chain is
-      // typed by construction.
-      if (options.ctmc_max_peers > 0 &&
-          p.k <= SweepOptions::kCtmcMaxPieces && p.eta == 1 &&
-          p.hetero == 0 &&
-          ctmc_tractable(p.k, options.ctmc_max_peers)) {
-        r.ctmc_mean_peers =
-            solve_truncated_swarm(model, options.ctmc_max_peers)
-                .mean_peers();
-      }
-    }
-    samples[item] = simulate_replica(
-        p, options,
-        derive_seed(options.base_seed, kStreamCellSim, cell, replica));
+  sweep_cells_ordered(grid, options, [&](CellResult&& cell) {
+    result.cells.push_back(std::move(cell));
   });
-
-  // Aggregation is serial and in cell order; the bootstrap RNG is derived
-  // per cell, so the report never depends on scheduling.
-  for (std::size_t cell = 0; cell < num_cells; ++cell) {
-    Rng agg_rng(derive_seed(options.base_seed, kStreamCellAgg, cell, 0));
-    result.cells[cell].sim = aggregate_samples(
-        std::span<const ReplicaSample>(samples.data() + cell * replicas,
-                                       replicas),
-        options, agg_rng);
-  }
+  result.grid = effective_grid(grid);
   return result;
+}
+
+SweepSummary run_sweep_stream(const SweepGrid& grid,
+                              const SweepOptions& options,
+                              ReportWriter& writer) {
+  P2P_ASSERT_MSG(writer.columns() == sweep_columns(options),
+                 "run_sweep_stream writer must be built with "
+                 "sweep_columns(options)");
+  return sweep_cells_ordered(grid, options, [&](CellResult&& cell) {
+    writer.write_row(sweep_row(cell, options));
+  });
 }
 
 namespace {
@@ -483,7 +591,7 @@ std::string mix_column_name(PieceSet type) {
 
 }  // namespace
 
-Table SweepResult::to_table() const {
+std::vector<std::string> sweep_columns(const SweepOptions& options) {
   const ScenarioSpec& scenario = options.scenario;
   std::vector<std::string> cols = {"cell", "lambda", "us",    "mu",  "gamma",
                                    "k",    "eta",    "flash", "mix", "hetero"};
@@ -499,36 +607,44 @@ Table SweepResult::to_table() const {
         "sim_mean_peers_lo", "sim_mean_peers_hi", "ctmc_mean_peers"}) {
     cols.push_back(c);
   }
-  Table table(std::move(cols));
-  for (const auto& c : cells) {
-    std::vector<std::string> row = {
-        format_number(static_cast<double>(c.index)), format_number(c.lambda),
-        format_number(c.us),                         format_number(c.mu),
-        format_number(c.gamma),                      format_number(c.k),
-        format_number(c.eta),
-        format_number(static_cast<double>(c.flash)), format_number(c.mix),
-        format_number(c.hetero)};
-    if (!scenario.empty()) {
-      row.push_back(format_number((1.0 - c.mix) * c.lambda));
-      for (const auto& a : scenario.mix) {
-        row.push_back(format_number(c.mix * c.lambda * a.rate));
-      }
+  return cols;
+}
+
+std::vector<std::string> sweep_row(const CellResult& c,
+                                   const SweepOptions& options) {
+  const ScenarioSpec& scenario = options.scenario;
+  std::vector<std::string> row = {
+      format_number(static_cast<double>(c.index)), format_number(c.lambda),
+      format_number(c.us),                         format_number(c.mu),
+      format_number(c.gamma),                      format_number(c.k),
+      format_number(c.eta),
+      format_number(static_cast<double>(c.flash)), format_number(c.mix),
+      format_number(c.hetero)};
+  if (!scenario.empty()) {
+    row.push_back(format_number((1.0 - c.mix) * c.lambda));
+    for (const auto& a : scenario.mix) {
+      row.push_back(format_number(c.mix * c.lambda * a.rate));
     }
-    for (std::string cell :
-         {to_string(c.theory.verdict), format_number(c.theory.margin),
-          format_number(c.theory.critical_piece),
-          format_number(c.sim.replicas),
-          format_number(c.sim.final_peers_mean),
-          format_number(c.sim.mean_peers_mean),
-          format_number(c.sim.mean_sojourn),
-          format_number(c.sim.mean_peers_sem),
-          format_number(c.sim.mean_peers_lo),
-          format_number(c.sim.mean_peers_hi),
-          format_number(c.ctmc_mean_peers)}) {
-      row.push_back(std::move(cell));
-    }
-    table.add_row(std::move(row));
   }
+  for (std::string cell :
+       {to_string(c.theory.verdict), format_number(c.theory.margin),
+        format_number(c.theory.critical_piece),
+        format_number(c.sim.replicas),
+        format_number(c.sim.final_peers_mean),
+        format_number(c.sim.mean_peers_mean),
+        format_number(c.sim.mean_sojourn),
+        format_number(c.sim.mean_peers_sem),
+        format_number(c.sim.mean_peers_lo),
+        format_number(c.sim.mean_peers_hi),
+        format_number(c.ctmc_mean_peers)}) {
+    row.push_back(std::move(cell));
+  }
+  return row;
+}
+
+Table SweepResult::to_table() const {
+  Table table(sweep_columns(options));
+  for (const auto& c : cells) table.add_row(sweep_row(c, options));
   return table;
 }
 
@@ -633,6 +749,11 @@ FrontierResult refine_frontier(const SweepGrid& grid,
 
   P2P_ASSERT_MSG(refinable_axis(refine.axis),
                  "refine axis must be one of lambda, us, mu, gamma, mix");
+  // The frontier's whole point is simulating at the localized flip;
+  // accepting theory_only here would silently skip those sims while the
+  // table still advertises replica columns.
+  P2P_ASSERT_MSG(!options.theory_only,
+                 "theory_only applies to grid sweeps, not refine_frontier");
   P2P_ASSERT_MSG(std::isfinite(refine.tol) && refine.tol > 0,
                  "refine tolerance must be positive and finite");
   const Axis* refined = effective.find_axis(refine.axis);
@@ -656,11 +777,16 @@ FrontierResult refine_frontier(const SweepGrid& grid,
   result.points.resize(num_rows);
 
   ThreadPool pool(options.threads);
-  // Phase 1: closed-form bisection, one row per item.
-  pool.parallel_for(num_rows, [&](std::size_t row) {
-    result.points[row] =
-        bisect_row(rows, row, *refined, refine, options.scenario);
-  });
+  // Phase 1: closed-form bisection, one row per item, claimed in chunks —
+  // a tall coarse grid (many rows, cheap bisections) must not serialize
+  // on the claim mutex any more than the grid sweep does.
+  pool.parallel_for(
+      num_rows,
+      [&](std::size_t row) {
+        result.points[row] =
+            bisect_row(rows, row, *refined, refine, options.scenario);
+      },
+      options.chunk);
 
   // Phase 2: replica sims at the bracketed frontier points, one
   // (row, replica) pair per item. Seeds key on the row index (not the
@@ -671,14 +797,19 @@ FrontierResult refine_frontier(const SweepGrid& grid,
     if (pt.bracketed) sim_rows.push_back(pt.row);
   }
   const std::size_t replicas = static_cast<std::size_t>(options.replicas);
+  P2P_ASSERT_MSG(sim_rows.size() <= SIZE_MAX / replicas,
+                 "frontier work item count overflows size_t");
   std::vector<ReplicaSample> samples(sim_rows.size() * replicas);
-  pool.parallel_for(samples.size(), [&](std::size_t item) {
-    const std::size_t row = sim_rows[item / replicas];
-    const std::size_t replica = item % replicas;
-    samples[item] = simulate_replica(
-        result.points[row].params, options,
-        derive_seed(options.base_seed, kStreamFrontierSim, row, replica));
-  });
+  pool.parallel_for(
+      samples.size(),
+      [&](std::size_t item) {
+        const std::size_t row = sim_rows[item / replicas];
+        const std::size_t replica = item % replicas;
+        samples[item] = simulate_replica(
+            result.points[row].params, options,
+            derive_seed(options.base_seed, kStreamFrontierSim, row, replica));
+      },
+      options.chunk);
 
   // Phase 3: serial aggregation in row order (determinism).
   for (std::size_t i = 0; i < sim_rows.size(); ++i) {

@@ -19,12 +19,20 @@
 //               simulator should approach.
 //
 // Replicas are independent, so the sweep fans the (cell, replica) pairs
-// individually across a fixed thread pool (engine/thread_pool.hpp) —
-// a grid of few cells with large R parallelizes just as well as a large
-// grid. Determinism contract: every replica derives its RNG stream from
-// (base_seed, cell, replica) alone, aggregation runs in index order
-// after the pool joins, so the emitted report is byte-identical for any
-// --threads value.
+// across a fixed thread pool (engine/thread_pool.hpp) in chunks of
+// SweepOptions::chunk items per claim — a grid of few cells with large R
+// parallelizes just as well as a large grid, and a closed-form-only grid
+// of a million tiny cells is not serialized on the claim mutex.
+// Determinism contract: every replica derives its RNG stream from
+// (base_seed, cell, replica) alone, cells are aggregated and emitted in
+// index order as their prefix completes, so the emitted report is
+// byte-identical for any --threads and any chunk size.
+//
+// Two entry points share one pipeline: run_sweep retains every
+// CellResult (tests, small grids); run_sweep_stream hands each finished
+// cell's row straight to a streaming ReportWriter and keeps only a
+// bounded ring of in-flight results — peak memory O(chunk * threads),
+// not O(num_cells) — with output byte-identical to run_sweep's table.
 //
 // Boundary refinement (refine_frontier) localizes the Theorem-1 phase
 // boundary instead of rasterizing it: per combination of the non-refined
@@ -70,6 +78,9 @@ Axis parse_axis(const std::string& spec);
 struct SweepGrid {
   std::vector<Axis> axes;
 
+  /// Product of the axis sizes. Aborts (echoing the axis sizes) when the
+  /// product overflows size_t — a hostile spec must not wrap silently
+  /// and under-allocate the sweep.
   std::size_t num_cells() const;
   /// The axis values of cell `index`, aligned with `axes`.
   std::vector<double> cell_values(std::size_t index) const;
@@ -100,8 +111,19 @@ struct SweepOptions {
   std::uint64_t base_seed = 1;
   /// OS threads (callers usually pass hardware_concurrency).
   int threads = 1;
+  /// (cell, replica) work items claimed per pool mutex acquisition;
+  /// 0 = auto (~items / (64 * threads)). Any value yields byte-identical
+  /// output; large chunks only matter for huge closed-form grids where
+  /// per-item claiming would serialize on the mutex.
+  std::size_t chunk = 0;
   /// Independent replicas per cell, fanned as individual work items.
   int replicas = 1;
+  /// Skip the simulator entirely: every cell gets only the Theorem-1
+  /// closed form (and the CTMC solve, if enabled). The sim columns stay
+  /// NaN with replicas = 0, one work item per cell regardless of
+  /// `replicas`. This is what lets million-cell phase diagrams render in
+  /// seconds.
+  bool theory_only = false;
   /// Confidence level of the replica-mean bootstrap CI.
   double confidence = 0.95;
   /// Bootstrap resamples for the CI (>= 10).
@@ -178,6 +200,14 @@ struct SweepResult {
   Table to_table() const;
 };
 
+/// The grid table's column names for `options` (to_table's header, and
+/// what a streaming ReportWriter must be constructed with).
+std::vector<std::string> sweep_columns(const SweepOptions& options);
+
+/// One formatted grid-table row, aligned with sweep_columns(options).
+std::vector<std::string> sweep_row(const CellResult& cell,
+                                   const SweepOptions& options);
+
 /// Runs every (cell, replica) pair of `grid` across `options.threads`
 /// threads. Axes not present in `grid` take the default_region_grid()
 /// values (so an empty grid runs the full 256-cell region sweep); the
@@ -185,6 +215,27 @@ struct SweepResult {
 /// axis names, inf on any axis but gamma, or invalid parameter values
 /// (lambda/mu <= 0, eta < 1, fractional flash, ...).
 SweepResult run_sweep(const SweepGrid& grid, const SweepOptions& options);
+
+/// What a streamed sweep leaves behind: the verdict tallies the tool
+/// prints to stderr (the cells themselves went to the writer).
+struct SweepSummary {
+  std::size_t cells = 0;
+  std::size_t stable = 0;
+  std::size_t transient = 0;
+  std::size_t borderline = 0;
+};
+
+/// run_sweep's bounded-memory twin: identical validation, scheduling and
+/// numbers, but each cell's row is handed to `writer` (construct it with
+/// sweep_columns(options)) as soon as every cell before it has finished,
+/// and the CellResult is dropped. Live state is a ring of
+/// O(chunk * threads) items, so grid size no longer bounds memory. The
+/// caller finishes the writer. Emitted bytes equal
+/// run_sweep(...).to_table() rendered with the same format, for any
+/// (threads, chunk) combination.
+SweepSummary run_sweep_stream(const SweepGrid& grid,
+                              const SweepOptions& options,
+                              ReportWriter& writer);
 
 // --- Theorem-1 boundary refinement ---
 
@@ -245,10 +296,12 @@ struct FrontierResult {
 /// axis's coarse values (in axis order) for the first adjacent
 /// Theorem-1 verdict change, bisects that bracket down to `refine.tol`
 /// (closed form, no simulation), then runs options.replicas SwarmSim
-/// replicas at the localized frontier point — fanned across the pool as
-/// individual (row, replica) items. Same determinism contract as
-/// run_sweep. Aborts if the refined axis is missing, non-refinable,
-/// has < 2 values, or contains inf.
+/// replicas at the localized frontier point — both the bisection rows
+/// and the (row, replica) sim items go through the same chunked claiming
+/// as the grid sweep (options.chunk), so a tall coarse grid does not
+/// serialize on the claim mutex. Same determinism contract as run_sweep.
+/// Aborts if the refined axis is missing, non-refinable, has < 2 values,
+/// or contains inf.
 FrontierResult refine_frontier(const SweepGrid& grid,
                                const SweepOptions& options,
                                const RefineOptions& refine);

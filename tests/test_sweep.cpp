@@ -417,6 +417,9 @@ TEST(RunSweepDeath, InvalidReplicaOptionsAbort) {
   options.warmup = 0;
   options.confidence = 1.0;
   EXPECT_DEATH(run_sweep(grid, options), "confidence");
+  options.confidence = 0.95;
+  options.threads = 0;
+  EXPECT_DEATH(run_sweep(grid, options), "threads");
 }
 
 }  // namespace

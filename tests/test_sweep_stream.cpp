@@ -1,0 +1,196 @@
+// The streaming sweep pipeline's contract: run_sweep_stream emits, byte
+// for byte, what run_sweep + Table would have — for any thread count and
+// any chunk size — while holding only a bounded ring of cells. The
+// archived corpora and CI determinism diffs ride on these bytes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "engine/report.hpp"
+#include "engine/sweep.hpp"
+
+namespace p2p::engine {
+namespace {
+
+std::string stream_csv(const SweepGrid& grid, const SweepOptions& options) {
+  std::string out;
+  ReportWriter writer(&out, ReportFormat::kCsv, sweep_columns(options));
+  run_sweep_stream(grid, options, writer);
+  writer.finish();
+  return out;
+}
+
+std::string stream_json(const SweepGrid& grid, const SweepOptions& options) {
+  std::string out;
+  ReportWriter writer(&out, ReportFormat::kJson, sweep_columns(options));
+  run_sweep_stream(grid, options, writer);
+  writer.finish();
+  return out;
+}
+
+TEST(RunSweepStream, MatchesInMemoryTableOnTheGoldenGrid) {
+  // The golden-schema grid from test_sweep_golden: replicas, CTMC
+  // column, NaN uncertainty cells — everything the row formatter can
+  // emit on the homogeneous slice.
+  const SweepGrid grid =
+      parse_grid("lambda=0.5:3.0:3;us=0.7,1.3;k=2;gamma=1.25");
+  SweepOptions options;
+  options.horizon = 40;
+  options.replicas = 3;
+  options.ctmc_max_peers = 10;
+  const Table table = run_sweep(grid, options).to_table();
+  EXPECT_EQ(stream_csv(grid, options), table.to_csv());
+  EXPECT_EQ(stream_json(grid, options), table.to_json());
+}
+
+TEST(RunSweepStream, MatchesInMemoryTableWithAScenario) {
+  // Per-type arrival-rate columns exercise the scenario-dependent part
+  // of the schema.
+  SweepGrid grid = parse_grid("lambda=1,2;us=1;gamma=inf;k=4;mix=0,0.5,1");
+  SweepOptions options;
+  options.horizon = 20;
+  options.replicas = 2;
+  options.scenario = parse_scenario("example2:3,1");
+  const Table table = run_sweep(grid, options).to_table();
+  EXPECT_EQ(stream_csv(grid, options), table.to_csv());
+  EXPECT_EQ(stream_json(grid, options), table.to_json());
+}
+
+TEST(RunSweepStream, DeterminismMatrixOverThreadsAndChunks) {
+  // The satellite acceptance matrix: same grid swept at threads
+  // {1, 2, 4, 8} x chunk {1, 7, auto} must produce byte-identical CSV
+  // and JSON. Chunking and scheduling may only change who computes a
+  // cell, never the cell. threads = 4 with chunk = 7 and replicas = 3 is
+  // the ring-sizing regression corner: there the claim window (126
+  // items) is an exact multiple of replicas, so a ring sized to the bare
+  // window would let a tail item overwrite the samples of the cell a
+  // mid-cell prefix stopped inside.
+  const SweepGrid grid = parse_grid("lambda=0.5:3.0:16;us=0.5,1.5;k=2");
+  SweepOptions base;
+  base.horizon = 20;
+  base.replicas = 3;
+  base.threads = 1;
+  base.chunk = 1;
+  const std::string csv_ref = stream_csv(grid, base);
+  const std::string json_ref = stream_json(grid, base);
+  EXPECT_FALSE(csv_ref.empty());
+  for (const int threads : {1, 2, 4, 8}) {
+    for (const std::size_t chunk :
+         {std::size_t{1}, std::size_t{7}, std::size_t{0}}) {
+      SweepOptions options = base;
+      options.threads = threads;
+      options.chunk = chunk;
+      EXPECT_EQ(stream_csv(grid, options), csv_ref)
+          << "threads " << threads << " chunk " << chunk;
+      EXPECT_EQ(stream_json(grid, options), json_ref)
+          << "threads " << threads << " chunk " << chunk;
+    }
+  }
+}
+
+TEST(RunSweepStream, SummaryTalliesMatchTheTable) {
+  const SweepGrid grid = parse_grid("k=1;us=1;mu=1;gamma=1.25;lambda=1,9");
+  SweepOptions options;
+  options.horizon = 10;
+  std::string out;
+  ReportWriter writer(&out, ReportFormat::kCsv, sweep_columns(options));
+  const SweepSummary summary = run_sweep_stream(grid, options, writer);
+  writer.finish();
+  EXPECT_EQ(summary.cells, 2u);
+  EXPECT_EQ(summary.stable, 1u);
+  EXPECT_EQ(summary.transient, 1u);
+  EXPECT_EQ(summary.borderline, 0u);
+  EXPECT_EQ(writer.rows_written(), 2u);
+}
+
+TEST(RunSweepStream, LargeTheoryOnlyGridStreamsThroughABoundedRing) {
+  // 4096 cells with a tiny chunk: the cell ring is far smaller than the
+  // grid, so every slot is recycled many times. Verdicts must still land
+  // on the right rows — this is the ring-reuse regression test.
+  const SweepGrid grid = parse_grid("lambda=0.5:3.0:64;us=0.2:1.7:64;k=1");
+  SweepOptions options;
+  options.theory_only = true;
+  options.threads = 4;
+  options.chunk = 8;
+  const std::string csv = stream_csv(grid, options);
+  SweepOptions serial = options;
+  serial.threads = 1;
+  serial.chunk = 0;
+  EXPECT_EQ(csv, stream_csv(grid, serial));
+  // 64 * 64 rows + header + trailing newline.
+  std::size_t lines = 0;
+  for (const char c : csv) lines += c == '\n';
+  EXPECT_EQ(lines, 4096u + 1);
+}
+
+TEST(RunSweepStream, TheoryOnlySkipsSimulationButKeepsTheVerdicts) {
+  const SweepGrid grid = parse_grid("k=1;us=1;mu=1;gamma=1.25;lambda=1,9");
+  SweepOptions options;
+  options.theory_only = true;
+  // replicas is ignored in theory-only mode: one closed-form item per
+  // cell, sim columns NaN with replicas = 0.
+  options.replicas = 8;
+  const SweepResult result = run_sweep(grid, options);
+  ASSERT_EQ(result.cells.size(), 2u);
+  EXPECT_EQ(result.cells[0].theory.verdict, Stability::kPositiveRecurrent);
+  EXPECT_EQ(result.cells[1].theory.verdict, Stability::kTransient);
+  for (const auto& cell : result.cells) {
+    EXPECT_EQ(cell.sim.replicas, 0);
+    EXPECT_TRUE(std::isnan(cell.sim.final_peers_mean));
+    EXPECT_TRUE(std::isnan(cell.sim.mean_peers_mean));
+  }
+  EXPECT_EQ(stream_csv(grid, options),
+            run_sweep(grid, options).to_table().to_csv());
+}
+
+TEST(RunSweepStream, TheoryOnlyStillRunsTheCtmcCrossCheck) {
+  // theory_only skips the *simulator*; the CTMC solve is closed-form
+  // linear algebra and stays available as the exact column.
+  const SweepGrid grid = parse_grid("lambda=1;us=1;k=1;gamma=1.25");
+  SweepOptions options;
+  options.theory_only = true;
+  options.ctmc_max_peers = 30;
+  const SweepResult result = run_sweep(grid, options);
+  ASSERT_EQ(result.cells.size(), 1u);
+  EXPECT_TRUE(std::isfinite(result.cells[0].ctmc_mean_peers));
+  EXPECT_GT(result.cells[0].ctmc_mean_peers, 0.0);
+}
+
+TEST(RunSweepStreamDeath, WriterWithForeignColumnsAborts) {
+  const SweepGrid grid = parse_grid("lambda=1;us=1;k=1");
+  SweepOptions options;
+  std::string out;
+  ReportWriter writer(&out, ReportFormat::kCsv, {"wrong", "columns"});
+  EXPECT_DEATH(run_sweep_stream(grid, options, writer), "sweep_columns");
+  writer.finish();
+}
+
+TEST(SweepGridDeath, CellCountOverflowAbortsWithTheGridShape) {
+  // Four 65536-point axes multiply to exactly 2^64: a hostile spec that
+  // previously wrapped the size_t product to 0 and under-allocated the
+  // sweep. The abort must name the axis sizes so the user sees which
+  // spec did it.
+  SweepGrid grid;
+  for (const char* name : {"lambda", "us", "mu", "gamma"}) {
+    Axis axis;
+    axis.name = name;
+    axis.values.assign(1u << 16, 1.0);
+    grid.axes.push_back(std::move(axis));
+  }
+  EXPECT_DEATH(grid.num_cells(), "overflows size_t.*gamma\\[65536\\]");
+}
+
+TEST(RunSweepDeath, TheoryOnlyRefineAborts) {
+  const SweepGrid grid = parse_grid("k=1;us=1;mu=1;gamma=1.25;lambda=1,9");
+  SweepOptions options;
+  options.theory_only = true;
+  RefineOptions refine;
+  refine.axis = "lambda";
+  refine.tol = 0.1;
+  EXPECT_DEATH(refine_frontier(grid, options, refine), "theory_only");
+}
+
+}  // namespace
+}  // namespace p2p::engine

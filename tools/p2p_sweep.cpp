@@ -30,12 +30,19 @@
 //       --grid "us=1;gamma=inf;lambda=2;mix=0:1:5" \
 //       --refine mix:0.001 --replicas 8 --out mix_frontier.csv
 //
+//   # Million-cell Theorem-1 phase diagram, closed form only (no sim):
+//   # the grid streams to disk as it completes, memory stays bounded.
+//   $ ./p2p_sweep --grid "lambda=0.5:3.0:1000;us=0.2:1.7:1000" \
+//       --theory-only --threads 8 --out region_1e6.csv
+//
 // Unspecified axes keep the default region grid's values (lambda and Us
 // 16-point linspaces, mu = 1, gamma = 1.25, K = 3, eta = 1, flash = 0,
 // mix = 0, hetero = 0); naming an axis in --grid replaces just that
 // axis. --mix names the scenario the mix/hetero axes act on (example2,
 // example3, oneclub:K) and, unless the grid says otherwise, pins the k
-// axis to the scenario's piece count and the mix axis to 1.
+// axis to the scenario's piece count and the mix axis to 1. Workers
+// claim --chunk items per lock acquisition (0 = auto); output is
+// byte-identical for any --threads/--chunk combination.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -58,6 +65,14 @@ int main(int argc, char** argv) {
       "overriding the default region grid");
   const int threads_flag =
       flags.get_int("threads", 0, "worker threads (0 = all hardware cores)");
+  const int chunk_flag = flags.get_int(
+      "chunk", 0,
+      "work items claimed per pool lock (0 = auto ~ items/(64*threads)); "
+      "any value gives byte-identical output");
+  const bool theory_only = flags.get_bool(
+      "theory-only", false,
+      "skip all simulation: Theorem-1 columns only (sim columns NaN, "
+      "replicas 0) — million-cell phase diagrams in seconds");
   const double horizon =
       flags.get_double("horizon", 400.0, "simulated time per replica");
   const double warmup = flags.get_double(
@@ -159,11 +174,17 @@ int main(int argc, char** argv) {
       }
     }
   }
+  if (chunk_flag < 0) {
+    std::fprintf(stderr, "error: --chunk must be nonnegative (0 = auto)\n");
+    return 2;
+  }
   options.horizon = horizon;
   options.warmup = warmup;
   options.base_seed = static_cast<std::uint64_t>(seed);
   options.replicas = replicas;
   options.confidence = confidence;
+  options.chunk = static_cast<std::size_t>(chunk_flag);
+  options.theory_only = theory_only;
   options.ctmc_max_peers = static_cast<std::int64_t>(ctmc_cap);
   options.threads = threads_flag > 0
                         ? threads_flag
@@ -182,6 +203,14 @@ int main(int argc, char** argv) {
       // flag would look like the cross-check ran.
       std::fprintf(stderr,
                    "error: --ctmc-cap applies to grid mode only, not "
+                   "--refine\n");
+      return 2;
+    }
+    if (theory_only) {
+      // The frontier's point is simulating at the localized flip;
+      // accepting the flag would emit replica columns that never ran.
+      std::fprintf(stderr,
+                   "error: --theory-only applies to grid mode only, not "
                    "--refine\n");
       return 2;
     }
@@ -204,34 +233,29 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  const SweepResult result = run_sweep(grid, options);
+  // Grid mode streams: rows go to the writer as their prefix completes,
+  // so a million-cell sweep never holds more than the pool's claim
+  // window in memory. The bytes are identical to the old in-memory
+  // emitters for any --threads/--chunk combination.
+  ReportWriter writer(
+      out, format == "json" ? ReportFormat::kJson : ReportFormat::kCsv,
+      sweep_columns(options));
+  const SweepSummary summary = run_sweep_stream(grid, options, writer);
+  writer.finish();
   const double elapsed =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
 
-  const Table table = result.to_table();
-  write_text(out, format == "json" ? table.to_json() : table.to_csv());
-
-  std::size_t stable = 0, transient = 0, borderline = 0;
-  for (const auto& cell : result.cells) {
-    switch (cell.theory.verdict) {
-      case Stability::kPositiveRecurrent:
-        ++stable;
-        break;
-      case Stability::kTransient:
-        ++transient;
-        break;
-      case Stability::kBorderline:
-        ++borderline;
-        break;
-    }
-  }
+  const std::string replica_note =
+      theory_only ? "theory only"
+                  : std::to_string(options.replicas) + " replicas";
   std::fprintf(stderr,
                "p2p_sweep: %zu cells%s (%zu stable / %zu transient / %zu "
-               "borderline) x %d replicas in %.2fs on %d threads "
+               "borderline) x %s in %.2fs on %d threads "
                "(%.1f cells/s)\n",
-               result.cells.size(), scenario_note.c_str(), stable, transient,
-               borderline, options.replicas, elapsed, options.threads,
-               static_cast<double>(result.cells.size()) / elapsed);
+               summary.cells, scenario_note.c_str(), summary.stable,
+               summary.transient, summary.borderline, replica_note.c_str(),
+               elapsed, options.threads,
+               static_cast<double>(summary.cells) / elapsed);
   return 0;
 }
