@@ -1,0 +1,348 @@
+#include "analysis/heatmap.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+
+#include "engine/report.hpp"
+#include "util/assert.hpp"
+
+namespace p2p::analysis {
+
+namespace {
+
+struct Rgb {
+  int r = 0, g = 0, b = 0;
+};
+
+// Diverging pair from the reference data-viz palette: neutral light
+// midpoint, sequential-blue pole for the positive-recurrent arm, a
+// darkened red pole for the transient arm, near-black ink for the
+// frontier overlay on the light surface.
+constexpr Rgb kMidpoint = {0xf0, 0xef, 0xec};   // margin ~ 0 / borderline
+constexpr Rgb kStablePole = {0x0d, 0x36, 0x6b};  // blue, deep stability
+constexpr Rgb kTransientPole = {0x7f, 0x1f, 0x1e};  // red, deep transience
+constexpr Rgb kInk = {0x0b, 0x0b, 0x0b};
+constexpr const char* kSurface = "#fcfcfb";
+constexpr const char* kTextPrimary = "#0b0b0b";
+constexpr const char* kTextSecondary = "#52514e";
+
+Rgb lerp(Rgb a, Rgb b, double t) {
+  const auto mix = [t](int x, int y) {
+    return static_cast<int>(std::lround(x + (y - x) * t));
+  };
+  return {mix(a.r, b.r), mix(a.g, b.g), mix(a.b, b.b)};
+}
+
+/// Largest finite |margin| over the grid; 1 when none (flat ramp).
+double default_margin_scale(const PhaseGrid& grid) {
+  double scale = 0;
+  for (const PhaseCell& c : grid.cells) {
+    if (std::isfinite(c.margin)) scale = std::max(scale, std::abs(c.margin));
+  }
+  return scale > 0 ? scale : 1;
+}
+
+Rgb cell_color(const PhaseCell& cell, double scale) {
+  // sqrt ramp: most of the dynamic range goes to the near-frontier
+  // cells, where the diagram's structure lives. sqrt is correctly
+  // rounded per IEEE-754, so the bytes stay platform-stable.
+  const double m = std::isfinite(cell.margin) ? std::abs(cell.margin) : 0;
+  const double t = std::sqrt(std::min(1.0, m / scale));
+  switch (cell.verdict) {
+    case Stability::kPositiveRecurrent:
+      return lerp(kMidpoint, kStablePole, t);
+    case Stability::kTransient:
+      return lerp(kMidpoint, kTransientPole, t);
+    case Stability::kBorderline:
+      return kMidpoint;
+  }
+  P2P_ASSERT(false);
+  return kMidpoint;
+}
+
+/// The best frontier estimate a row offers: closed-form re-bisection,
+/// else margin interpolation, else the bracket midpoint; NaN when the
+/// row is unbracketed.
+double frontier_x(const PhaseFrontierPoint& pt) {
+  if (!pt.bracketed) return std::nan("");
+  if (std::isfinite(pt.value)) return pt.value;
+  if (std::isfinite(pt.interpolated)) return pt.interpolated;
+  return 0.5 * (pt.x_lo + pt.x_hi);
+}
+
+/// Maps an x value to a fractional cell-center coordinate in [0, nx):
+/// piecewise linear between adjacent coarse cells, so non-uniform axes
+/// land where their bracket sits. NaN when x falls outside every
+/// segment.
+double x_to_cell_coord(const std::vector<double>& xs, double x) {
+  if (!std::isfinite(x)) return std::nan("");
+  for (std::size_t i = 0; i + 1 < xs.size(); ++i) {
+    if (!std::isfinite(xs[i]) || !std::isfinite(xs[i + 1])) continue;
+    if ((x - xs[i]) * (x - xs[i + 1]) <= 0 && xs[i] != xs[i + 1]) {
+      return static_cast<double>(i) + 0.5 +
+             (x - xs[i]) / (xs[i + 1] - xs[i]);
+    }
+  }
+  return std::nan("");
+}
+
+void validate(const PhaseGrid& grid, const RenderOptions& options) {
+  P2P_ASSERT_MSG(options.cell_px >= 1 && options.cell_px <= 256,
+                 "cell_px must lie in [1, 256]");
+  P2P_ASSERT_MSG(!grid.cells.empty(), "cannot render an empty phase grid");
+  P2P_ASSERT_MSG(grid.cells.size() == grid.num_x() * grid.num_y(),
+                 "phase grid cells do not tile num_x * num_y");
+}
+
+std::string fmt(double v) { return engine::format_number(v); }
+
+}  // namespace
+
+namespace {
+
+/// The PPM generator behind render_ppm and write_ppm: emits the header
+/// and then one scanline at a time to `sink`, so the file writer's
+/// peak memory is a single pixel row, never the image.
+void render_ppm_rows(const PhaseGrid& grid,
+                     const std::vector<PhaseFrontierPoint>& frontier,
+                     const RenderOptions& options,
+                     const std::function<void(const std::string&)>& sink) {
+  validate(grid, options);
+  const std::size_t px = static_cast<std::size_t>(options.cell_px);
+  const std::size_t nx = grid.num_x();
+  const std::size_t ny = grid.num_y();
+  const std::size_t width = nx * px;
+  const std::size_t height = ny * px;
+  const double scale = std::isnan(options.margin_scale)
+                           ? default_margin_scale(grid)
+                           : options.margin_scale;
+  P2P_ASSERT_MSG(scale > 0 && std::isfinite(scale),
+                 "margin_scale must be positive and finite");
+
+  // Frontier marker column (in pixels) per y row, if any.
+  std::vector<double> marker(ny, std::nan(""));
+  if (options.overlay_frontier) {
+    for (const PhaseFrontierPoint& pt : frontier) {
+      if (pt.row < ny) {
+        const double coord = x_to_cell_coord(grid.x_values, frontier_x(pt));
+        if (std::isfinite(coord)) {
+          marker[pt.row] = coord * static_cast<double>(px);
+        }
+      }
+    }
+  }
+
+  sink("P6\n" + std::to_string(width) + " " + std::to_string(height) +
+       "\n255\n");
+  std::vector<Rgb> row_colors(nx);
+  std::string line;
+  for (std::size_t row = 0; row < height; ++row) {
+    // Image row 0 is the TOP: the last y value (y grows upward).
+    const std::size_t yi = ny - 1 - row / px;
+    // One cell_color per cell, not per pixel: the px^2 pixels of a cell
+    // reuse the row's colors.
+    if (row % px == 0) {
+      for (std::size_t xi = 0; xi < nx; ++xi) {
+        row_colors[xi] = cell_color(grid.at(yi, xi), scale);
+      }
+    }
+    // The 2px-wide ink marker for this row's frontier estimate.
+    long mark_lo = -1, mark_hi = -2;
+    if (std::isfinite(marker[yi])) {
+      const long center = std::lround(marker[yi]);
+      mark_lo = std::max(0L, center - 1);
+      mark_hi = std::min(static_cast<long>(width) - 1, center);
+    }
+    line.clear();
+    for (std::size_t col = 0; col < width; ++col) {
+      const bool marked = static_cast<long>(col) >= mark_lo &&
+                          static_cast<long>(col) <= mark_hi;
+      const Rgb c = marked ? kInk : row_colors[col / px];
+      line += static_cast<char>(c.r);
+      line += static_cast<char>(c.g);
+      line += static_cast<char>(c.b);
+    }
+    sink(line);
+  }
+}
+
+}  // namespace
+
+std::string render_ppm(const PhaseGrid& grid,
+                       const std::vector<PhaseFrontierPoint>& frontier,
+                       const RenderOptions& options) {
+  std::string out;
+  render_ppm_rows(grid, frontier, options,
+                  [&](const std::string& bytes) { out += bytes; });
+  return out;
+}
+
+void write_ppm(const PhaseGrid& grid,
+               const std::vector<PhaseFrontierPoint>& frontier,
+               const RenderOptions& options, const std::string& path) {
+  const bool to_stdout = path.empty() || path == "-";
+  std::FILE* file = stdout;
+  if (!to_stdout) {
+    file = std::fopen(path.c_str(), "wb");
+    P2P_ASSERT_MSG(file != nullptr,
+                   "cannot open PPM output file \"" + path + "\"");
+  }
+  render_ppm_rows(grid, frontier, options, [&](const std::string& bytes) {
+    const std::size_t written =
+        std::fwrite(bytes.data(), 1, bytes.size(), file);
+    P2P_ASSERT_MSG(written == bytes.size(),
+                   "short write to PPM output file");
+  });
+  if (to_stdout) {
+    P2P_ASSERT_MSG(std::fflush(file) == 0, "short write to stdout");
+  } else {
+    // fclose flushes, so a full disk can surface there; a truncated
+    // diagram must not exit 0.
+    P2P_ASSERT_MSG(std::fclose(file) == 0,
+                   "short write to PPM output file");
+  }
+}
+
+std::string render_svg(const PhaseGrid& grid,
+                       const std::vector<PhaseFrontierPoint>& frontier,
+                       const RenderOptions& options) {
+  validate(grid, options);
+  const int px = options.cell_px;
+  const std::size_t nx = grid.num_x();
+  const std::size_t ny = grid.num_y();
+  const double scale = std::isnan(options.margin_scale)
+                           ? default_margin_scale(grid)
+                           : options.margin_scale;
+  P2P_ASSERT_MSG(scale > 0 && std::isfinite(scale),
+                 "margin_scale must be positive and finite");
+
+  // Layout: title and legend rows on top, y labels left, x labels
+  // below the plot. The minimum width keeps the header legible when
+  // the plot itself is only a few cells wide.
+  const int left = 64, top = 52, bottom = 40, right = 16;
+  const int plot_w = static_cast<int>(nx) * px;
+  const int plot_h = static_cast<int>(ny) * px;
+  const int width = std::max(left + plot_w + right, left + 240);
+  const int height = top + plot_h + bottom;
+
+  const std::string title =
+      options.title.empty()
+          ? grid.y_axis + " vs " + grid.x_axis + " phase diagram"
+          : options.title;
+
+  const auto rgb = [](Rgb c) {
+    return "rgb(" + std::to_string(c.r) + "," + std::to_string(c.g) + "," +
+           std::to_string(c.b) + ")";
+  };
+  // Text content is XML-escaped: the title is caller input, and a bare
+  // '&' or '<' would make the whole document unparseable.
+  const auto xml_escape = [](const std::string& s) {
+    std::string out;
+    for (const char c : s) {
+      if (c == '&') {
+        out += "&amp;";
+      } else if (c == '<') {
+        out += "&lt;";
+      } else if (c == '>') {
+        out += "&gt;";
+      } else {
+        out += c;
+      }
+    }
+    return out;
+  };
+  const auto text = [&](double x, double y, const char* anchor,
+                        const char* fill, int size, const std::string& s) {
+    return "  <text x=\"" + fmt(x) + "\" y=\"" + fmt(y) +
+           "\" text-anchor=\"" + anchor + "\" fill=\"" + fill +
+           "\" font-family=\"system-ui, sans-serif\" font-size=\"" +
+           std::to_string(size) + "\">" + xml_escape(s) + "</text>\n";
+  };
+
+  std::string out;
+  out += "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" +
+         std::to_string(width) + "\" height=\"" + std::to_string(height) +
+         "\" viewBox=\"0 0 " + std::to_string(width) + " " +
+         std::to_string(height) + "\">\n";
+  out += "  <rect width=\"" + std::to_string(width) + "\" height=\"" +
+         std::to_string(height) + "\" fill=\"" + kSurface + "\"/>\n";
+  out += text(left, 18, "start", kTextPrimary, 13, title);
+
+  // Verdict legend on its own row under the title: two labeled
+  // swatches plus the overlay key (identity is never color alone — the
+  // labels carry it; the swatches sit at mid-ramp).
+  const int legend_y = 30;
+  out += "  <rect x=\"" + std::to_string(left) + "\" y=\"" +
+         std::to_string(legend_y) + "\" width=\"10\" height=\"10\" fill=\"" +
+         rgb(lerp(kMidpoint, kStablePole, 0.6)) + "\"/>\n";
+  out += text(left + 14, legend_y + 9, "start", kTextSecondary, 11,
+              "stable");
+  out += "  <rect x=\"" + std::to_string(left + 70) + "\" y=\"" +
+         std::to_string(legend_y) + "\" width=\"10\" height=\"10\" fill=\"" +
+         rgb(lerp(kMidpoint, kTransientPole, 0.6)) + "\"/>\n";
+  out += text(left + 84, legend_y + 9, "start", kTextSecondary, 11,
+              "transient");
+  if (options.overlay_frontier) {
+    out += "  <line x1=\"" + std::to_string(left + 160) + "\" y1=\"" +
+           std::to_string(legend_y + 5) + "\" x2=\"" +
+           std::to_string(left + 180) + "\" y2=\"" +
+           std::to_string(legend_y + 5) + "\" stroke=\"" + rgb(kInk) +
+           "\" stroke-width=\"2\"/>\n";
+    out += text(left + 186, legend_y + 9, "start", kTextSecondary, 11,
+                "frontier");
+  }
+
+  // Cells, row-major from the top image row (last y value).
+  for (std::size_t yi = 0; yi < ny; ++yi) {
+    const int y = top + static_cast<int>(ny - 1 - yi) * px;
+    for (std::size_t xi = 0; xi < nx; ++xi) {
+      out += "  <rect x=\"" +
+             std::to_string(left + static_cast<int>(xi) * px) + "\" y=\"" +
+             std::to_string(y) + "\" width=\"" + std::to_string(px) +
+             "\" height=\"" + std::to_string(px) + "\" fill=\"" +
+             rgb(cell_color(grid.at(yi, xi), scale)) + "\"/>\n";
+    }
+  }
+
+  // Frontier polyline with a surface halo so it separates from both
+  // arms of the diverging ramp.
+  if (options.overlay_frontier) {
+    std::string pts;
+    for (const PhaseFrontierPoint& pt : frontier) {
+      if (pt.row >= ny) continue;
+      const double coord = x_to_cell_coord(grid.x_values, frontier_x(pt));
+      if (!std::isfinite(coord)) continue;
+      const double x = left + coord * px;
+      const double y =
+          top + (static_cast<double>(ny - 1 - pt.row) + 0.5) * px;
+      if (!pts.empty()) pts += ' ';
+      pts += fmt(x) + "," + fmt(y);
+    }
+    if (!pts.empty()) {
+      out += "  <polyline points=\"" + pts + "\" fill=\"none\" stroke=\"" +
+             kSurface + "\" stroke-width=\"4\"/>\n";
+      out += "  <polyline points=\"" + pts + "\" fill=\"none\" stroke=\"" +
+             rgb(kInk) + "\" stroke-width=\"2\"/>\n";
+    }
+  }
+
+  // Selective axis labels: the axis names plus first/last tick values.
+  const int axis_y = top + plot_h;
+  out += text(left, axis_y + 16, "start", kTextSecondary, 11,
+              fmt(grid.x_values.front()));
+  out += text(left + plot_w, axis_y + 16, "end", kTextSecondary, 11,
+              fmt(grid.x_values.back()));
+  out += text(left + plot_w / 2.0, axis_y + 32, "middle", kTextPrimary, 12,
+              grid.x_axis);
+  out += text(left - 6, axis_y - plot_h + 12, "end", kTextSecondary, 11,
+              fmt(grid.y_values.back()));
+  out += text(left - 6, axis_y - 2, "end", kTextSecondary, 11,
+              fmt(grid.y_values.front()));
+  out += text(left - 6, axis_y - plot_h / 2.0, "end", kTextPrimary, 12,
+              grid.y_axis);
+  out += "</svg>\n";
+  return out;
+}
+
+}  // namespace p2p::analysis

@@ -1,0 +1,62 @@
+// Dependency-free phase-diagram renderers: binary PPM (P6) and SVG.
+//
+// The verdict margin is a polarity around the Theorem-1 frontier, so
+// cells wear a diverging palette: a blue arm for positive-recurrent
+// cells, a red arm for transient ones, and a neutral near-surface
+// midpoint at margin 0 / borderline — never a rainbow. Shade encodes
+// |margin| (square-root ramp, saturating at `margin_scale`), so the
+// frontier reads as the light seam between the two arms, and the
+// extracted frontier overlay is drawn in near-black ink with a surface
+// halo so it separates from both arms.
+//
+// Rendering is pure arithmetic over the ingested grid (no wall clock,
+// no transcendentals beyond sqrt, numbers via format_number), so the
+// emitted bytes are identical across runs, thread counts and platforms
+// — the golden tests and the CI corpus job pin them.
+#pragma once
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "analysis/phase_diagram.hpp"
+
+namespace p2p::analysis {
+
+struct RenderOptions {
+  /// Square pixels per grid cell (PPM) / SVG user units per cell.
+  int cell_px = 12;
+  /// Draw the extracted frontier (best available estimate per row:
+  /// re-bisected value, else margin interpolation, else the bracket
+  /// midpoint).
+  bool overlay_frontier = true;
+  /// |margin| that saturates the color ramp; NaN = the grid's largest
+  /// finite |margin| (deterministic).
+  double margin_scale = std::nan("");
+  /// SVG title line; empty derives "<y_axis> vs <x_axis> phase diagram".
+  std::string title;
+};
+
+/// Binary PPM (P6), row 0 of the image at the TOP: the grid's last y
+/// value. y increases upward like a plot, x left to right in grid
+/// order. Image size: (num_x * cell_px) x (num_y * cell_px).
+std::string render_ppm(const PhaseGrid& grid,
+                       const std::vector<PhaseFrontierPoint>& frontier,
+                       const RenderOptions& options = {});
+
+/// Streams the same bytes straight to `path` ("-" or empty = stdout),
+/// one scanline at a time — a million-cell diagram at the default
+/// cell_px would be a ~400 MB string, which a plotting CLI has no
+/// business holding. Aborts on short writes.
+void write_ppm(const PhaseGrid& grid,
+               const std::vector<PhaseFrontierPoint>& frontier,
+               const RenderOptions& options, const std::string& path);
+
+/// Standalone SVG with axis names, first/last tick labels (selective,
+/// never a label per cell), a two-swatch verdict legend, and the
+/// frontier polyline. Same cell colors and orientation as the PPM.
+std::string render_svg(const PhaseGrid& grid,
+                       const std::vector<PhaseFrontierPoint>& frontier,
+                       const RenderOptions& options = {});
+
+}  // namespace p2p::analysis

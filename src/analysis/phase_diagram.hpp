@@ -1,0 +1,167 @@
+// Phase-diagram analysis of ingested sweep corpora: the read-side
+// counterpart of the sweep engine, turning an archived grid table
+// (engine/csv_reader.hpp) back into physics.
+//
+//   * build_phase_grid — validates an ingested grid report, recovers
+//     the two varying axes (x fastest unless told otherwise), checks
+//     the rows form the full cartesian product, and reconstructs the
+//     typed-arrival scenario from the per-type rate columns — so a CSV
+//     on disk is enough to re-run the Theorem-1 closed form at any
+//     parameter point the grid spans.
+//
+//   * extract_frontier — per grid row, localizes the Theorem-1 verdict
+//     flip along x twice over: a margin zero-crossing interpolation
+//     (data only: the margin is piecewise linear in every refinable
+//     axis, so between coarse cells sharing a critical piece the
+//     interpolant is exact), and a closed-form re-bisection of the
+//     bracket via classify() on the reconstructed cells — the same
+//     localization refine_frontier performs at sweep time, now
+//     recoverable from the archive alone. The golden-corpus suite
+//     pins archived frontier tables against this re-derivation.
+//
+//   * verdict_agreement — theory-vs-simulation confusion matrix over
+//     the grid (sim cells classified by an occupancy threshold) with a
+//     bootstrap CI on the agreement rate (analysis/confidence.hpp).
+//
+// Everything here is deterministic: no wall clock, no libm
+// transcendentals, bootstrap RNG seeded by the caller — so rendered
+// diagrams and summary JSON are byte-stable across runs, threads and
+// platforms.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/confidence.hpp"
+#include "core/stability.hpp"
+#include "engine/report.hpp"
+#include "engine/scenario.hpp"
+
+namespace p2p::engine {
+class CsvReader;
+}
+
+namespace p2p::analysis {
+
+/// One ingested grid cell: the parameter point and the classified /
+/// simulated columns the corpus recorded for it.
+struct PhaseCell {
+  engine::CellParams params;
+  Stability verdict = Stability::kBorderline;
+  double margin = std::nan("");
+  int replicas = 0;
+  double sim_mean_peers = std::nan("");
+  double ctmc_mean_peers = std::nan("");
+};
+
+/// A rectangular phase-diagram view of an ingested grid report.
+struct PhaseGrid {
+  /// The two varying axes: x is the fast (column) axis, y the slow
+  /// (row) axis. When only one axis varies, y is a constant axis and
+  /// y_values has one element.
+  std::string x_axis, y_axis;
+  std::vector<double> x_values, y_values;  // in grid (emission) order
+  /// Scenario reconstructed from the per-type rate columns; empty for
+  /// homogeneous corpora (and for scenario corpora whose mix axis is 0
+  /// everywhere — the weights are unrecoverable from an all-zero
+  /// block, and unneeded: every such cell is the homogeneous cell).
+  engine::ScenarioSpec scenario;
+  /// Row-major [y][x].
+  std::vector<PhaseCell> cells;
+
+  std::size_t num_x() const { return x_values.size(); }
+  std::size_t num_y() const { return y_values.size(); }
+  const PhaseCell& at(std::size_t yi, std::size_t xi) const {
+    return cells[yi * x_values.size() + xi];
+  }
+};
+
+/// Builds the grid view from an ingested grid table. Axes default to
+/// the varying ones (1 or 2 of them; x = the faster in emission order);
+/// naming x_axis/y_axis explicitly selects (and possibly transposes)
+/// them. Aborts — naming the offending row or column — when the table
+/// is not a grid report, a coordinate is malformed (non-finite lambda,
+/// fractional k, unknown verdict, cell index out of row order, ...), a
+/// third axis varies, rows do not tile the full |x| * |y| product
+/// exactly once, or the per-type columns contradict the mix/lambda
+/// axes.
+PhaseGrid build_phase_grid(const engine::Table& table,
+                           const std::string& x_axis = "",
+                           const std::string& y_axis = "");
+
+/// Streaming overload: pulls rows straight off a CsvReader, so a
+/// million-cell corpus ingests in O(cells) typed state without ever
+/// holding the document (or an all-strings Table) in memory. Same
+/// validation and result as the Table overload.
+PhaseGrid build_phase_grid(engine::CsvReader& reader,
+                           const std::string& x_axis = "",
+                           const std::string& y_axis = "");
+
+/// One extracted frontier point: the Theorem-1 verdict flip along x for
+/// one grid row.
+struct PhaseFrontierPoint {
+  std::size_t row = 0;  // y index
+  double y = std::nan("");
+  /// False when the row's coarse cells never change verdict: every
+  /// estimate below is NaN.
+  bool bracketed = false;
+  /// The x values of the adjacent coarse cells whose verdicts differ.
+  double x_lo = std::nan(""), x_hi = std::nan("");
+  /// Margin zero-crossing interpolated between the bracket cells; NaN
+  /// when the recorded margins do not straddle zero.
+  double interpolated = std::nan("");
+  /// Closed-form re-bisection of the bracket down to `tol` (midpoint
+  /// and final bracket), via classify() on the reconstructed cells —
+  /// matches refine_frontier run on the same coarse grid. NaN when x
+  /// is not a refinable axis (k, eta, flash, hetero never flip the
+  /// closed form along themselves) or a bracket endpoint is inf.
+  double value = std::nan("");
+  double value_lo = std::nan(""), value_hi = std::nan("");
+  /// classify() margin at `value` (~0 by construction).
+  double margin = std::nan("");
+};
+
+/// Extracts the frontier from every grid row (scanning x in grid order
+/// for the first adjacent verdict change, like refine_frontier's coarse
+/// scan). `tol` is the re-bisection stopping width. Rows are
+/// independent, so they fan across `threads` OS threads; each row's
+/// point depends only on the row, so the result is identical for any
+/// thread count.
+std::vector<PhaseFrontierPoint> extract_frontier(const PhaseGrid& grid,
+                                                 double tol = 1e-3,
+                                                 int threads = 1);
+
+/// Theory-vs-simulation verdict agreement over a grid's cells.
+struct VerdictAgreement {
+  /// Occupancy threshold that splits simulated cells into
+  /// "transient-looking" (mean peers above) and "stable-looking".
+  double threshold = std::nan("");
+  /// counts[theory verdict][sim transient-looking ? 1 : 0] over cells
+  /// with simulation data; verdict indexed 0 = positive-recurrent,
+  /// 1 = transient, 2 = borderline.
+  std::size_t counts[3][2] = {};
+  /// Cells with simulation data (replicas > 0, finite mean).
+  std::size_t cells_with_sim = 0;
+  /// Non-borderline cells entering the agreement rate, and how many of
+  /// them agree (theory transient <=> sim transient-looking).
+  std::size_t compared = 0;
+  std::size_t agreeing = 0;
+  /// agreeing / compared with a percentile-bootstrap CI; NaN when no
+  /// cell qualifies.
+  double agreement = std::nan("");
+  double agreement_lo = std::nan(""), agreement_hi = std::nan("");
+};
+
+/// Classifies every simulated cell against `threshold` (NaN = use the
+/// median simulated occupancy, a scale-free default that splits any
+/// two-phase grid) and bootstraps a CI on the agreement rate. `seed`
+/// drives only the bootstrap, so the result is deterministic.
+VerdictAgreement verdict_agreement(const PhaseGrid& grid,
+                                   double threshold = std::nan(""),
+                                   double confidence = 0.95,
+                                   int resamples = 256,
+                                   std::uint64_t seed = 1);
+
+}  // namespace p2p::analysis

@@ -1,0 +1,729 @@
+#include "engine/csv_reader.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <string_view>
+
+#include "engine/parse_util.hpp"
+#include "util/assert.hpp"
+
+namespace p2p::engine {
+
+double parse_report_number(const std::string& cell,
+                           const std::string& context) {
+  if (cell == "nan") return std::nan("");
+  if (cell == "inf") return std::numeric_limits<double>::infinity();
+  if (cell == "-inf") return -std::numeric_limits<double>::infinity();
+  // strtod alone is too liberal for a dialect check: it skips leading
+  // whitespace and accepts "+2" and hex floats ("0x10" -> 16.0), none
+  // of which format_number can emit. Pre-gate the spellings, then let
+  // strtod do the value work; isfinite rejects the remaining aliases
+  // ("infinity", "nan(...)").
+  const bool shape_ok =
+      !cell.empty() && (cell[0] == '-' || (cell[0] >= '0' && cell[0] <= '9')) &&
+      cell.find_first_of("xX") == std::string::npos;
+  char* end = nullptr;
+  const double v = shape_ok ? std::strtod(cell.c_str(), &end) : 0.0;
+  P2P_ASSERT_MSG(shape_ok && end == cell.c_str() + cell.size() &&
+                     std::isfinite(v),
+                 "expected a report number (format_number dialect), got \"" +
+                     cell + "\" in " + context);
+  return v;
+}
+
+namespace {
+
+/// At most this many bytes of an offending line are echoed in aborts —
+/// enough to identify the row, without dumping a megabyte cell.
+constexpr std::size_t kErrorPreview = 200;
+
+std::string preview_of(std::string_view text) {
+  const std::size_t line_end = std::min(text.find('\n'), text.size());
+  std::string out(text.substr(0, std::min(line_end, kErrorPreview)));
+  if (line_end > kErrorPreview) out += "...";
+  return out;
+}
+
+/// Read chunk size: matches the writer's flush threshold.
+constexpr std::size_t kReadChunk = 1 << 16;
+
+}  // namespace
+
+CsvReader::CsvReader(const std::string& path) {
+  if (path.empty() || path == "-") {
+    source_ = "<stdin>";
+    file_ = stdin;
+  } else {
+    source_ = path;
+    file_ = std::fopen(path.c_str(), "rb");
+    P2P_ASSERT_MSG(file_ != nullptr,
+                   "cannot open report input file \"" + path + "\"");
+    owns_file_ = true;
+  }
+  std::vector<std::string> header;
+  P2P_ASSERT_MSG(next_row(&header),
+                 "report CSV \"" + source_ + "\" is empty (no header line)");
+  columns_ = std::move(header);
+  rows_ = 0;  // the header is not a data row
+}
+
+CsvReader CsvReader::from_text(std::string text) {
+  CsvReader reader;
+  reader.source_ = "<string>";
+  reader.exhausted_ = true;
+  reader.buffer_ = std::move(text);
+  std::vector<std::string> header;
+  P2P_ASSERT_MSG(reader.next_row(&header),
+                 "report CSV <string> is empty (no header line)");
+  reader.columns_ = std::move(header);
+  reader.rows_ = 0;
+  return reader;
+}
+
+CsvReader::CsvReader(CsvReader&& other) noexcept
+    : source_(std::move(other.source_)),
+      file_(other.file_),
+      owns_file_(other.owns_file_),
+      exhausted_(other.exhausted_),
+      buffer_(std::move(other.buffer_)),
+      pos_(other.pos_),
+      line_(other.line_),
+      columns_(std::move(other.columns_)),
+      rows_(other.rows_) {
+  other.file_ = nullptr;
+  other.owns_file_ = false;
+}
+
+CsvReader::~CsvReader() {
+  if (owns_file_ && file_ != nullptr) std::fclose(file_);
+}
+
+void CsvReader::refill() {
+  if (exhausted_) return;
+  // Compact the consumed prefix once per refill (not per row): rows are
+  // erased by bumping pos_, so a million-row file costs one memmove per
+  // 64 KiB chunk instead of one per record.
+  if (pos_ > 0) {
+    buffer_.erase(0, pos_);
+    pos_ = 0;
+  }
+  char chunk[kReadChunk];
+  const std::size_t got = std::fread(chunk, 1, sizeof(chunk), file_);
+  buffer_.append(chunk, got);
+  if (got < sizeof(chunk)) {
+    P2P_ASSERT_MSG(std::ferror(file_) == 0,
+                   "read error on report input file \"" + source_ + "\"");
+    exhausted_ = true;
+  }
+}
+
+bool CsvReader::next_row(std::vector<std::string>* cells) {
+  const auto fail = [&](const std::string& what) {
+    P2P_ASSERT_MSG(false,
+                   what + " (" + source_ + " line " + std::to_string(line_) +
+                       ": \"" +
+                       preview_of(std::string_view(buffer_).substr(pos_)) +
+                       "\")");
+  };
+
+  // Find the end of the next record: the first '\n' outside quotes.
+  // Quoted cells may span newlines (and, in a file-backed reader, chunk
+  // boundaries), so the scan restarts after every refill (which may
+  // compact the buffer and move pos_). A '"' opens a quoted cell only
+  // at a cell boundary — a bare quote mid-cell is data to the scanner
+  // and a loud parse error below, never a silent
+  // swallow-the-rest-of-the-file state.
+  std::size_t end = std::string::npos;
+  while (true) {
+    bool quoted = false;
+    bool cell_start = true;
+    for (std::size_t i = pos_; i < buffer_.size(); ++i) {
+      const char c = buffer_[i];
+      if (quoted) {
+        if (c == '"') {
+          if (i + 1 < buffer_.size() && buffer_[i + 1] == '"') {
+            ++i;  // doubled quote: stay inside the cell
+          } else if (i + 1 == buffer_.size() && !exhausted_) {
+            break;  // cannot tell yet: refill decides
+          } else {
+            quoted = false;
+          }
+        }
+      } else if (c == '"' && cell_start) {
+        quoted = true;
+        cell_start = false;
+      } else if (c == ',') {
+        cell_start = true;
+      } else if (c == '\n') {
+        end = i;
+        break;
+      } else {
+        cell_start = false;
+      }
+    }
+    if (end != std::string::npos) break;
+    if (exhausted_) {
+      if (pos_ >= buffer_.size()) return false;  // clean end of file
+      // Bytes with no terminating newline: the writer '\n'-terminates
+      // every row, so the file was cut mid-record (or a quote never
+      // closed).
+      fail("truncated report CSV: final record has no terminating "
+           "newline (or an unterminated quoted cell)");
+    }
+    refill();
+  }
+
+  // Split the record [pos_, end) into cells, enforcing the writer's
+  // quoting discipline.
+  cells->clear();
+  const std::string_view record(buffer_.data() + pos_, end - pos_);
+  std::size_t i = 0;
+  while (true) {
+    std::string cell;
+    if (i < record.size() && record[i] == '"') {
+      ++i;
+      while (true) {
+        if (i >= record.size()) {
+          // The closing quote can only be missing here if the record
+          // terminator itself sat inside the quotes — record scanning
+          // above would have skipped it — so this is a stray state.
+          fail("unterminated quoted cell in report CSV");
+        }
+        if (record[i] == '"') {
+          if (i + 1 < record.size() && record[i + 1] == '"') {
+            cell += '"';
+            i += 2;
+          } else {
+            ++i;
+            break;
+          }
+        } else {
+          cell += record[i++];
+        }
+      }
+      if (i < record.size() && record[i] != ',') {
+        fail("malformed quoting in report CSV: a quoted cell must be "
+             "followed by a comma or the end of the record");
+      }
+    } else {
+      const std::size_t start = i;
+      while (i < record.size() && record[i] != ',') {
+        if (record[i] == '"') {
+          fail("malformed quoting in report CSV: bare '\"' inside an "
+               "unquoted cell");
+        }
+        ++i;
+      }
+      cell.assign(record.substr(start, i - start));
+    }
+    cells->push_back(std::move(cell));
+    if (i >= record.size()) break;
+    ++i;  // skip ','
+  }
+
+  if (!columns_.empty() && cells->size() != columns_.size()) {
+    fail("report CSV row has " + std::to_string(cells->size()) +
+         " cells, expected " + std::to_string(columns_.size()));
+  }
+
+  // Consume the record and its terminator by advancing pos_ (the
+  // buffer compacts at the next refill); line numbers advance by the
+  // newlines inside quoted cells too.
+  for (std::size_t j = pos_; j <= end; ++j) {
+    if (buffer_[j] == '\n') ++line_;
+  }
+  pos_ = end + 1;
+  ++rows_;
+  return true;
+}
+
+Table read_csv(std::string text) {
+  CsvReader reader = CsvReader::from_text(std::move(text));
+  Table table(reader.columns());
+  std::vector<std::string> cells;
+  while (reader.next_row(&cells)) table.add_row(cells);
+  return table;
+}
+
+Table read_csv_file(const std::string& path) {
+  CsvReader reader(path);
+  Table table(reader.columns());
+  std::vector<std::string> cells;
+  while (reader.next_row(&cells)) table.add_row(cells);
+  return table;
+}
+
+// --- JSON ---
+
+namespace {
+
+/// Recursive-descent cursor over one JSON document. Shared by
+/// validate_json (grammar only) and read_json (report arrays): one
+/// tokenizer, so the two cannot disagree about what well-formed means.
+class JsonCursor {
+ public:
+  JsonCursor(const std::string& text, std::string context)
+      : text_(text), context_(std::move(context)) {}
+
+  [[noreturn]] void fail(const std::string& what) const {
+    P2P_ASSERT_MSG(false, what + " in " + context_ + " at byte " +
+                              std::to_string(pos_) + " (\"" +
+                              preview_of(std::string_view(text_).substr(
+                                  pos_, kErrorPreview)) +
+                              "\")");
+    std::abort();  // unreachable
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool at_end() const { return pos_ >= text_.size(); }
+  char peek() const {
+    if (at_end()) fail("unexpected end of JSON document");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (at_end() || text_[pos_] != c) {
+      fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  void expect_literal(std::string_view word) {
+    if (text_.compare(pos_, word.size(), word) != 0) {
+      fail("malformed JSON literal (expected \"" + std::string(word) + "\")");
+    }
+    pos_ += word.size();
+  }
+
+  /// Parses a JSON string, returning the unescaped contents. \uXXXX
+  /// decodes to UTF-8 for the basic plane (the writer emits \u00xx for
+  /// raw control characters); surrogate pairs abort — the emitter
+  /// never splits astral characters, it passes their UTF-8 through.
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (at_end()) fail("unterminated JSON string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("unescaped control character in JSON string");
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (at_end()) fail("unterminated JSON escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          unsigned code = 0;
+          for (int h = 0; h < 4; ++h) {
+            if (at_end()) fail("malformed \\u escape");
+            const char d = text_[pos_++];
+            code <<= 4;
+            if (d >= '0' && d <= '9') {
+              code |= static_cast<unsigned>(d - '0');
+            } else if (d >= 'a' && d <= 'f') {
+              code |= static_cast<unsigned>(d - 'a' + 10);
+            } else if (d >= 'A' && d <= 'F') {
+              code |= static_cast<unsigned>(d - 'A' + 10);
+            } else {
+              fail("malformed \\u escape");
+            }
+          }
+          if (code >= 0xD800 && code <= 0xDFFF) {
+            fail("surrogate \\u escapes are not part of the report JSON "
+                 "dialect");
+          }
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          fail("invalid JSON escape");
+      }
+    }
+  }
+
+  /// Validates a string's syntax only (allows \uXXXX).
+  void skip_string() {
+    expect('"');
+    while (true) {
+      if (at_end()) fail("unterminated JSON string");
+      const char c = text_[pos_++];
+      if (c == '"') return;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("unescaped control character in JSON string");
+      }
+      if (c != '\\') continue;
+      if (at_end()) fail("unterminated JSON escape");
+      const char e = text_[pos_++];
+      if (e == 'u') {
+        for (int h = 0; h < 4; ++h) {
+          if (at_end() || !std::isxdigit(
+                              static_cast<unsigned char>(text_[pos_]))) {
+            fail("malformed \\u escape");
+          }
+          ++pos_;
+        }
+      } else if (e != '"' && e != '\\' && e != '/' && e != 'b' && e != 'f' &&
+                 e != 'n' && e != 'r' && e != 't') {
+        fail("invalid JSON escape");
+      }
+    }
+  }
+
+  /// Parses a JSON number (strict grammar) and returns its literal
+  /// spelling, so report cells re-emit byte-identically.
+  std::string parse_number_token() {
+    const std::size_t start = pos_;
+    const auto digits = [&] {
+      const std::size_t first = pos_;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+      if (pos_ == first) fail("malformed JSON number");
+    };
+    if (!at_end() && text_[pos_] == '-') ++pos_;
+    if (!at_end() && text_[pos_] == '0') {
+      ++pos_;  // a leading zero must stand alone
+    } else {
+      digits();
+    }
+    if (!at_end() && text_[pos_] == '.') {
+      ++pos_;
+      digits();
+    }
+    if (!at_end() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (!at_end() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      digits();
+    }
+    return text_.substr(start, pos_ - start);
+  }
+
+  /// Validates one value of any type. `depth` caps nesting so a hostile
+  /// document cannot overflow the stack.
+  void skip_value(int depth) {
+    if (depth > kMaxDepth) fail("JSON nesting exceeds the depth budget");
+    skip_ws();
+    const char c = peek();
+    if (c == '{') {
+      ++pos_;
+      skip_ws();
+      if (peek() == '}') {
+        ++pos_;
+        return;
+      }
+      while (true) {
+        skip_ws();
+        skip_string();
+        skip_ws();
+        expect(':');
+        skip_value(depth + 1);
+        skip_ws();
+        if (peek() == ',') {
+          ++pos_;
+          continue;
+        }
+        expect('}');
+        return;
+      }
+    } else if (c == '[') {
+      ++pos_;
+      skip_ws();
+      if (peek() == ']') {
+        ++pos_;
+        return;
+      }
+      while (true) {
+        skip_value(depth + 1);
+        skip_ws();
+        if (peek() == ',') {
+          ++pos_;
+          continue;
+        }
+        expect(']');
+        return;
+      }
+    } else if (c == '"') {
+      skip_string();
+    } else if (c == 't') {
+      expect_literal("true");
+    } else if (c == 'f') {
+      expect_literal("false");
+    } else if (c == 'n') {
+      expect_literal("null");
+    } else {
+      parse_number_token();
+    }
+  }
+
+  static constexpr int kMaxDepth = 256;
+
+ private:
+  const std::string& text_;
+  std::string context_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+void validate_json(const std::string& text, const std::string& context) {
+  JsonCursor cursor(text, context);
+  cursor.skip_value(0);
+  cursor.skip_ws();
+  if (!cursor.at_end()) {
+    cursor.fail("trailing bytes after the JSON document");
+  }
+}
+
+Table read_json(const std::string& text) {
+  JsonCursor cursor(text, "report JSON");
+  cursor.skip_ws();
+  cursor.expect('[');
+  cursor.skip_ws();
+  if (!cursor.at_end() && cursor.peek() == ']') {
+    cursor.fail("empty report JSON carries no header to recover a schema "
+                "from; archive at least the columns (CSV always has them)");
+  }
+
+  std::vector<std::string> columns;
+  std::vector<std::vector<std::string>> rows;
+  while (true) {
+    cursor.skip_ws();
+    cursor.expect('{');
+    std::vector<std::string> keys;
+    std::vector<std::string> cells;
+    cursor.skip_ws();
+    if (cursor.peek() != '}') {
+      while (true) {
+        cursor.skip_ws();
+        keys.push_back(cursor.parse_string());
+        cursor.skip_ws();
+        cursor.expect(':');
+        cursor.skip_ws();
+        const char c = cursor.peek();
+        if (c == '"') {
+          cells.push_back(cursor.parse_string());
+        } else if (c == 'n') {
+          cursor.expect_literal("null");
+          // The emitter maps every non-finite cell to null; nan is the
+          // only spelling that maps back without inventing a sign.
+          cells.push_back("nan");
+        } else if (c == '{' || c == '[' || c == 't' || c == 'f') {
+          cursor.fail("report cells must be numbers, strings or null");
+        } else {
+          cells.push_back(cursor.parse_number_token());
+        }
+        cursor.skip_ws();
+        if (cursor.peek() == ',') {
+          cursor.expect(',');
+          continue;
+        }
+        break;
+      }
+    }
+    cursor.expect('}');
+
+    if (columns.empty()) {
+      if (keys.empty()) {
+        cursor.fail("report JSON rows need at least one column");
+      }
+      columns = keys;
+    } else if (keys != columns) {
+      cursor.fail("report JSON row keys do not match the first row's "
+                  "columns (same names, same order, same count)");
+    }
+    rows.push_back(std::move(cells));
+
+    cursor.skip_ws();
+    if (cursor.peek() == ',') {
+      cursor.expect(',');
+      continue;
+    }
+    cursor.expect(']');
+    break;
+  }
+  cursor.skip_ws();
+  if (!cursor.at_end()) {
+    cursor.fail("trailing bytes after the report JSON array");
+  }
+
+  Table table(std::move(columns));
+  for (auto& row : rows) table.add_row(std::move(row));
+  return table;
+}
+
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::FILE* file = stdin;
+  const bool named = !(path.empty() || path == "-");
+  if (named) {
+    file = std::fopen(path.c_str(), "rb");
+    P2P_ASSERT_MSG(file != nullptr,
+                   "cannot open report input file \"" + path + "\"");
+  }
+  std::string text;
+  char chunk[kReadChunk];
+  std::size_t got = 0;
+  while ((got = std::fread(chunk, 1, sizeof(chunk), file)) > 0) {
+    text.append(chunk, got);
+  }
+  const bool read_error = std::ferror(file) != 0;
+  if (named) std::fclose(file);
+  P2P_ASSERT_MSG(!read_error, "read error on report input file \"" +
+                                  (named ? path : "<stdin>") + "\"");
+  return text;
+}
+
+}  // namespace
+
+Table read_json_file(const std::string& path) { return read_json(slurp(path)); }
+
+bool report_is_json(const std::string& path) {
+  const auto ws = [](int c) {
+    return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+  };
+  if (path.empty() || path == "-") {
+    // Pipes cannot seek: probe byte by byte and push the deciding one
+    // back (ungetc guarantees exactly one byte). The skipped leading
+    // whitespace is not part of either dialect.
+    int c = 0;
+    while ((c = std::fgetc(stdin)) != EOF) {
+      if (ws(c)) continue;
+      std::ungetc(c, stdin);
+      return c == '[';
+    }
+    return false;  // empty stdin: let the CSV reader's abort name it
+  }
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return false;  // the real reader reports the error
+  bool json = false;
+  int c = 0;
+  while ((c = std::fgetc(file)) != EOF) {
+    if (ws(c)) continue;
+    json = c == '[';
+    break;
+  }
+  std::fclose(file);
+  return json;
+}
+
+// --- Report schema validation ---
+
+PieceSet parse_mix_column_type(const std::string& column) {
+  const std::string_view prefix = kLambdaTypePrefix;
+  P2P_ASSERT_MSG(column.size() > prefix.size() &&
+                     column.compare(0, prefix.size(), prefix) == 0,
+                 "not a per-type arrival-rate column (expected \"" +
+                     std::string(prefix) + "<pieces>\", got \"" + column +
+                     "\")");
+  PieceSet type;
+  long prev = 0;
+  for (const std::string& token :
+       split_list(column.substr(prefix.size()), '.')) {
+    // All-digit tokens only: strtol's leniency ("+1", " 1") is not part
+    // of the column-name dialect mix_column_name emits.
+    bool digits_only = !token.empty();
+    for (const char c : token) digits_only = digits_only && c >= '0' && c <= '9';
+    const long piece = digits_only ? std::strtol(token.c_str(), nullptr, 10) : 0;
+    P2P_ASSERT_MSG(digits_only && piece > prev && piece <= kMaxPieces,
+                   "malformed per-type column \"" + column +
+                       "\": piece indices must be strictly increasing "
+                       "one-based integers in [1, 64]");
+    type = type.with(static_cast<int>(piece) - 1);
+    prev = piece;
+  }
+  return type;
+}
+
+ReportSchema validate_report_schema(const std::vector<std::string>& columns) {
+  P2P_ASSERT_MSG(!columns.empty(),
+                 "a report header needs at least one column");
+
+  ReportSchema schema;
+  std::span<const char* const> head, tail;
+  if (columns[0] == sweep_schema_head()[0]) {
+    schema.kind = ReportKind::kGrid;
+    head = sweep_schema_head();
+    tail = sweep_schema_tail();
+  } else if (columns[0] == frontier_schema_head()[0]) {
+    schema.kind = ReportKind::kFrontier;
+    head = frontier_schema_head();
+    tail = frontier_schema_tail();
+  } else {
+    P2P_ASSERT_MSG(false, "not a sweep report header (expected the first "
+                          "column to be \"cell\" or \"row\", got \"" +
+                              columns[0] + "\")");
+  }
+
+  const auto expect = [&](std::size_t i, const char* want) {
+    P2P_ASSERT_MSG(
+        i < columns.size() && columns[i] == want,
+        "report header mismatch at column " + std::to_string(i) +
+            ": expected \"" + want + "\", got " +
+            (i < columns.size() ? "\"" + columns[i] + "\""
+                                : std::string("the end of the header")));
+  };
+
+  std::size_t i = 0;
+  for (const char* c : head) expect(i++, c);
+  if (i < columns.size() && columns[i] == kLambdaEmptyColumn) {
+    schema.has_scenario = true;
+    ++i;
+    while (i < columns.size() &&
+           columns[i].compare(0, std::string_view(kLambdaTypePrefix).size(),
+                              kLambdaTypePrefix) == 0) {
+      schema.mix_types.push_back(parse_mix_column_type(columns[i]));
+      ++i;
+    }
+    P2P_ASSERT_MSG(!schema.mix_types.empty(),
+                   "per-type block has \"lambda_empty\" but no \"lambda_t\" "
+                   "columns");
+    for (std::size_t a = 0; a < schema.mix_types.size(); ++a) {
+      for (std::size_t b = a + 1; b < schema.mix_types.size(); ++b) {
+        P2P_ASSERT_MSG(!(schema.mix_types[a] == schema.mix_types[b]),
+                       "per-type block repeats an arrival type (column \"" +
+                           mix_column_name(schema.mix_types[b]) + "\")");
+      }
+    }
+  }
+  schema.tail_start = i;
+  for (const char* c : tail) expect(i++, c);
+  P2P_ASSERT_MSG(i == columns.size(),
+                 "report header has trailing columns after \"" +
+                     std::string(tail.back()) + "\" (got \"" + columns[i] +
+                     "\")");
+  schema.num_columns = columns.size();
+  return schema;
+}
+
+}  // namespace p2p::engine

@@ -21,6 +21,41 @@ std::string format_number(double value) {
   return std::string(buffer, end);
 }
 
+void append_json_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          // Remaining control characters have no short escape; raw
+          // they would make the document unparseable by any JSON
+          // reader, our own corpus reader included.
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
 namespace {
 
 void append_csv_cell(std::string& out, const std::string& cell) {
@@ -71,26 +106,6 @@ bool is_json_number(const std::string& cell) {
     if (!digits()) return false;
   }
   return i == cell.size() && i > (cell[0] == '-' ? 1u : 0u);
-}
-
-void append_json_string(std::string& out, const std::string& s) {
-  out += '"';
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      default:
-        out += c;
-    }
-  }
-  out += '"';
 }
 
 /// One row object WITHOUT its "}..." terminator: the streaming writer

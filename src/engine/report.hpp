@@ -29,6 +29,12 @@ namespace p2p::engine {
 /// "-inf" or "nan".
 std::string format_number(double value);
 
+/// Appends the JSON string literal for `s` (quoted; '"', '\\' and
+/// control characters escaped). The one JSON string encoder — report
+/// rows and the phase-diagram summary JSON must escape identically, or
+/// the byte-golden corpora drift.
+void append_json_string(std::string& out, const std::string& s);
+
 enum class ReportFormat { kCsv, kJson };
 
 /// Streams a rectangular table row by row to a file (or a string, for

@@ -318,6 +318,47 @@ void fill_cell(CellResult& r, std::size_t cell, const CellParams& p,
   }
 }
 
+/// Chunk, claim-window and ring sizing shared by the grid and frontier
+/// streaming pipelines.
+struct RingPlan {
+  /// Work items claimed per pool mutex acquisition.
+  std::size_t chunk = 1;
+  /// Claims may run this many items past the emitted prefix: enough
+  /// slack that one slow chunk does not stall the claimers, while
+  /// keeping live results O(chunk * threads) rather than O(num_items).
+  std::size_t window = 0;
+  /// Replica-sample ring length. The live span of unaggregated samples
+  /// is the claim window PLUS up to replicas-1 items of the block the
+  /// consumed prefix stopped inside (blocks are only aggregated whole),
+  /// rounded up to a whole number of replica blocks so each block's
+  /// samples stay contiguous modulo the ring, and capped at the job
+  /// itself. Ring reuse is safe because the pool opens the claim window
+  /// only after the consumer has taken the prefix: a writer's slot can
+  /// then only collide with an item of a fully aggregated block.
+  /// (Sizing to the bare window was a real bug: with
+  /// chunk % replicas != 0 a mid-block prefix let a claimable tail item
+  /// overwrite the straddling block's samples.)
+  std::size_t ring_items = 0;
+  /// Per-cell / per-row result ring length.
+  std::size_t block_ring = 1;
+};
+
+RingPlan plan_rings(std::size_t num_items, std::size_t replicas,
+                    const SweepOptions& options) {
+  RingPlan plan;
+  plan.chunk = options.chunk != 0
+                   ? options.chunk
+                   : ThreadPool::auto_chunk(num_items, options.threads);
+  const std::size_t window_chunks =
+      4 * static_cast<std::size_t>(options.threads) + 2;
+  plan.window = window_chunks * plan.chunk;
+  std::size_t ring_items = plan.window + (replicas - 1);
+  ring_items = ((ring_items + replicas - 1) / replicas) * replicas;
+  plan.ring_items = std::min(ring_items, num_items);
+  plan.block_ring = plan.ring_items / replicas + 1;
+  return plan;
+}
+
 /// The shared sweep pipeline behind run_sweep and run_sweep_stream:
 /// validates, expands the grid, fans the (cell, replica) items across
 /// the pool in chunks, and calls `sink` with each finished cell in index
@@ -343,28 +384,9 @@ SweepSummary sweep_cells_ordered(
                      std::to_string(replicas) + " replicas)");
   const std::size_t num_items = num_cells * replicas;
 
-  const std::size_t chunk =
-      options.chunk != 0 ? options.chunk
-                         : ThreadPool::auto_chunk(num_items, options.threads);
-  // Claims may run this many chunks past the emitted prefix: enough
-  // slack that one slow chunk does not stall the claimers, while keeping
-  // live results O(chunk * threads) rather than O(num_items).
-  const std::size_t window_chunks =
-      4 * static_cast<std::size_t>(options.threads) + 2;
-  // Result rings. The live span of unaggregated samples is the claim
-  // window PLUS up to replicas-1 items of the cell the consumed prefix
-  // stopped inside (cells are only aggregated whole), rounded up to a
-  // whole number of replica blocks so each cell's samples stay
-  // contiguous modulo the ring, and capped at the job itself. Ring reuse
-  // is safe because the pool opens the claim window only after the
-  // consumer has taken the prefix: a writer's slot can then only collide
-  // with an item of a fully aggregated cell. (Sizing to the bare window
-  // was a real bug: with chunk % replicas != 0 a mid-cell prefix let a
-  // claimable tail item overwrite the straddling cell's samples.)
-  std::size_t ring_items = window_chunks * chunk + (replicas - 1);
-  ring_items = ((ring_items + replicas - 1) / replicas) * replicas;
-  ring_items = std::min(ring_items, num_items);
-  const std::size_t cell_ring = ring_items / replicas + 1;
+  const RingPlan plan = plan_rings(num_items, replicas, options);
+  const std::size_t ring_items = plan.ring_items;
+  const std::size_t cell_ring = plan.block_ring;
 
   std::vector<ReplicaSample> samples(options.theory_only ? 0 : ring_items);
   std::vector<CellResult> cells(cell_ring);
@@ -375,7 +397,7 @@ SweepSummary sweep_cells_ordered(
 
   ThreadPool pool(options.threads);
   pool.parallel_for_streaming(
-      num_items, chunk, window_chunks * chunk,
+      num_items, plan.chunk, plan.window,
       [&](std::size_t item) {
         const std::size_t cell = item / replicas;
         const std::size_t replica = item % replicas;
@@ -574,12 +596,50 @@ SweepSummary run_sweep_stream(const SweepGrid& grid,
 
 namespace {
 
-/// Column name of one typed arrival stream: "lambda_t" + one-based piece
-/// indices joined by '.' (e.g. {0,1} -> "lambda_t1.2"). Dots instead of
-/// commas keep CSV headers unquoted, so archived corpora stay naively
-/// splittable.
+// The single source of truth for both report headers. sweep_columns /
+// frontier_columns assemble the emitted headers from these arrays, and
+// the corpus reader (engine/csv_reader.cpp) validates archived headers
+// against the same spans — schema drift is a compile-and-test failure,
+// not a corrupted notebook months later.
+constexpr const char* kSweepHead[] = {"cell", "lambda", "us",    "mu",
+                                      "gamma", "k",     "eta",   "flash",
+                                      "mix",   "hetero"};
+constexpr const char* kSweepTail[] = {
+    "verdict",           "margin",          "critical_piece",
+    "replicas",          "sim_final_peers", "sim_mean_peers",
+    "sim_mean_sojourn",  "sim_mean_peers_sem",
+    "sim_mean_peers_lo", "sim_mean_peers_hi", "ctmc_mean_peers"};
+constexpr const char* kFrontierHead[] = {
+    "row", "axis", "bracketed", "value", "value_lo", "value_hi", "margin",
+    "lambda", "us", "mu", "gamma", "k", "eta", "flash", "mix", "hetero"};
+constexpr const char* kFrontierTail[] = {
+    "replicas", "sim_mean_peers", "sim_mean_peers_sem", "sim_mean_peers_lo",
+    "sim_mean_peers_hi"};
+
+/// head + [per-type block] + tail, the shape of both report tables.
+std::vector<std::string> schema_columns(std::span<const char* const> head,
+                                        std::span<const char* const> tail,
+                                        const ScenarioSpec& scenario) {
+  std::vector<std::string> cols(head.begin(), head.end());
+  if (!scenario.empty()) {
+    // Per-type arrival-rate columns: the composition the mix axis
+    // actually produced, one column per stream of the scenario.
+    cols.push_back(kLambdaEmptyColumn);
+    for (const auto& a : scenario.mix) cols.push_back(mix_column_name(a.type));
+  }
+  cols.insert(cols.end(), tail.begin(), tail.end());
+  return cols;
+}
+
+}  // namespace
+
+std::span<const char* const> sweep_schema_head() { return kSweepHead; }
+std::span<const char* const> sweep_schema_tail() { return kSweepTail; }
+std::span<const char* const> frontier_schema_head() { return kFrontierHead; }
+std::span<const char* const> frontier_schema_tail() { return kFrontierTail; }
+
 std::string mix_column_name(PieceSet type) {
-  std::string name = "lambda_t";
+  std::string name = kLambdaTypePrefix;
   bool first = true;
   for (int piece : type) {
     if (!first) name += '.';
@@ -589,25 +649,9 @@ std::string mix_column_name(PieceSet type) {
   return name;
 }
 
-}  // namespace
-
 std::vector<std::string> sweep_columns(const SweepOptions& options) {
-  const ScenarioSpec& scenario = options.scenario;
-  std::vector<std::string> cols = {"cell", "lambda", "us",    "mu",  "gamma",
-                                   "k",    "eta",    "flash", "mix", "hetero"};
-  if (!scenario.empty()) {
-    // Per-type arrival-rate columns: the composition the mix axis
-    // actually produced, one column per stream of the scenario.
-    cols.push_back("lambda_empty");
-    for (const auto& a : scenario.mix) cols.push_back(mix_column_name(a.type));
-  }
-  for (const char* c :
-       {"verdict", "margin", "critical_piece", "replicas", "sim_final_peers",
-        "sim_mean_peers", "sim_mean_sojourn", "sim_mean_peers_sem",
-        "sim_mean_peers_lo", "sim_mean_peers_hi", "ctmc_mean_peers"}) {
-    cols.push_back(c);
-  }
-  return cols;
+  return schema_columns(sweep_schema_head(), sweep_schema_tail(),
+                        options.scenario);
 }
 
 std::vector<std::string> sweep_row(const CellResult& c,
@@ -664,14 +708,14 @@ RefineOptions parse_refine(const std::string& spec) {
   return refine;
 }
 
-namespace {
-
 bool refinable_axis(const std::string& name) {
   for (const char* known : kRefinableAxes) {
     if (name == known) return true;
   }
   return false;
 }
+
+namespace {
 
 /// Closed-form bisection of one row: scan the refined axis's coarse
 /// values for the first adjacent verdict change, then halve the bracket
@@ -737,15 +781,29 @@ FrontierPoint bisect_row(const SweepGrid& rows, std::size_t row,
   return pt;
 }
 
-}  // namespace
-
-FrontierResult refine_frontier(const SweepGrid& grid,
-                               const SweepOptions& options,
-                               const RefineOptions& refine) {
+/// The shared frontier pipeline behind refine_frontier and
+/// run_frontier_stream: validates, fans the (row, replica) items across
+/// the pool in chunks, and calls `sink` with each localized point in
+/// row order as soon as every row before it is complete. Every item
+/// re-runs its row's closed-form bisection instead of publishing it
+/// across items: the bisection is a deterministic handful of classify()
+/// calls, cheap next to one replica simulation, and recomputing it
+/// keeps the live state a ring of O(chunk * threads) items with no
+/// cross-item synchronization. Unbracketed rows skip the simulation
+/// entirely. Seeds key on the row index, so adding an unbracketed row
+/// elsewhere in the grid never shifts another row's streams — and the
+/// emitted numbers match the retained-points emitter of PRs 2/3
+/// bit-exactly.
+FrontierSummary frontier_points_ordered(
+    const SweepGrid& grid, const SweepOptions& options,
+    const RefineOptions& refine,
+    const std::function<void(FrontierPoint&&)>& sink,
+    SweepGrid* effective_out = nullptr) {
   validate_caller_axes(grid);
   validate_options(options);
   const SweepGrid effective = effective_grid(grid);
   validate_effective_axes(effective, options);
+  if (effective_out != nullptr) *effective_out = effective;
 
   P2P_ASSERT_MSG(refinable_axis(refine.axis),
                  "refine axis must be one of lambda, us, mu, gamma, mix");
@@ -769,104 +827,130 @@ FrontierResult refine_frontier(const SweepGrid& grid,
     if (axis.name != refine.axis) rows.axes.push_back(axis);
   }
   const std::size_t num_rows = rows.num_cells();
+  const std::size_t replicas = static_cast<std::size_t>(options.replicas);
+  P2P_ASSERT_MSG(num_rows <= SIZE_MAX / replicas,
+                 "frontier work item count overflows size_t");
+  const std::size_t num_items = num_rows * replicas;
 
-  FrontierResult result;
-  result.grid = effective;
-  result.refine = refine;
-  result.options = options;
-  result.points.resize(num_rows);
+  const RingPlan plan = plan_rings(num_items, replicas, options);
+  std::vector<ReplicaSample> samples(plan.ring_items);
+  std::vector<FrontierPoint> points(plan.block_ring);
+
+  FrontierSummary summary;
+  summary.rows = num_rows;
+  std::size_t emitted = 0;
 
   ThreadPool pool(options.threads);
-  // Phase 1: closed-form bisection, one row per item, claimed in chunks —
-  // a tall coarse grid (many rows, cheap bisections) must not serialize
-  // on the claim mutex any more than the grid sweep does.
-  pool.parallel_for(
-      num_rows,
-      [&](std::size_t row) {
-        result.points[row] =
-            bisect_row(rows, row, *refined, refine, options.scenario);
-      },
-      options.chunk);
-
-  // Phase 2: replica sims at the bracketed frontier points, one
-  // (row, replica) pair per item. Seeds key on the row index (not the
-  // compacted item index), so adding an unbracketed row elsewhere in the
-  // grid never shifts another row's streams.
-  std::vector<std::size_t> sim_rows;
-  for (const auto& pt : result.points) {
-    if (pt.bracketed) sim_rows.push_back(pt.row);
-  }
-  const std::size_t replicas = static_cast<std::size_t>(options.replicas);
-  P2P_ASSERT_MSG(sim_rows.size() <= SIZE_MAX / replicas,
-                 "frontier work item count overflows size_t");
-  std::vector<ReplicaSample> samples(sim_rows.size() * replicas);
-  pool.parallel_for(
-      samples.size(),
+  pool.parallel_for_streaming(
+      num_items, plan.chunk, plan.window,
       [&](std::size_t item) {
-        const std::size_t row = sim_rows[item / replicas];
+        const std::size_t row = item / replicas;
         const std::size_t replica = item % replicas;
-        samples[item] = simulate_replica(
-            result.points[row].params, options,
-            derive_seed(options.base_seed, kStreamFrontierSim, row, replica));
+        FrontierPoint pt =
+            bisect_row(rows, row, *refined, refine, options.scenario);
+        const bool bracketed = pt.bracketed;
+        const CellParams params = pt.params;
+        if (replica == 0) points[row % points.size()] = std::move(pt);
+        if (bracketed) {
+          samples[item % plan.ring_items] = simulate_replica(
+              params, options,
+              derive_seed(options.base_seed, kStreamFrontierSim, row,
+                          replica));
+        }
       },
-      options.chunk);
+      [&](std::size_t prefix_items) {
+        // Aggregation and emission run serially on the calling thread in
+        // row order; the bootstrap RNG is derived per row, so the output
+        // never depends on scheduling.
+        const std::size_t complete_rows = prefix_items / replicas;
+        for (; emitted < complete_rows; ++emitted) {
+          FrontierPoint& pt = points[emitted % points.size()];
+          if (pt.bracketed) {
+            Rng agg_rng(derive_seed(options.base_seed, kStreamFrontierAgg,
+                                    emitted, 0));
+            pt.sim = aggregate_samples(
+                std::span<const ReplicaSample>(
+                    samples.data() + (emitted * replicas) % plan.ring_items,
+                    replicas),
+                options, agg_rng);
+            ++summary.bracketed;
+          }
+          sink(std::move(pt));
+        }
+      });
+  return summary;
+}
 
-  // Phase 3: serial aggregation in row order (determinism).
-  for (std::size_t i = 0; i < sim_rows.size(); ++i) {
-    const std::size_t row = sim_rows[i];
-    Rng agg_rng(derive_seed(options.base_seed, kStreamFrontierAgg, row, 0));
-    result.points[row].sim = aggregate_samples(
-        std::span<const ReplicaSample>(samples.data() + i * replicas,
-                                       replicas),
-        options, agg_rng);
-  }
+}  // namespace
+
+FrontierResult refine_frontier(const SweepGrid& grid,
+                               const SweepOptions& options,
+                               const RefineOptions& refine) {
+  FrontierResult result;
+  result.refine = refine;
+  result.options = options;
+  frontier_points_ordered(
+      grid, options, refine,
+      [&](FrontierPoint&& pt) { result.points.push_back(std::move(pt)); },
+      &result.grid);
   return result;
 }
 
-Table FrontierResult::to_table() const {
+FrontierSummary run_frontier_stream(const SweepGrid& grid,
+                                    const SweepOptions& options,
+                                    const RefineOptions& refine,
+                                    ReportWriter& writer) {
+  P2P_ASSERT_MSG(writer.columns() == frontier_columns(options),
+                 "run_frontier_stream writer must be built with "
+                 "frontier_columns(options)");
+  return frontier_points_ordered(
+      grid, options, refine, [&](FrontierPoint&& pt) {
+        writer.write_row(frontier_row(pt, refine, options));
+      });
+}
+
+std::vector<std::string> frontier_columns(const SweepOptions& options) {
+  // The per-type block records the composition each localized point ran
+  // (NaN when the row never bracketed a flip) — the mix weights are not
+  // recoverable from the generic axis columns alone.
+  return schema_columns(frontier_schema_head(), frontier_schema_tail(),
+                        options.scenario);
+}
+
+std::vector<std::string> frontier_row(const FrontierPoint& pt,
+                                      const RefineOptions& refine,
+                                      const SweepOptions& options) {
   const ScenarioSpec& scenario = options.scenario;
-  std::vector<std::string> cols = {
-      "row", "axis",   "bracketed", "value", "value_lo", "value_hi",
-      "margin", "lambda", "us", "mu", "gamma", "k", "eta", "flash",
-      "mix", "hetero"};
+  std::vector<std::string> row = {
+      format_number(static_cast<double>(pt.row)), refine.axis,
+      format_number(pt.bracketed ? 1 : 0), format_number(pt.value),
+      format_number(pt.value_lo), format_number(pt.value_hi),
+      format_number(pt.margin), format_number(pt.params.lambda),
+      format_number(pt.params.us), format_number(pt.params.mu),
+      format_number(pt.params.gamma), format_number(pt.params.k),
+      format_number(pt.params.eta),
+      format_number(static_cast<double>(pt.params.flash)),
+      format_number(pt.params.mix), format_number(pt.params.hetero)};
   if (!scenario.empty()) {
-    // Same per-type arrival-rate columns as the grid table, so an
-    // archived frontier CSV also records the composition each localized
-    // point ran (NaN when the row never bracketed a flip).
-    cols.push_back("lambda_empty");
-    for (const auto& a : scenario.mix) cols.push_back(mix_column_name(a.type));
+    row.push_back(format_number((1.0 - pt.params.mix) * pt.params.lambda));
+    for (const auto& a : scenario.mix) {
+      row.push_back(format_number(pt.params.mix * pt.params.lambda * a.rate));
+    }
   }
-  for (const char* c : {"replicas", "sim_mean_peers", "sim_mean_peers_sem",
-                        "sim_mean_peers_lo", "sim_mean_peers_hi"}) {
-    cols.push_back(c);
+  for (std::string cell : {format_number(pt.sim.replicas),
+                           format_number(pt.sim.mean_peers_mean),
+                           format_number(pt.sim.mean_peers_sem),
+                           format_number(pt.sim.mean_peers_lo),
+                           format_number(pt.sim.mean_peers_hi)}) {
+    row.push_back(std::move(cell));
   }
-  Table table(std::move(cols));
+  return row;
+}
+
+Table FrontierResult::to_table() const {
+  Table table(frontier_columns(options));
   for (const auto& pt : points) {
-    std::vector<std::string> row = {
-        format_number(static_cast<double>(pt.row)), refine.axis,
-        format_number(pt.bracketed ? 1 : 0), format_number(pt.value),
-        format_number(pt.value_lo), format_number(pt.value_hi),
-        format_number(pt.margin), format_number(pt.params.lambda),
-        format_number(pt.params.us), format_number(pt.params.mu),
-        format_number(pt.params.gamma), format_number(pt.params.k),
-        format_number(pt.params.eta),
-        format_number(static_cast<double>(pt.params.flash)),
-        format_number(pt.params.mix), format_number(pt.params.hetero)};
-    if (!scenario.empty()) {
-      row.push_back(format_number((1.0 - pt.params.mix) * pt.params.lambda));
-      for (const auto& a : scenario.mix) {
-        row.push_back(
-            format_number(pt.params.mix * pt.params.lambda * a.rate));
-      }
-    }
-    for (std::string cell : {format_number(pt.sim.replicas),
-                             format_number(pt.sim.mean_peers_mean),
-                             format_number(pt.sim.mean_peers_sem),
-                             format_number(pt.sim.mean_peers_lo),
-                             format_number(pt.sim.mean_peers_hi)}) {
-      row.push_back(std::move(cell));
-    }
-    table.add_row(std::move(row));
+    table.add_row(frontier_row(pt, refine, options));
   }
   return table;
 }

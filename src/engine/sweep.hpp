@@ -45,6 +45,7 @@
 
 #include <cmath>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -53,6 +54,37 @@
 #include "engine/scenario.hpp"
 
 namespace p2p::engine {
+
+// --- Report schema (shared writer/reader constants) ---
+//
+// Both report tables have the shape
+//
+//   head columns | optional per-type arrival-rate block | tail columns
+//
+// where the per-type block ("lambda_empty" then one "lambda_t..." column
+// per stream of the scenario) appears exactly when a named mix is
+// active. The corpus reader (engine/csv_reader.hpp) validates archived
+// headers against these same constants, so the writer and the reader
+// cannot drift apart silently.
+
+/// Grid-table columns before / after the optional per-type block.
+std::span<const char* const> sweep_schema_head();
+std::span<const char* const> sweep_schema_tail();
+
+/// Frontier-table columns before / after the optional per-type block.
+std::span<const char* const> frontier_schema_head();
+std::span<const char* const> frontier_schema_tail();
+
+/// First column of the per-type block, and the prefix of the per-stream
+/// columns that follow it.
+inline constexpr const char* kLambdaEmptyColumn = "lambda_empty";
+inline constexpr const char* kLambdaTypePrefix = "lambda_t";
+
+/// Column name of one typed arrival stream: "lambda_t" + one-based piece
+/// indices joined by '.' (e.g. {0,1} -> "lambda_t1.2"). Dots instead of
+/// commas keep CSV headers unquoted, so archived corpora stay naively
+/// splittable. The reader inverts this with parse_mix_column_type.
+std::string mix_column_name(PieceSet type);
 
 /// One sweep axis: a parameter name and the grid values it takes.
 /// Valid names: "lambda" (total arrival rate), "us", "mu", "gamma"
@@ -252,6 +284,15 @@ struct RefineOptions {
 /// Parses "axis:tol", e.g. "lambda:0.01". Aborts on malformed specs.
 RefineOptions parse_refine(const std::string& spec);
 
+/// True for the axes refinement may bisect: the continuous parameters
+/// the Theorem-1 closed form depends on (lambda, us, mu, gamma, mix).
+/// eta, hetero and flash never flip the verdict along themselves
+/// (Section VIII-C's point, homogeneous-rate theory, initial state
+/// only), and k is integral. The phase-diagram re-bisection
+/// (analysis/phase_diagram.hpp) consults the same predicate, so the
+/// two localizers cannot drift on which axes they cover.
+bool refinable_axis(const std::string& name);
+
 /// One localized frontier point: the Theorem-1 verdict flip along the
 /// refined axis for one combination of the remaining axes.
 struct FrontierPoint {
@@ -292,18 +333,49 @@ struct FrontierResult {
   Table to_table() const;
 };
 
-/// For each combination of the non-refined axes, scans the refined
-/// axis's coarse values (in axis order) for the first adjacent
+/// The frontier table's column names for `options` (to_table's header,
+/// and what a streaming ReportWriter must be constructed with).
+std::vector<std::string> frontier_columns(const SweepOptions& options);
+
+/// One formatted frontier-table row, aligned with
+/// frontier_columns(options).
+std::vector<std::string> frontier_row(const FrontierPoint& pt,
+                                      const RefineOptions& refine,
+                                      const SweepOptions& options);
+
+/// For each combination of the non-refined axes ("row"), scans the
+/// refined axis's coarse values (in axis order) for the first adjacent
 /// Theorem-1 verdict change, bisects that bracket down to `refine.tol`
 /// (closed form, no simulation), then runs options.replicas SwarmSim
-/// replicas at the localized frontier point — both the bisection rows
-/// and the (row, replica) sim items go through the same chunked claiming
-/// as the grid sweep (options.chunk), so a tall coarse grid does not
-/// serialize on the claim mutex. Same determinism contract as run_sweep.
-/// Aborts if the refined axis is missing, non-refinable, has < 2 values,
-/// or contains inf.
+/// replicas at the localized frontier point — the (row, replica) items
+/// go through the same chunked claiming as the grid sweep
+/// (options.chunk), so a tall coarse grid does not serialize on the
+/// claim mutex. Same determinism contract as run_sweep. Aborts if the
+/// refined axis is missing, non-refinable, has < 2 values, or contains
+/// inf.
 FrontierResult refine_frontier(const SweepGrid& grid,
                                const SweepOptions& options,
                                const RefineOptions& refine);
+
+/// What a streamed frontier run leaves behind (the points themselves
+/// went to the writer).
+struct FrontierSummary {
+  std::size_t rows = 0;
+  std::size_t bracketed = 0;
+};
+
+/// refine_frontier's bounded-memory twin, closing the last
+/// O(num_rows) buffer in the sweep engine: identical validation,
+/// scheduling and numbers, but each localized point's row is handed to
+/// `writer` (construct it with frontier_columns(options)) as soon as
+/// every row before it has finished, and the FrontierPoint is dropped.
+/// Live state is a ring of O(chunk * threads) items, so a very tall
+/// coarse grid no longer bounds memory. The caller finishes the writer.
+/// Emitted bytes equal refine_frontier(...).to_table() rendered with
+/// the same format, for any (threads, chunk) combination.
+FrontierSummary run_frontier_stream(const SweepGrid& grid,
+                                    const SweepOptions& options,
+                                    const RefineOptions& refine,
+                                    ReportWriter& writer);
 
 }  // namespace p2p::engine

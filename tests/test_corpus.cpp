@@ -1,0 +1,241 @@
+// Golden-corpus regression suite: every archive under experiments/ is
+// an executable test. Each CSV must parse under the streaming reader,
+// validate against the writer's schema constants, and — because the
+// corpus is a lossless record — have its physics re-derivable from the
+// bytes alone: grid verdicts re-classify identically, and every
+// archived frontier point re-bisects out of its own row's parameters.
+// A sweep change that would quietly invalidate the archives fails
+// here, not in somebody's notebook months later.
+//
+// The directory is enumerated, not hard-coded: archiving a new corpus
+// file makes it a test automatically.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "analysis/phase_diagram.hpp"
+#include "core/stability.hpp"
+#include "engine/csv_reader.hpp"
+#include "engine/scenario.hpp"
+#include "engine/sweep.hpp"
+
+#ifndef P2P_EXPERIMENTS_DIR
+#error "test_corpus needs -DP2P_EXPERIMENTS_DIR=\"...\" (see CMakeLists)"
+#endif
+
+namespace p2p::engine {
+namespace {
+
+std::vector<std::filesystem::path> corpus_files(const std::string& ext) {
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(P2P_EXPERIMENTS_DIR)) {
+    if (entry.is_regular_file() && entry.path().extension() == ext) {
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+double cell_number(const Table& table, std::size_t row,
+                   const std::string& column) {
+  for (std::size_t c = 0; c < table.columns().size(); ++c) {
+    if (table.columns()[c] == column) {
+      return parse_report_number(table.row(row)[c], column);
+    }
+  }
+  ADD_FAILURE() << "missing column " << column;
+  return std::nan("");
+}
+
+/// Rebuilds the model of one frontier row at refined-axis value `v`,
+/// from nothing but the row's own cells: the generic axis columns plus
+/// the per-type composition block. This is the archive's whole promise
+/// — the physics is in the bytes.
+SwarmParams frontier_model_at(const Table& table, const ReportSchema& schema,
+                              std::size_t row, const std::string& axis,
+                              double v) {
+  CellParams p;
+  p.lambda = cell_number(table, row, "lambda");
+  p.us = cell_number(table, row, "us");
+  p.mu = cell_number(table, row, "mu");
+  p.gamma = cell_number(table, row, "gamma");
+  p.k = static_cast<int>(std::lround(cell_number(table, row, "k")));
+  p.eta = cell_number(table, row, "eta");
+  p.flash = std::llround(cell_number(table, row, "flash"));
+  p.mix = cell_number(table, row, "mix");
+  p.hetero = cell_number(table, row, "hetero");
+
+  ScenarioSpec scenario;
+  if (schema.has_scenario && p.mix > 0 && p.lambda > 0) {
+    scenario.name = "archived";
+    scenario.num_pieces = p.k;
+    for (const PieceSet type : schema.mix_types) {
+      const double rate =
+          cell_number(table, row, mix_column_name(type)) / (p.mix * p.lambda);
+      scenario.mix.push_back({type, rate});
+    }
+  }
+
+  if (axis == "lambda") {
+    p.lambda = v;
+  } else if (axis == "us") {
+    p.us = v;
+  } else if (axis == "mu") {
+    p.mu = v;
+  } else if (axis == "gamma") {
+    p.gamma = v;
+  } else if (axis == "mix") {
+    p.mix = v;
+  } else {
+    ADD_FAILURE() << "unexpected refined axis " << axis;
+  }
+  return expand(scenario, p).params;
+}
+
+TEST(Corpus, EveryCsvParsesAndMatchesTheWriterSchema) {
+  std::size_t grids = 0, frontiers = 0;
+  for (const auto& path : corpus_files(".csv")) {
+    SCOPED_TRACE(path.filename().string());
+    // The streaming reader path, like a corpus bigger than memory
+    // would use.
+    CsvReader reader(path.string());
+    const ReportSchema schema = validate_report_schema(reader.columns());
+    std::vector<std::string> cells;
+    std::size_t rows = 0;
+    while (reader.next_row(&cells)) {
+      ASSERT_EQ(cells.size(), schema.num_columns);
+      ++rows;
+    }
+    EXPECT_GE(rows, 1u);
+    (schema.kind == ReportKind::kGrid ? grids : frontiers) += 1;
+  }
+  // The corpus must actually contain both kinds — an empty experiments/
+  // directory passing silently would defeat the suite.
+  EXPECT_GE(grids, 1u);
+  EXPECT_GE(frontiers, 2u);
+}
+
+TEST(Corpus, EveryJsonArchiveIsWellFormed) {
+  std::size_t found = 0;
+  for (const auto& path : corpus_files(".json")) {
+    SCOPED_TRACE(path.filename().string());
+    std::string text;
+    {
+      std::FILE* f = std::fopen(path.string().c_str(), "rb");
+      ASSERT_NE(f, nullptr);
+      char buf[4096];
+      std::size_t got = 0;
+      while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+        text.append(buf, got);
+      }
+      std::fclose(f);
+    }
+    validate_json(text, path.filename().string());
+    ++found;
+  }
+  EXPECT_GE(found, 1u);  // bench_sweep.json at minimum
+}
+
+TEST(Corpus, ArchivedGridsReclassifyFromTheirOwnBytes) {
+  for (const auto& path : corpus_files(".csv")) {
+    const Table table = read_csv_file(path.string());
+    if (validate_report_schema(table.columns()).kind != ReportKind::kGrid) {
+      continue;
+    }
+    SCOPED_TRACE(path.filename().string());
+    // Full structural validation (axes, tiling, per-type consistency).
+    const analysis::PhaseGrid grid = analysis::build_phase_grid(table);
+    EXPECT_EQ(grid.cells.size(), table.num_rows());
+    // Re-derive every cell's classification from the reconstructed
+    // model; margins agree to reconstruction noise, verdicts exactly
+    // (no archived cell sits within noise of the boundary).
+    for (const analysis::PhaseCell& cell : grid.cells) {
+      const StabilityReport report =
+          classify(expand(grid.scenario, cell.params).params);
+      EXPECT_NEAR(report.margin, cell.margin, 1e-9);
+      EXPECT_EQ(report.verdict, cell.verdict);
+    }
+  }
+}
+
+TEST(Corpus, ArchivedFrontierPointsRederiveFromTheirRows) {
+  std::size_t checked = 0;
+  for (const auto& path : corpus_files(".csv")) {
+    const Table table = read_csv_file(path.string());
+    const ReportSchema schema = validate_report_schema(table.columns());
+    if (schema.kind != ReportKind::kFrontier) continue;
+    SCOPED_TRACE(path.filename().string());
+
+    for (std::size_t r = 0; r < table.num_rows(); ++r) {
+      SCOPED_TRACE("row " + std::to_string(r));
+      const std::string axis = table.row(r)[1];
+      const bool bracketed = cell_number(table, r, "bracketed") != 0;
+      if (!bracketed) continue;
+      const double value = cell_number(table, r, "value");
+      const double lo = cell_number(table, r, "value_lo");
+      const double hi = cell_number(table, r, "value_hi");
+      const double margin = cell_number(table, r, "margin");
+
+      // The midpoint identity is exact: value was computed as
+      // 0.5 * (lo + hi) from these very doubles.
+      EXPECT_EQ(value, 0.5 * (lo + hi));
+      EXPECT_LT(lo, hi);
+      EXPECT_LE(hi - lo, 0.01);  // archived tolerances are ~1e-3
+
+      // The bracket still brackets: the Theorem-1 verdict flips across
+      // [lo, hi] for the row's reconstructed model.
+      const Stability at_lo =
+          classify(frontier_model_at(table, schema, r, axis, lo)).verdict;
+      const Stability at_hi =
+          classify(frontier_model_at(table, schema, r, axis, hi)).verdict;
+      EXPECT_NE(at_lo, at_hi);
+
+      // And the archived margin is the closed form at the midpoint.
+      const StabilityReport at_value =
+          classify(frontier_model_at(table, schema, r, axis, value));
+      EXPECT_NEAR(at_value.margin, margin, 1e-9);
+      ++checked;
+    }
+  }
+  EXPECT_GE(checked, 10u);  // the two archived frontiers alone carry 10
+}
+
+TEST(Corpus, RegionGridReproducesItsArchivedFrontier) {
+  // The acceptance pairing: extract_frontier over the archived
+  // mix_example2 region reproduces the separately archived frontier
+  // run, row for row, to the refine tolerance (the brackets coincide,
+  // so in practice bit-exactly; the tolerance guards future corpora).
+  const std::string dir = P2P_EXPERIMENTS_DIR;
+  const Table region = read_csv_file(dir + "/mix_example2_region.csv");
+  const Table archived = read_csv_file(dir + "/mix_example2_frontier.csv");
+
+  const analysis::PhaseGrid grid = analysis::build_phase_grid(region);
+  ASSERT_EQ(grid.x_axis, "mix");
+  ASSERT_EQ(grid.y_axis, "lambda");
+  const auto extracted = analysis::extract_frontier(grid, 1e-3);
+
+  std::size_t matched = 0;
+  for (std::size_t r = 0; r < archived.num_rows(); ++r) {
+    ASSERT_EQ(archived.row(r)[1], "mix");
+    const double lambda = cell_number(archived, r, "lambda");
+    const double value = cell_number(archived, r, "value");
+    for (std::size_t yi = 0; yi < grid.num_y(); ++yi) {
+      if (grid.y_values[yi] != lambda) continue;
+      ASSERT_TRUE(extracted[yi].bracketed) << "lambda " << lambda;
+      EXPECT_NEAR(extracted[yi].value, value, 2e-3) << "lambda " << lambda;
+      ++matched;
+    }
+  }
+  // Every archived frontier row's lambda appears in the region grid.
+  EXPECT_EQ(matched, archived.num_rows());
+}
+
+}  // namespace
+}  // namespace p2p::engine

@@ -1,0 +1,328 @@
+// Corpus reader robustness: the Table -> bytes -> Table round trip must
+// be exact (archived corpora are lossless records), and malformed input
+// must abort echoing the offending line — never misassign columns or
+// invent cells.
+#include "engine/csv_reader.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/report.hpp"
+#include "engine/sweep.hpp"
+#include "rand/rng.hpp"
+
+namespace p2p::engine {
+namespace {
+
+void expect_tables_equal(const Table& a, const Table& b) {
+  ASSERT_EQ(a.columns(), b.columns());
+  ASSERT_EQ(a.num_rows(), b.num_rows());
+  for (std::size_t r = 0; r < a.num_rows(); ++r) {
+    EXPECT_EQ(a.row(r), b.row(r)) << "row " << r;
+  }
+}
+
+TEST(ParseReportNumber, InvertsFormatNumber) {
+  const double values[] = {0.0,
+                           -0.0,
+                           3.0,
+                           -1.5,
+                           0.1,
+                           1.0 / 3.0,
+                           3.141592653589793,
+                           1e-300,
+                           6.02214076e23,
+                           std::nextafter(1.0, 2.0)};
+  for (const double v : values) {
+    const double parsed = parse_report_number(format_number(v), "test");
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(parsed),
+              std::bit_cast<std::uint64_t>(v))
+        << format_number(v);
+  }
+  EXPECT_TRUE(std::isnan(parse_report_number("nan", "test")));
+  EXPECT_EQ(parse_report_number("inf", "test"),
+            std::numeric_limits<double>::infinity());
+  EXPECT_EQ(parse_report_number("-inf", "test"),
+            -std::numeric_limits<double>::infinity());
+}
+
+TEST(ParseReportNumberDeath, RejectsNonNumbers) {
+  EXPECT_DEATH(parse_report_number("", "ctx"), "report number");
+  EXPECT_DEATH(parse_report_number("abc", "ctx"), "report number");
+  EXPECT_DEATH(parse_report_number("1x", "ctx"), "report number");
+  EXPECT_DEATH(parse_report_number("nan(2)", "ctx"), "report number");
+  EXPECT_DEATH(parse_report_number("infinity", "ctx"), "report number");
+}
+
+TEST(ParseReportNumberDeath, RejectsOffDialectSpellingsStrtodWouldTake) {
+  // strtod alone accepts all of these; format_number emits none of
+  // them, and a corpus carrying them is corrupt, not convenient.
+  EXPECT_DEATH(parse_report_number(" 2", "ctx"), "report number");
+  EXPECT_DEATH(parse_report_number("+2", "ctx"), "report number");
+  EXPECT_DEATH(parse_report_number("0x10", "ctx"), "report number");
+  EXPECT_DEATH(parse_report_number("2 ", "ctx"), "report number");
+}
+
+TEST(ReadCsv, RoundTripsPlainTable) {
+  Table table({"a", "b", "verdict"});
+  table.add_row({"1", "2.5", "stable"});
+  table.add_row({"2", "inf", "transient"});
+  const Table back = read_csv(table.to_csv());
+  expect_tables_equal(table, back);
+  EXPECT_EQ(back.to_csv(), table.to_csv());
+}
+
+TEST(ReadCsv, RoundTripsQuotedCells) {
+  Table table({"name", "note"});
+  table.add_row({"a,b", "say \"hi\""});
+  table.add_row({"line\nbreak", ""});
+  table.add_row({"", "trailing,comma,"});
+  table.add_row({"\"", "\n"});
+  const Table back = read_csv(table.to_csv());
+  expect_tables_equal(table, back);
+  EXPECT_EQ(back.to_csv(), table.to_csv());
+}
+
+TEST(ReadCsv, RandomizedTablesRoundTripExactly) {
+  // Property test: any table the emitter can produce must survive the
+  // bytes round trip cell for cell, whatever mixture of quoting,
+  // newlines, numbers and empties the cells carry.
+  Rng rng(20260729);
+  const std::string alphabet[] = {
+      "x", "", ",", "\"", "\n", "a,b", "say \"hi\"", "1.5", "-inf",
+      "nan", "0", "line\nbreak", "trailing ", " leading", "\"\"", "e,\"x\""};
+  for (int iter = 0; iter < 25; ++iter) {
+    const int cols = 1 + static_cast<int>(rng.uniform_int(std::uint64_t{5}));
+    std::vector<std::string> columns;
+    for (int c = 0; c < cols; ++c) {
+      columns.push_back("col" + std::to_string(c));
+    }
+    Table table(columns);
+    const int rows = static_cast<int>(rng.uniform_int(std::uint64_t{8}));
+    for (int r = 0; r < rows; ++r) {
+      std::vector<std::string> cells;
+      for (int c = 0; c < cols; ++c) {
+        cells.push_back(alphabet[rng.uniform_int(std::size(alphabet))]);
+      }
+      table.add_row(std::move(cells));
+    }
+    const Table back = read_csv(table.to_csv());
+    expect_tables_equal(table, back);
+    EXPECT_EQ(back.to_csv(), table.to_csv());
+  }
+}
+
+TEST(ReadCsv, SweepTableWithScenarioColumnsRoundTrips) {
+  // The real thing: a mixed-arrival sweep table (per-type columns, NaN
+  // uncertainty cells, verdict strings) through bytes and back.
+  SweepGrid grid = parse_grid("lambda=1,2;us=1;gamma=inf;k=4;mix=0:1:3");
+  SweepOptions options;
+  options.horizon = 20;
+  options.replicas = 2;
+  options.scenario = parse_scenario("example2:3,1");
+  const Table table = run_sweep(grid, options).to_table();
+  const Table back = read_csv(table.to_csv());
+  expect_tables_equal(table, back);
+  // And the schema survives recognizably.
+  const ReportSchema schema = validate_report_schema(back.columns());
+  EXPECT_EQ(schema.kind, ReportKind::kGrid);
+  EXPECT_TRUE(schema.has_scenario);
+  ASSERT_EQ(schema.mix_types.size(), 2u);
+  EXPECT_EQ(schema.mix_types[0], PieceSet::single(0).with(1));
+  EXPECT_EQ(schema.mix_types[1], PieceSet::single(2).with(3));
+}
+
+TEST(CsvReader, StreamsAFileAcrossTheFlushBoundary) {
+  const std::string path = ::testing::TempDir() + "csv_reader_stream.csv";
+  const std::vector<std::string> columns = {"i", "payload"};
+  Table table(columns);
+  {
+    ReportWriter writer(path, ReportFormat::kCsv, columns);
+    for (int i = 0; i < 4000; ++i) {
+      const std::vector<std::string> row = {std::to_string(i),
+                                            std::string(40, 'x')};
+      writer.write_row(row);
+      table.add_row(row);
+    }
+    writer.finish();
+  }
+  CsvReader reader(path);
+  EXPECT_EQ(reader.columns(), columns);
+  std::vector<std::string> cells;
+  std::size_t rows = 0;
+  while (reader.next_row(&cells)) {
+    ASSERT_EQ(cells.size(), 2u);
+    EXPECT_EQ(cells[0], std::to_string(rows));
+    ++rows;
+  }
+  EXPECT_EQ(rows, 4000u);
+  EXPECT_EQ(reader.rows_read(), 4000u);
+  std::remove(path.c_str());
+}
+
+TEST(CsvReaderDeath, TruncatedFinalRecordAborts) {
+  // The writer '\n'-terminates every row; a file cut mid-record must
+  // not silently drop (or half-parse) the final row.
+  EXPECT_DEATH(read_csv("a,b\n1,2\n3,4"), "truncated");
+}
+
+TEST(CsvReaderDeath, WrongArityEchoesTheOffendingLine) {
+  EXPECT_DEATH(read_csv("a,b\n1,2\nonly-one\n"), "only-one");
+  EXPECT_DEATH(read_csv("a,b\n1,2\nonly-one\n"), "line 3");
+  EXPECT_DEATH(read_csv("a,b\n1,2,3\n"), "3 cells, expected 2");
+}
+
+TEST(CsvReaderDeath, MalformedQuotingAborts) {
+  EXPECT_DEATH(read_csv("a\n\"x\"y\n"), "quoted cell must be followed");
+  EXPECT_DEATH(read_csv("a\nx\"y\n"), "bare");
+  EXPECT_DEATH(read_csv("a\n\"unclosed\n"), "truncated");
+}
+
+TEST(CsvReaderDeath, EmptyDocumentAborts) {
+  EXPECT_DEATH(read_csv(""), "empty");
+}
+
+TEST(CsvReaderDeath, MissingFileAborts) {
+  EXPECT_DEATH(CsvReader("/nonexistent-dir/corpus.csv"), "cannot open");
+}
+
+TEST(ReadJson, RoundTripsReportJson) {
+  Table table({"i", "x", "verdict"});
+  table.add_row({"1", "nan", "stable"});
+  table.add_row({"2", "0.5", "transient"});
+  table.add_row({"3", "1e-3", "say \"hi\""});
+  const Table back = read_json(table.to_json());
+  expect_tables_equal(table, back);
+  // Numbers keep their literal spelling, so re-emission is identical.
+  EXPECT_EQ(back.to_json(), table.to_json());
+}
+
+TEST(ReadJson, NullReadsBackAsNan) {
+  // inf/-inf/nan all emit as null; nan is the one spelling that maps
+  // back without inventing a sign.
+  Table table({"x"});
+  table.add_row({"inf"});
+  const Table back = read_json(table.to_json());
+  EXPECT_EQ(back.row(0)[0], "nan");
+}
+
+TEST(ReadJsonDeath, MalformedDocumentsAbort) {
+  EXPECT_DEATH(read_json("{}"), "expected '\\['");
+  EXPECT_DEATH(read_json("[\n]\n"), "empty report JSON");
+  EXPECT_DEATH(read_json("[{\"a\": 1}, {\"b\": 1}]"), "do not match");
+  EXPECT_DEATH(read_json("[{\"a\": 1}, {\"a\": 1, \"b\": 2}]"),
+               "do not match");
+  EXPECT_DEATH(read_json("[{\"a\": true}]"), "numbers, strings or null");
+  EXPECT_DEATH(read_json("[{\"a\": 1}] trailing"), "trailing");
+  EXPECT_DEATH(read_json("[{\"a\": 1}"), "end of JSON");
+  EXPECT_DEATH(read_json("[{\"a\": 01}]"), "expected"); // not a JSON number
+}
+
+TEST(ValidateJson, AcceptsArbitraryWellFormedDocuments) {
+  validate_json("{\"cells\": 100000, \"curve\": [{\"t\": 1, "
+                "\"ok\": true}, {\"t\": null}], \"s\": \"x\\u00e9\"}",
+                "test");
+  validate_json("  [1, -2.5e10, []]  ", "test");
+  validate_json("\"just a string\"", "test");
+}
+
+TEST(ValidateJsonDeath, RejectsMalformedDocuments) {
+  EXPECT_DEATH(validate_json("{", "ctx"), "ctx");
+  EXPECT_DEATH(validate_json("[1,]", "ctx"), "malformed");
+  EXPECT_DEATH(validate_json("{\"a\" 1}", "ctx"), "expected ':'");
+  EXPECT_DEATH(validate_json("01", "ctx"), "trailing");
+  EXPECT_DEATH(validate_json("[1] [2]", "ctx"), "trailing");
+  EXPECT_DEATH(validate_json("\"\\x\"", "ctx"), "escape");
+  EXPECT_DEATH(validate_json(std::string(300, '['), "ctx"), "depth");
+}
+
+TEST(ParseMixColumnType, InvertsMixColumnName) {
+  EXPECT_EQ(parse_mix_column_type("lambda_t1.2"),
+            PieceSet::single(0).with(1));
+  EXPECT_EQ(parse_mix_column_type("lambda_t2.3.4"),
+            PieceSet::single(1).with(2).with(3));
+  EXPECT_EQ(parse_mix_column_type("lambda_t64"), PieceSet::single(63));
+  // Round trip through the writer's namer.
+  const PieceSet type = PieceSet::single(4).with(9).with(30);
+  EXPECT_EQ(parse_mix_column_type(mix_column_name(type)), type);
+}
+
+TEST(ParseMixColumnTypeDeath, MalformedNamesAbort) {
+  EXPECT_DEATH(parse_mix_column_type("lambda_t"), "per-type");
+  EXPECT_DEATH(parse_mix_column_type("lambda_t0"), "strictly increasing");
+  EXPECT_DEATH(parse_mix_column_type("lambda_t2.1"), "strictly increasing");
+  EXPECT_DEATH(parse_mix_column_type("lambda_t1.1"), "strictly increasing");
+  EXPECT_DEATH(parse_mix_column_type("lambda_t65"), "strictly increasing");
+  EXPECT_DEATH(parse_mix_column_type("lambda_tx"), "strictly increasing");
+  EXPECT_DEATH(parse_mix_column_type("lambda_t+1"), "strictly increasing");
+  EXPECT_DEATH(parse_mix_column_type("verdict"), "per-type");
+}
+
+TEST(ValidateReportSchema, AcceptsBothWriterHeaders) {
+  SweepOptions plain;
+  const ReportSchema grid = validate_report_schema(sweep_columns(plain));
+  EXPECT_EQ(grid.kind, ReportKind::kGrid);
+  EXPECT_FALSE(grid.has_scenario);
+  EXPECT_EQ(grid.num_columns, sweep_columns(plain).size());
+  EXPECT_EQ(grid.tail_start, sweep_schema_head().size());
+
+  SweepOptions mixed;
+  mixed.scenario = parse_scenario("example3");
+  const ReportSchema scen = validate_report_schema(sweep_columns(mixed));
+  EXPECT_TRUE(scen.has_scenario);
+  ASSERT_EQ(scen.mix_types.size(), 3u);
+
+  const ReportSchema frontier =
+      validate_report_schema(frontier_columns(mixed));
+  EXPECT_EQ(frontier.kind, ReportKind::kFrontier);
+  EXPECT_TRUE(frontier.has_scenario);
+}
+
+TEST(ValidateReportSchemaDeath, ReorderedHeaderAborts) {
+  SweepOptions options;
+  std::vector<std::string> cols = sweep_columns(options);
+  std::swap(cols[1], cols[2]);  // lambda <-> us
+  EXPECT_DEATH(validate_report_schema(cols), "mismatch at column 1");
+}
+
+TEST(ValidateReportSchemaDeath, TruncatedHeaderAborts) {
+  SweepOptions options;
+  std::vector<std::string> cols = sweep_columns(options);
+  cols.pop_back();
+  EXPECT_DEATH(validate_report_schema(cols), "end of the header");
+}
+
+TEST(ValidateReportSchemaDeath, TrailingColumnsAbort) {
+  SweepOptions options;
+  std::vector<std::string> cols = sweep_columns(options);
+  cols.push_back("extra");
+  EXPECT_DEATH(validate_report_schema(cols), "trailing columns");
+}
+
+TEST(ValidateReportSchemaDeath, UnknownFirstColumnAborts) {
+  EXPECT_DEATH(validate_report_schema({"time", "value"}),
+               "not a sweep report header");
+}
+
+TEST(ValidateReportSchemaDeath, LambdaEmptyWithoutTypesAborts) {
+  SweepOptions options;
+  std::vector<std::string> cols = sweep_columns(options);
+  cols.insert(cols.begin() + sweep_schema_head().size(), "lambda_empty");
+  EXPECT_DEATH(validate_report_schema(cols), "no \"lambda_t\" columns");
+}
+
+TEST(ValidateReportSchemaDeath, RepeatedTypeColumnAborts) {
+  SweepOptions options;
+  options.scenario = parse_scenario("example2");
+  std::vector<std::string> cols = sweep_columns(options);
+  cols[sweep_schema_head().size() + 2] = cols[sweep_schema_head().size() + 1];
+  EXPECT_DEATH(validate_report_schema(cols), "repeats an arrival type");
+}
+
+}  // namespace
+}  // namespace p2p::engine

@@ -1,0 +1,265 @@
+// p2p_phase: phase diagrams from archived sweep corpora.
+//
+// Ingests a grid report (CSV or JSON, file or stdin), validates it
+// against the schema the sweep engine emits, and derives the Theorem-1
+// phase diagram from the bytes alone: per-row frontier localization
+// (closed-form re-bisection of the verdict flip, cross-checkable
+// against refine_frontier), a theory-vs-simulation verdict confusion
+// matrix with a bootstrap CI, and dependency-free PPM/SVG renderings
+// with the frontier overlaid.
+//
+//   # Render an archived mixed-arrival region and re-derive its
+//   # frontier:
+//   $ ./p2p_phase --in experiments/mix_example2_region.csv \
+//       --ppm phase.ppm --svg phase.svg --summary summary.json \
+//       --frontier frontier.csv
+//
+//   # Pipe a fresh sweep straight in:
+//   $ ./p2p_sweep --grid "lambda=0.5:3.0:64;us=0.2:1.7:64" \
+//       --theory-only | ./p2p_phase --in - --ppm region.ppm
+//
+// Everything derived here is a pure function of the input bytes and
+// the flags: no wall clock, caller-seeded bootstrap, per-row
+// parallelism that cannot reorder results — so diagrams and summary
+// JSON are byte-identical for any --threads, and CI diffs them against
+// committed goldens.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/heatmap.hpp"
+#include "analysis/phase_diagram.hpp"
+#include "engine/csv_reader.hpp"
+#include "engine/report.hpp"
+#include "engine/sweep.hpp"
+#include "util/flags.hpp"
+
+namespace {
+
+using p2p::Stability;
+using p2p::analysis::PhaseFrontierPoint;
+using p2p::analysis::PhaseGrid;
+using p2p::analysis::VerdictAgreement;
+using p2p::engine::format_number;
+
+/// JSON rendering of one double: format_number's spelling, with the
+/// non-finite values mapped to null like the report emitter does.
+std::string json_num(double v) {
+  const std::string s = format_number(v);
+  return (s == "nan" || s == "inf" || s == "-inf") ? "null" : s;
+}
+
+std::string json_bool(bool b) { return b ? "true" : "false"; }
+
+/// Quoted JSON string — the source path is user input, and a '"' in a
+/// filename must not corrupt the summary. One encoder for the whole
+/// tree: the report emitter's.
+std::string json_str(const std::string& s) {
+  std::string out;
+  p2p::engine::append_json_string(out, s);
+  return out;
+}
+
+std::string basename_of(const std::string& path) {
+  if (path.empty() || path == "-") return "<stdin>";
+  const auto slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+
+/// The summary JSON: the machine-readable digest CI diffs against a
+/// committed golden. Key order and number spellings are deterministic.
+std::string summary_json(const std::string& source, const PhaseGrid& grid,
+                         const std::vector<PhaseFrontierPoint>& frontier,
+                         const VerdictAgreement& agreement, double tol) {
+  std::size_t verdict_counts[3] = {};
+  for (const auto& cell : grid.cells) {
+    verdict_counts[static_cast<int>(cell.verdict)] += 1;
+  }
+  std::size_t bracketed = 0;
+  for (const auto& pt : frontier) bracketed += pt.bracketed;
+
+  std::string out = "{\n";
+  out += "  \"source\": " + json_str(source) + ",\n";
+  out += "  \"x_axis\": " + json_str(grid.x_axis) + ",\n";
+  out += "  \"y_axis\": " + json_str(grid.y_axis) + ",\n";
+  out += "  \"num_x\": " + std::to_string(grid.num_x()) + ",\n";
+  out += "  \"num_y\": " + std::to_string(grid.num_y()) + ",\n";
+  out += "  \"cells\": " + std::to_string(grid.cells.size()) + ",\n";
+  out += "  \"scenario_types\": [";
+  for (std::size_t i = 0; i < grid.scenario.mix.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "\"" + p2p::engine::mix_column_name(grid.scenario.mix[i].type) +
+           "\"";
+  }
+  out += "],\n";
+  out += "  \"verdicts\": {\"positive-recurrent\": " +
+         std::to_string(verdict_counts[0]) +
+         ", \"transient\": " + std::to_string(verdict_counts[1]) +
+         ", \"borderline\": " + std::to_string(verdict_counts[2]) + "},\n";
+
+  out += "  \"frontier\": {\"tol\": " + json_num(tol) +
+         ", \"bracketed_rows\": " + std::to_string(bracketed) +
+         ", \"points\": [\n";
+  for (std::size_t i = 0; i < frontier.size(); ++i) {
+    const PhaseFrontierPoint& pt = frontier[i];
+    out += "    {\"row\": " + std::to_string(pt.row) +
+           ", \"y\": " + json_num(pt.y) +
+           ", \"bracketed\": " + json_bool(pt.bracketed) +
+           ", \"x_lo\": " + json_num(pt.x_lo) +
+           ", \"x_hi\": " + json_num(pt.x_hi) +
+           ", \"interpolated\": " + json_num(pt.interpolated) +
+           ", \"value\": " + json_num(pt.value) +
+           ", \"value_lo\": " + json_num(pt.value_lo) +
+           ", \"value_hi\": " + json_num(pt.value_hi) +
+           ", \"margin\": " + json_num(pt.margin) + "}";
+    out += i + 1 < frontier.size() ? ",\n" : "\n";
+  }
+  out += "  ]},\n";
+
+  out += "  \"agreement\": {\"cells_with_sim\": " +
+         std::to_string(agreement.cells_with_sim) +
+         ", \"threshold\": " + json_num(agreement.threshold) +
+         ", \"compared\": " + std::to_string(agreement.compared) +
+         ", \"agreeing\": " + std::to_string(agreement.agreeing) +
+         ", \"agreement\": " + json_num(agreement.agreement) +
+         ", \"agreement_lo\": " + json_num(agreement.agreement_lo) +
+         ", \"agreement_hi\": " + json_num(agreement.agreement_hi) +
+         ", \"confusion\": {";
+  const char* verdict_names[3] = {"positive-recurrent", "transient",
+                                  "borderline"};
+  for (int v = 0; v < 3; ++v) {
+    if (v > 0) out += ", ";
+    out += std::string("\"") + verdict_names[v] + "\": [" +
+           std::to_string(agreement.counts[v][0]) + ", " +
+           std::to_string(agreement.counts[v][1]) + "]";
+  }
+  out += "}}\n}\n";
+  return out;
+}
+
+/// The extracted-frontier table (CSV/JSON via the shared report
+/// emitter): one row per grid row, both localizations side by side.
+p2p::engine::Table frontier_table(
+    const PhaseGrid& grid, const std::vector<PhaseFrontierPoint>& frontier) {
+  p2p::engine::Table table({"row", grid.y_axis, "bracketed", "x_lo", "x_hi",
+                            "interpolated", "value", "value_lo", "value_hi",
+                            "margin"});
+  for (const PhaseFrontierPoint& pt : frontier) {
+    table.add_row({format_number(static_cast<double>(pt.row)),
+                   format_number(pt.y),
+                   format_number(pt.bracketed ? 1 : 0),
+                   format_number(pt.x_lo), format_number(pt.x_hi),
+                   format_number(pt.interpolated), format_number(pt.value),
+                   format_number(pt.value_lo), format_number(pt.value_hi),
+                   format_number(pt.margin)});
+  }
+  return table;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace p2p;
+  using namespace p2p::engine;
+  using namespace p2p::analysis;
+
+  Flags flags(argc, argv);
+  const std::string in = flags.get_string(
+      "in", "-", "grid report to ingest: CSV or JSON, '-' = stdin");
+  const std::string x_axis = flags.get_string(
+      "x", "", "x (column) axis name; default: the faster varying axis");
+  const std::string y_axis = flags.get_string(
+      "y", "", "y (row) axis name; default: the slower varying axis");
+  const double tol = flags.get_double(
+      "tol", 1e-3, "frontier re-bisection stopping width");
+  const int threads_flag = flags.get_int(
+      "threads", 0,
+      "worker threads for the per-row re-bisection (0 = all hardware "
+      "cores); output is byte-identical for any value");
+  const int cell_px =
+      flags.get_int("cell-px", 12, "square pixels per grid cell");
+  const bool no_overlay = flags.get_bool(
+      "no-overlay", false, "skip the frontier overlay in renderings");
+  const double sim_threshold = flags.get_double(
+      "sim-threshold", std::nan(""),
+      "occupancy splitting sim cells into transient-looking vs "
+      "stable-looking (default: median simulated occupancy)");
+  const double confidence = flags.get_double(
+      "confidence", 0.95, "confidence level of the agreement bootstrap CI");
+  const int resamples =
+      flags.get_int("resamples", 256, "agreement bootstrap resamples");
+  const int seed = flags.get_int("seed", 1, "agreement bootstrap seed");
+  const std::string ppm_out = flags.get_string(
+      "ppm", "", "write the phase diagram as binary PPM (P6) here");
+  const std::string svg_out =
+      flags.get_string("svg", "", "write the phase diagram as SVG here");
+  const std::string frontier_out = flags.get_string(
+      "frontier", "", "write the extracted frontier as CSV here");
+  const std::string summary_out = flags.get_string(
+      "summary", "",
+      "write the summary JSON here ('-' = stdout; default stdout when no "
+      "other output is requested)");
+  flags.finish();
+
+  const int threads =
+      threads_flag > 0
+          ? threads_flag
+          : static_cast<int>(
+                std::max(1u, std::thread::hardware_concurrency()));
+  if (threads_flag < 0) {
+    std::fprintf(stderr, "error: --threads must be nonnegative\n");
+    return 2;
+  }
+
+  // CSV corpora — named files and piped sweeps alike — stream through
+  // CsvReader in O(cells) typed state, never holding the document;
+  // only JSON (which the parser needs whole) slurps. report_is_json is
+  // the tree's one format sniff, and on stdin it leaves the document
+  // readable from its first non-whitespace byte.
+  const PhaseGrid grid = [&] {
+    if (report_is_json(in)) {
+      return build_phase_grid(read_json_file(in), x_axis, y_axis);
+    }
+    CsvReader reader(in);
+    return build_phase_grid(reader, x_axis, y_axis);
+  }();
+  const std::vector<PhaseFrontierPoint> frontier =
+      extract_frontier(grid, tol, threads);
+  const VerdictAgreement agreement = verdict_agreement(
+      grid, sim_threshold, confidence, resamples,
+      static_cast<std::uint64_t>(seed));
+
+  RenderOptions render;
+  render.cell_px = cell_px;
+  render.overlay_frontier = !no_overlay;
+  if (!ppm_out.empty()) {
+    write_ppm(grid, frontier, render, ppm_out);  // streams scanlines
+  }
+  if (!svg_out.empty()) {
+    write_text(svg_out, render_svg(grid, frontier, render));
+  }
+  if (!frontier_out.empty()) {
+    write_text(frontier_out, frontier_table(grid, frontier).to_csv());
+  }
+  const std::string summary = summary_json(basename_of(in), grid, frontier,
+                                           agreement, tol);
+  if (!summary_out.empty()) {
+    write_text(summary_out, summary);
+  } else if (ppm_out.empty() && svg_out.empty() && frontier_out.empty()) {
+    write_text("-", summary);
+  }
+
+  std::size_t bracketed = 0;
+  for (const auto& pt : frontier) bracketed += pt.bracketed;
+  std::fprintf(stderr,
+               "p2p_phase: %zu x %zu grid (%s vs %s), %zu/%zu rows "
+               "bracketed, %zu sim cells, agreement %s\n",
+               grid.num_x(), grid.num_y(), grid.x_axis.c_str(),
+               grid.y_axis.c_str(), bracketed, grid.num_y(),
+               agreement.cells_with_sim,
+               format_number(agreement.agreement).c_str());
+  return 0;
+}

@@ -214,21 +214,27 @@ int main(int argc, char** argv) {
                    "--refine\n");
       return 2;
     }
+    // Frontier mode streams like the grid: points go to the writer as
+    // their row prefix completes, so a very tall coarse grid never
+    // holds more than the pool's claim window in memory. The bytes are
+    // identical to the retained-points emitter for any
+    // --threads/--chunk combination.
     const RefineOptions refine = parse_refine(refine_spec);
-    const FrontierResult result = refine_frontier(grid, options, refine);
+    ReportWriter writer(
+        out, format == "json" ? ReportFormat::kJson : ReportFormat::kCsv,
+        frontier_columns(options));
+    const FrontierSummary summary =
+        run_frontier_stream(grid, options, refine, writer);
+    writer.finish();
     const double elapsed =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
-    const Table table = result.to_table();
-    write_text(out, format == "json" ? table.to_json() : table.to_csv());
 
-    std::size_t bracketed = 0;
-    for (const auto& pt : result.points) bracketed += pt.bracketed;
     std::fprintf(stderr,
                  "p2p_sweep: frontier along %s (tol %g)%s: %zu rows, %zu "
                  "bracketed, %d replicas/point in %.2fs on %d threads\n",
                  refine.axis.c_str(), refine.tol, scenario_note.c_str(),
-                 result.points.size(), bracketed, options.replicas, elapsed,
+                 summary.rows, summary.bracketed, options.replicas, elapsed,
                  options.threads);
     return 0;
   }
