@@ -16,10 +16,13 @@
 // Emits BENCH_sweep.json (one measurement per row plus the headline
 // chunk-1 vs. auto ratio) so the perf trajectory has machine-readable
 // data; EXPERIMENTS.md archives one run.
+#include <sys/resource.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.hpp"
@@ -81,6 +84,15 @@ void append_measurement(std::string& json, const Measurement& m,
           (last ? "\n" : ",\n");
 }
 
+/// Peak resident set of this process in kB (ru_maxrss is kB on Linux).
+/// A streaming pipeline's footprint must stay O(ring), not O(grid);
+/// the JSON records it so a regression to row buffering is visible.
+long peak_rss_kb() {
+  rusage usage{};
+  P2P_ASSERT(getrusage(RUSAGE_SELF, &usage) == 0);
+  return usage.ru_maxrss;
+}
+
 void print_measurement(const Measurement& m) {
   const std::string chunk_label =
       m.chunk == 0 ? "auto" : std::to_string(m.chunk);
@@ -140,11 +152,26 @@ int main(int argc, char** argv) {
   std::printf("\nauto-chunk vs chunk=1 on 8 threads: %.2fx\n",
               auto_over_chunk1);
 
+  // The speedup headline is only meaningful relative to the cores the
+  // box actually has: on a 1-core host the 8-thread run measures
+  // oversubscription, not scaling, so consumers (the CI gate) must
+  // read hardware_concurrency before judging speedup_8_over_1.
+  const unsigned hw = std::thread::hardware_concurrency();
+  const double speedup_8_over_1 = threads_curve.back().cells_per_sec /
+                                  threads_curve.front().cells_per_sec;
+  std::printf("8-thread over 1-thread speedup: %.2fx (on %u hardware "
+              "threads)\n",
+              speedup_8_over_1, hw);
+
   std::string json = "{\n";
   json += "  \"cells\": " + std::to_string(grid.num_cells()) + ",\n";
   json += "  \"repeats\": " + std::to_string(repeats) + ",\n";
+  json += "  \"hardware_concurrency\": " + std::to_string(hw) + ",\n";
+  json += "  \"peak_rss_kb\": " + std::to_string(peak_rss_kb()) + ",\n";
   json += "  \"single_thread_cells_per_sec\": " +
           format_number(threads_curve.front().cells_per_sec) + ",\n";
+  json += "  \"speedup_8_over_1\": " + format_number(speedup_8_over_1) +
+          ",\n";
   json += "  \"auto_chunk_over_chunk1_8threads\": " +
           format_number(auto_over_chunk1) + ",\n";
   json += "  \"threads_curve\": [\n";

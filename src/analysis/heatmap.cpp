@@ -95,7 +95,19 @@ void validate(const PhaseGrid& grid, const RenderOptions& options) {
                  "phase grid cells do not tile num_x * num_y");
 }
 
-std::string fmt(double v) { return engine::format_number(v); }
+/// Appends format_number's bytes for `v` in place — the SVG emitter
+/// builds its coordinate attributes through the same allocation-free
+/// formatter as the report pipeline, so diagram bytes can never drift
+/// from the corpus bytes they are rendered from.
+void fmt_into(std::string& out, double v) {
+  engine::format_number_into(out, v);
+}
+
+std::string fmt(double v) {
+  std::string s;
+  fmt_into(s, v);
+  return s;
+}
 
 }  // namespace
 
@@ -252,22 +264,27 @@ std::string render_svg(const PhaseGrid& grid,
     }
     return out;
   };
+  std::string out;
   const auto text = [&](double x, double y, const char* anchor,
                         const char* fill, int size, const std::string& s) {
-    return "  <text x=\"" + fmt(x) + "\" y=\"" + fmt(y) +
-           "\" text-anchor=\"" + anchor + "\" fill=\"" + fill +
-           "\" font-family=\"system-ui, sans-serif\" font-size=\"" +
+    out += "  <text x=\"";
+    fmt_into(out, x);
+    out += "\" y=\"";
+    fmt_into(out, y);
+    out += "\" text-anchor=\"";
+    out += anchor;
+    out += "\" fill=\"";
+    out += fill;
+    out += "\" font-family=\"system-ui, sans-serif\" font-size=\"" +
            std::to_string(size) + "\">" + xml_escape(s) + "</text>\n";
   };
-
-  std::string out;
   out += "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" +
          std::to_string(width) + "\" height=\"" + std::to_string(height) +
          "\" viewBox=\"0 0 " + std::to_string(width) + " " +
          std::to_string(height) + "\">\n";
   out += "  <rect width=\"" + std::to_string(width) + "\" height=\"" +
          std::to_string(height) + "\" fill=\"" + kSurface + "\"/>\n";
-  out += text(left, 18, "start", kTextPrimary, 13, title);
+  text(left, 18, "start", kTextPrimary, 13, title);
 
   // Verdict legend on its own row under the title: two labeled
   // swatches plus the overlay key (identity is never color alone — the
@@ -276,12 +293,12 @@ std::string render_svg(const PhaseGrid& grid,
   out += "  <rect x=\"" + std::to_string(left) + "\" y=\"" +
          std::to_string(legend_y) + "\" width=\"10\" height=\"10\" fill=\"" +
          rgb(lerp(kMidpoint, kStablePole, 0.6)) + "\"/>\n";
-  out += text(left + 14, legend_y + 9, "start", kTextSecondary, 11,
+  text(left + 14, legend_y + 9, "start", kTextSecondary, 11,
               "stable");
   out += "  <rect x=\"" + std::to_string(left + 70) + "\" y=\"" +
          std::to_string(legend_y) + "\" width=\"10\" height=\"10\" fill=\"" +
          rgb(lerp(kMidpoint, kTransientPole, 0.6)) + "\"/>\n";
-  out += text(left + 84, legend_y + 9, "start", kTextSecondary, 11,
+  text(left + 84, legend_y + 9, "start", kTextSecondary, 11,
               "transient");
   if (options.overlay_frontier) {
     out += "  <line x1=\"" + std::to_string(left + 160) + "\" y1=\"" +
@@ -289,7 +306,7 @@ std::string render_svg(const PhaseGrid& grid,
            std::to_string(left + 180) + "\" y2=\"" +
            std::to_string(legend_y + 5) + "\" stroke=\"" + rgb(kInk) +
            "\" stroke-width=\"2\"/>\n";
-    out += text(left + 186, legend_y + 9, "start", kTextSecondary, 11,
+    text(left + 186, legend_y + 9, "start", kTextSecondary, 11,
                 "frontier");
   }
 
@@ -329,17 +346,17 @@ std::string render_svg(const PhaseGrid& grid,
 
   // Selective axis labels: the axis names plus first/last tick values.
   const int axis_y = top + plot_h;
-  out += text(left, axis_y + 16, "start", kTextSecondary, 11,
+  text(left, axis_y + 16, "start", kTextSecondary, 11,
               fmt(grid.x_values.front()));
-  out += text(left + plot_w, axis_y + 16, "end", kTextSecondary, 11,
+  text(left + plot_w, axis_y + 16, "end", kTextSecondary, 11,
               fmt(grid.x_values.back()));
-  out += text(left + plot_w / 2.0, axis_y + 32, "middle", kTextPrimary, 12,
+  text(left + plot_w / 2.0, axis_y + 32, "middle", kTextPrimary, 12,
               grid.x_axis);
-  out += text(left - 6, axis_y - plot_h + 12, "end", kTextSecondary, 11,
+  text(left - 6, axis_y - plot_h + 12, "end", kTextSecondary, 11,
               fmt(grid.y_values.back()));
-  out += text(left - 6, axis_y - 2, "end", kTextSecondary, 11,
+  text(left - 6, axis_y - 2, "end", kTextSecondary, 11,
               fmt(grid.y_values.front()));
-  out += text(left - 6, axis_y - plot_h / 2.0, "end", kTextPrimary, 12,
+  text(left - 6, axis_y - plot_h / 2.0, "end", kTextPrimary, 12,
               grid.y_axis);
   out += "</svg>\n";
   return out;

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <limits>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -33,6 +34,82 @@ struct ArrivalSpec {
 };
 
 inline constexpr double kInfiniteRate = std::numeric_limits<double>::infinity();
+
+/// A non-owning view of the model-parameter tuple. The sweep engine's
+/// theory-only hot loop classifies millions of cells per second, and
+/// materializing a SwarmParams per cell means a heap-allocated arrival
+/// vector per cell; the view instead borrows an arrival span (typically
+/// a per-thread scratch buffer). validate() enforces exactly the
+/// invariants SwarmParams does — SwarmParams::validate() delegates here,
+/// so the owning and borrowing paths cannot drift.
+struct SwarmParamsView {
+  int num_pieces = 0;
+  /// Us: fixed-seed contact-upload rate.
+  double seed_rate = 0;
+  /// mu: per-peer contact-upload rate.
+  double contact_rate = 0;
+  /// gamma: peer-seed departure rate; +infinity = depart on completion.
+  double seed_depart_rate = 0;
+  std::span<const ArrivalSpec> arrivals;
+
+  /// True iff gamma = infinity (peers depart the instant they complete).
+  bool immediate_departure() const {
+    return seed_depart_rate == kInfiniteRate;
+  }
+
+  /// mu/gamma in [0, 1) when mu < gamma; 0 when gamma = infinity.
+  double mu_over_gamma() const {
+    return immediate_departure() ? 0.0 : contact_rate / seed_depart_rate;
+  }
+
+  /// lambda_total = sum of all arrival rates (> 0 by model assumption).
+  double total_arrival_rate() const {
+    double total = 0;
+    for (const auto& a : arrivals) total += a.rate;
+    return total;
+  }
+
+  /// True iff copies of piece k can enter the system: Us > 0 or some
+  /// arrival type contains k with positive rate. (Theorem 1's entry
+  /// condition for the gamma <= mu case.)
+  bool piece_can_enter(int piece) const {
+    if (seed_rate > 0) return true;
+    for (const auto& a : arrivals) {
+      if (a.rate > 0 && a.type.contains(piece)) return true;
+    }
+    return false;
+  }
+
+  bool all_pieces_can_enter() const {
+    for (int k = 0; k < num_pieces; ++k) {
+      if (!piece_can_enter(k)) return false;
+    }
+    return true;
+  }
+
+  /// Aborts unless the tuple satisfies the model assumptions (the same
+  /// checks SwarmParams runs at construction).
+  void validate() const {
+    P2P_ASSERT_MSG(num_pieces >= 1 && num_pieces <= kMaxPieces,
+                   "K must be in [1, 64]");
+    P2P_ASSERT_MSG(seed_rate >= 0, "Us must be nonnegative");
+    P2P_ASSERT_MSG(contact_rate > 0, "mu must be positive");
+    P2P_ASSERT_MSG(seed_depart_rate > 0, "gamma must be positive");
+    const PieceSet full = PieceSet::full(num_pieces);
+    double total = 0;
+    for (const auto& a : arrivals) {
+      P2P_ASSERT_MSG(a.rate >= 0, "arrival rates must be nonnegative");
+      P2P_ASSERT_MSG(a.type.is_subset_of(full),
+                     "arrival type must be a subset of the K pieces");
+      if (immediate_departure()) {
+        P2P_ASSERT_MSG(!(a.type == full) || a.rate == 0,
+                       "lambda_F must be 0 when gamma = infinity");
+      }
+      total += a.rate;
+    }
+    P2P_ASSERT_MSG(total > 0, "total arrival rate must be positive");
+  }
+};
 
 class SwarmParams {
  public:
@@ -60,12 +137,16 @@ class SwarmParams {
 
   const std::vector<ArrivalSpec>& arrivals() const { return arrivals_; }
 
-  /// lambda_total = sum of all arrival rates (> 0 by model assumption).
-  double total_arrival_rate() const {
-    double total = 0;
-    for (const auto& a : arrivals_) total += a.rate;
-    return total;
+  /// The borrowing view of this tuple (valid while *this lives). The
+  /// shared accessors below delegate to it, so the two representations
+  /// answer every model question identically.
+  SwarmParamsView view() const {
+    return SwarmParamsView{num_pieces_, seed_rate_, contact_rate_,
+                           seed_depart_rate_, arrivals_};
   }
+
+  /// lambda_total = sum of all arrival rates (> 0 by model assumption).
+  double total_arrival_rate() const { return view().total_arrival_rate(); }
 
   /// lambda_C for a specific type (0 if not listed).
   double arrival_rate(PieceSet type) const {
@@ -80,24 +161,13 @@ class SwarmParams {
   /// arrival type contains k with positive rate. (Theorem 1's entry
   /// condition for the gamma <= mu case.)
   bool piece_can_enter(int piece) const {
-    if (seed_rate_ > 0) return true;
-    for (const auto& a : arrivals_) {
-      if (a.rate > 0 && a.type.contains(piece)) return true;
-    }
-    return false;
+    return view().piece_can_enter(piece);
   }
 
-  bool all_pieces_can_enter() const {
-    for (int k = 0; k < num_pieces_; ++k) {
-      if (!piece_can_enter(k)) return false;
-    }
-    return true;
-  }
+  bool all_pieces_can_enter() const { return view().all_pieces_can_enter(); }
 
   /// mu/gamma in [0, 1) when mu < gamma; 0 when gamma = infinity.
-  double mu_over_gamma() const {
-    return immediate_departure() ? 0.0 : contact_rate_ / seed_depart_rate_;
-  }
+  double mu_over_gamma() const { return view().mu_over_gamma(); }
 
   /// Returns a copy with every arrival rate scaled by `s` (used by the
   /// critical-load solvers and the region benches).
@@ -204,26 +274,7 @@ class SwarmParams {
   }
 
  private:
-  void validate() const {
-    P2P_ASSERT_MSG(num_pieces_ >= 1 && num_pieces_ <= kMaxPieces,
-                   "K must be in [1, 64]");
-    P2P_ASSERT_MSG(seed_rate_ >= 0, "Us must be nonnegative");
-    P2P_ASSERT_MSG(contact_rate_ > 0, "mu must be positive");
-    P2P_ASSERT_MSG(seed_depart_rate_ > 0, "gamma must be positive");
-    const PieceSet full = PieceSet::full(num_pieces_);
-    double total = 0;
-    for (const auto& a : arrivals_) {
-      P2P_ASSERT_MSG(a.rate >= 0, "arrival rates must be nonnegative");
-      P2P_ASSERT_MSG(a.type.is_subset_of(full),
-                     "arrival type must be a subset of the K pieces");
-      if (immediate_departure()) {
-        P2P_ASSERT_MSG(!(a.type == full) || a.rate == 0,
-                       "lambda_F must be 0 when gamma = infinity");
-      }
-      total += a.rate;
-    }
-    P2P_ASSERT_MSG(total > 0, "total arrival rate must be positive");
-  }
+  void validate() const { view().validate(); }
 
   int num_pieces_;
   double seed_rate_;

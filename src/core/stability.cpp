@@ -22,32 +22,40 @@ std::string to_string(Stability s) {
   return "?";
 }
 
-double delta_S(const SwarmParams& params, PieceSet excluded) {
-  const int k = params.num_pieces();
+double delta_S(const SwarmParamsView& params, PieceSet excluded) {
+  const int k = params.num_pieces;
   P2P_ASSERT_MSG(!(excluded == PieceSet::full(k)), "S must be a proper subset");
   const double g = params.mu_over_gamma();
   P2P_ASSERT_MSG(g < 1.0, "delta_S requires mu < gamma");
   double inside = 0;   // sum_{C subset S} lambda_C
   double outside = 0;  // sum_{C !subset S} lambda_C (K - |C| + mu/gamma)
-  for (const auto& a : params.arrivals()) {
+  for (const auto& a : params.arrivals) {
     if (a.type.is_subset_of(excluded)) {
       inside += a.rate;
     } else {
       outside += a.rate * (k - a.type.size() + g);
     }
   }
-  return inside - (params.seed_rate() + outside) / (1.0 - g);
+  return inside - (params.seed_rate + outside) / (1.0 - g);
 }
 
-double piece_threshold(const SwarmParams& params, int piece) {
-  const int k = params.num_pieces();
+double delta_S(const SwarmParams& params, PieceSet excluded) {
+  return delta_S(params.view(), excluded);
+}
+
+double piece_threshold(const SwarmParamsView& params, int piece) {
+  const int k = params.num_pieces;
   const double g = params.mu_over_gamma();
   P2P_ASSERT_MSG(g < 1.0, "piece_threshold requires mu < gamma");
-  double sum = params.seed_rate();
-  for (const auto& a : params.arrivals()) {
+  double sum = params.seed_rate;
+  for (const auto& a : params.arrivals) {
     if (a.type.contains(piece)) sum += a.rate * (k + 1 - a.type.size());
   }
   return sum / (1.0 - g);
+}
+
+double piece_threshold(const SwarmParams& params, int piece) {
+  return piece_threshold(params.view(), piece);
 }
 
 std::string StabilityReport::to_string() const {
@@ -62,11 +70,15 @@ std::string StabilityReport::to_string() const {
   return s + "}";
 }
 
-StabilityReport classify(const SwarmParams& params) {
+StabilityReport classify(const SwarmParamsView& params) {
+  // A view may borrow a raw scratch buffer that never went through
+  // SwarmParams's constructor; classifying an invalid tuple must abort
+  // with the same messages regardless of which path built it.
+  params.validate();
   StabilityReport report;
-  const int k = params.num_pieces();
-  const double mu = params.contact_rate();
-  const double gamma = params.seed_depart_rate();
+  const int k = params.num_pieces;
+  const double mu = params.contact_rate;
+  const double gamma = params.seed_depart_rate;
 
   if (gamma <= mu) {
     // Altruistic branch: each peer seed uploads >= 1 extra piece on
@@ -106,6 +118,10 @@ StabilityReport classify(const SwarmParams& params) {
     report.verdict = Stability::kBorderline;
   }
   return report;
+}
+
+StabilityReport classify(const SwarmParams& params) {
+  return classify(params.view());
 }
 
 double min_stabilizing_seed_rate(const SwarmParams& params) {

@@ -35,12 +35,16 @@ std::string to_string(Stability s);
 /// Delta_S of Eq. (4). Requires mu < gamma (otherwise the expression is
 /// not meaningful; the classifier handles gamma <= mu separately).
 /// `excluded` is the set S (peers of types inside S form the heavy load;
-/// S = F - {k} is the "one club" missing piece k).
+/// S = F - {k} is the "one club" missing piece k). The SwarmParamsView
+/// overloads are the allocation-free forms the sweep engine's hot loop
+/// uses; the SwarmParams forms forward to them.
+double delta_S(const SwarmParamsView& params, PieceSet excluded);
 double delta_S(const SwarmParams& params, PieceSet excluded);
 
 /// Right-hand side of Eqs. (2)/(3) for piece k:
 ///   [Us + sum_{C: k in C} lambda_C (K + 1 - |C|)] / (1 - mu/gamma).
 /// The system is stable iff lambda_total is below this for all k.
+double piece_threshold(const SwarmParamsView& params, int piece);
 double piece_threshold(const SwarmParams& params, int piece);
 
 struct StabilityReport {
@@ -59,7 +63,12 @@ struct StabilityReport {
   std::string to_string() const;
 };
 
-/// Classifies the parameter point per Theorem 1.
+/// Classifies the parameter point per Theorem 1. The view overload
+/// validates the tuple first (a view built from a scratch buffer never
+/// went through SwarmParams's constructor) — the sweep engine's
+/// allocation-free path must abort on a bad cell with the same messages
+/// the owning path does.
+StabilityReport classify(const SwarmParamsView& params);
 StabilityReport classify(const SwarmParams& params);
 
 // --- Provisioning solvers (inversions of Theorem 1's boundary) ---

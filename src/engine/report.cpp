@@ -7,9 +7,15 @@
 
 namespace p2p::engine {
 
-std::string format_number(double value) {
-  if (std::isnan(value)) return "nan";
-  if (std::isinf(value)) return value > 0 ? "inf" : "-inf";
+void format_number_into(std::string& out, double value) {
+  if (std::isnan(value)) {
+    out += "nan";
+    return;
+  }
+  if (std::isinf(value)) {
+    out += value > 0 ? "inf" : "-inf";
+    return;
+  }
   // Shortest round-trip formatting: the emitted decimal parses back to
   // the exact same bit pattern. The previous "%.10g" silently dropped
   // precision (e.g. pi came back off by 4 ulps), so corpus CSVs were
@@ -18,10 +24,16 @@ std::string format_number(double value) {
   const auto [end, ec] =
       std::to_chars(buffer, buffer + sizeof(buffer), value);
   P2P_ASSERT(ec == std::errc());
-  return std::string(buffer, end);
+  out.append(buffer, end);
 }
 
-void append_json_string(std::string& out, const std::string& s) {
+std::string format_number(double value) {
+  std::string out;
+  format_number_into(out, value);
+  return out;
+}
+
+void append_json_string(std::string& out, std::string_view s) {
   out += '"';
   for (char c : s) {
     switch (c) {
@@ -58,8 +70,8 @@ void append_json_string(std::string& out, const std::string& s) {
 
 namespace {
 
-void append_csv_cell(std::string& out, const std::string& cell) {
-  if (cell.find_first_of(",\"\n") == std::string::npos) {
+void append_csv_cell(std::string& out, std::string_view cell) {
+  if (cell.find_first_of(",\"\n") == std::string_view::npos) {
     out += cell;
     return;
   }
@@ -83,7 +95,7 @@ void append_csv_row(std::string& out, const std::vector<std::string>& cells) {
 /// (-?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?), so the emitter can
 /// leave it unquoted. Deliberately stricter than strtod, which also
 /// accepts spellings JSON parsers reject ("+5", "0x1F", " 12").
-bool is_json_number(const std::string& cell) {
+bool is_json_number(std::string_view cell) {
   std::size_t i = 0;
   const auto digits = [&] {
     const std::size_t start = i;
@@ -108,6 +120,19 @@ bool is_json_number(const std::string& cell) {
   return i == cell.size() && i > (cell[0] == '-' ? 1u : 0u);
 }
 
+/// The JSON cell trichotomy shared by write_row and RowRenderer: numbers
+/// unquoted, format_number's non-finite spellings as null, everything
+/// else a quoted string.
+void append_json_cell(std::string& out, std::string_view cell) {
+  if (is_json_number(cell)) {
+    out += cell;
+  } else if (cell == "inf" || cell == "-inf" || cell == "nan") {
+    out += "null";
+  } else {
+    append_json_string(out, cell);
+  }
+}
+
 /// One row object WITHOUT its "}..." terminator: the streaming writer
 /// cannot know whether a row is the last one until finish(), so the
 /// terminator ("},\n" before a successor, "}\n" before the closer) is
@@ -120,14 +145,7 @@ void append_json_row_open(std::string& out,
     if (c > 0) out += ", ";
     append_json_string(out, columns[c]);
     out += ": ";
-    const std::string& cell = cells[c];
-    if (is_json_number(cell)) {
-      out += cell;
-    } else if (cell == "inf" || cell == "-inf" || cell == "nan") {
-      out += "null";
-    } else {
-      append_json_string(out, cell);
-    }
+    append_json_cell(out, cells[c]);
   }
 }
 
@@ -136,6 +154,84 @@ void append_json_row_open(std::string& out,
 constexpr std::size_t kFlushBytes = 1 << 16;
 
 }  // namespace
+
+RowRenderer::RowRenderer(ReportFormat format,
+                         const std::vector<std::string>& columns)
+    : format_(format) {
+  P2P_ASSERT_MSG(!columns.empty(), "a report needs at least one column");
+  prefixes_.reserve(columns.size());
+  for (std::size_t c = 0; c < columns.size(); ++c) {
+    std::string prefix;
+    if (format == ReportFormat::kCsv) {
+      if (c > 0) prefix = ",";
+    } else {
+      prefix = c == 0 ? "  {" : ", ";
+      append_json_string(prefix, columns[c]);
+      prefix += ": ";
+    }
+    prefixes_.push_back(std::move(prefix));
+  }
+}
+
+RowRenderer::Row::Row(const RowRenderer& renderer, std::string& arena)
+    : renderer_(&renderer), arena_(&arena) {
+  // A JSON row following another in the same arena gets the separator
+  // its predecessor withheld; the arena's last row stays open for the
+  // writer to terminate.
+  if (renderer.format_ == ReportFormat::kJson && !arena.empty()) {
+    arena += "},\n";
+  }
+}
+
+void RowRenderer::Row::append_prefix() {
+  P2P_ASSERT_MSG(cell_ < renderer_->prefixes_.size() && !ended_,
+                 "row arity must match the column count");
+  *arena_ += renderer_->prefixes_[cell_++];
+}
+
+void RowRenderer::Row::number(double value) {
+  append_prefix();
+  if (renderer_->format_ == ReportFormat::kJson && !std::isfinite(value)) {
+    *arena_ += "null";
+  } else {
+    format_number_into(*arena_, value);
+  }
+}
+
+void RowRenderer::Row::preformatted_number(std::string_view cell) {
+  append_prefix();
+  if (renderer_->format_ == ReportFormat::kJson &&
+      (cell == "inf" || cell == "-inf" || cell == "nan")) {
+    *arena_ += "null";
+  } else {
+    arena_->append(cell);
+  }
+}
+
+void RowRenderer::Row::text(std::string_view cell) {
+  append_prefix();
+  if (renderer_->format_ == ReportFormat::kCsv) {
+    append_csv_cell(*arena_, cell);
+  } else {
+    append_json_cell(*arena_, cell);
+  }
+}
+
+void RowRenderer::Row::cells_verbatim(std::string_view bytes,
+                                      std::size_t count) {
+  P2P_ASSERT_MSG(cell_ + count <= renderer_->prefixes_.size() && !ended_,
+                 "row arity must match the column count");
+  arena_->append(bytes);
+  cell_ += count;
+}
+
+void RowRenderer::Row::end() {
+  P2P_ASSERT_MSG(!ended_, "row ended twice");
+  P2P_ASSERT_MSG(cell_ == renderer_->prefixes_.size(),
+                 "row arity must match the column count");
+  if (renderer_->format_ == ReportFormat::kCsv) *arena_ += '\n';
+  ended_ = true;
+}
 
 ReportWriter::ReportWriter(const std::string& path, ReportFormat format,
                            std::vector<std::string> columns)
@@ -186,6 +282,23 @@ void ReportWriter::write_row(const std::vector<std::string>& cells) {
   if (sink_ == nullptr && buffer_.size() >= kFlushBytes) flush_to_file();
 }
 
+void ReportWriter::write_rendered(std::string_view bytes,
+                                  std::size_t row_count) {
+  P2P_ASSERT_MSG(!finished_, "write_rendered after finish()");
+  if (row_count == 0) {
+    P2P_ASSERT_MSG(bytes.empty(), "rendered bytes carry no rows");
+    return;
+  }
+  std::string& out = sink_ != nullptr ? *sink_ : buffer_;
+  // The arena's first row carries no separator (the renderer cannot know
+  // whether the writer already holds an open row); rows within the arena
+  // already carry theirs.
+  if (format_ == ReportFormat::kJson && rows_ > 0) out += "},\n";
+  out.append(bytes);
+  rows_ += row_count;
+  if (sink_ == nullptr && buffer_.size() >= kFlushBytes) flush_to_file();
+}
+
 void ReportWriter::finish() {
   P2P_ASSERT_MSG(!finished_, "finish() called twice");
   finished_ = true;
@@ -195,7 +308,18 @@ void ReportWriter::finish() {
     out += "]\n";
   }
   if (sink_ != nullptr) return;
-  flush_to_file();
+  if (flusher_.joinable()) {
+    flush_to_file();  // hands the closing bytes to the flusher
+    {
+      std::lock_guard<std::mutex> lock(flush_mutex_);
+      flusher_stop_ = true;
+    }
+    flush_cv_.notify_all();
+    flusher_.join();
+  } else if (!buffer_.empty()) {
+    write_file_bytes(buffer_);
+    buffer_.clear();
+  }
   if (owns_file_) {
     // fclose flushes the stdio buffer, so a full disk can surface there;
     // a truncated report must not exit 0.
@@ -209,6 +333,46 @@ void ReportWriter::finish() {
 
 void ReportWriter::flush_to_file() {
   if (buffer_.empty()) return;
+  if (file_ == stdout) {
+    // stdout stays synchronous: callers interleave their own writes.
+    write_file_bytes(buffer_);
+    buffer_.clear();
+    return;
+  }
+  if (!flusher_.joinable()) {
+    flusher_ = std::thread([this] { flusher_loop(); });
+  }
+  std::unique_lock<std::mutex> lock(flush_mutex_);
+  // At most one buffer in flight: wait until the flusher drained the
+  // previous one, then swap — the producer and the flusher ping-pong the
+  // same two allocations for the whole run.
+  flush_cv_.wait(lock, [this] { return !flush_pending_; });
+  inflight_.swap(buffer_);
+  buffer_.clear();
+  flush_pending_ = true;
+  flush_cv_.notify_all();
+}
+
+void ReportWriter::flusher_loop() {
+  std::unique_lock<std::mutex> lock(flush_mutex_);
+  while (true) {
+    flush_cv_.wait(lock, [this] { return flush_pending_ || flusher_stop_; });
+    if (flush_pending_) {
+      // Write unlocked: the producer only touches inflight_ while
+      // flush_pending_ is false.
+      lock.unlock();
+      write_file_bytes(inflight_);
+      inflight_.clear();
+      lock.lock();
+      flush_pending_ = false;
+      flush_cv_.notify_all();
+      continue;
+    }
+    return;  // stop requested with nothing left in flight
+  }
+}
+
+void ReportWriter::write_file_bytes(const std::string& bytes) {
   if (file_ == nullptr) {
     file_ = std::fopen(path_.c_str(), "wb");
     P2P_ASSERT_MSG(file_ != nullptr,
@@ -216,10 +380,9 @@ void ReportWriter::flush_to_file() {
     owns_file_ = true;
   }
   const std::size_t written =
-      std::fwrite(buffer_.data(), 1, buffer_.size(), file_);
-  P2P_ASSERT_MSG(written == buffer_.size(),
+      std::fwrite(bytes.data(), 1, bytes.size(), file_);
+  P2P_ASSERT_MSG(written == bytes.size(),
                  "short write to report output file");
-  buffer_.clear();
 }
 
 Table::Table(std::vector<std::string> columns)

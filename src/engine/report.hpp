@@ -7,7 +7,7 @@
 // spelled out) so CSV diffs are stable across runs and every emitted
 // decimal parses back to the exact bit pattern.
 //
-// Two emit paths share one serializer:
+// Three emit paths share one serializer:
 //
 //   * Table        — in-memory rows, rendered whole by to_csv/to_json;
 //   * ReportWriter — streaming: header up front, rows appended as they
@@ -16,10 +16,23 @@
 //                    (Table's renderers are implemented ON ReportWriter),
 //                    but peak memory is one I/O buffer, not the table —
 //                    the emitter million-cell sweeps stream through.
+//   * RowRenderer  — parallel producers: renders one row into a
+//                    caller-supplied arena, byte-identical to what
+//                    write_row would have appended, so worker threads
+//                    can format rows concurrently and the writer just
+//                    concatenates them (write_rendered).
+//
+// A file-backed ReportWriter double-buffers its output: full buffers are
+// handed to a background flusher thread, so the producing thread overlaps
+// compute with fwrite instead of stalling on the disk.
 #pragma once
 
 #include <cstdio>
+#include <condition_variable>
+#include <mutex>
 #include <string>
+#include <string_view>
+#include <thread>
 #include <vector>
 
 namespace p2p::engine {
@@ -29,13 +42,83 @@ namespace p2p::engine {
 /// "-inf" or "nan".
 std::string format_number(double value);
 
+/// format_number appended to `out` in place: same bytes, no temporary
+/// string — the form every per-row hot path uses.
+void format_number_into(std::string& out, double value);
+
 /// Appends the JSON string literal for `s` (quoted; '"', '\\' and
 /// control characters escaped). The one JSON string encoder — report
 /// rows and the phase-diagram summary JSON must escape identically, or
 /// the byte-golden corpora drift.
-void append_json_string(std::string& out, const std::string& s);
+void append_json_string(std::string& out, std::string_view s);
 
 enum class ReportFormat { kCsv, kJson };
+
+/// Renders rows of a fixed column schema into caller-supplied string
+/// arenas, producing exactly the bytes ReportWriter::write_row appends
+/// for the same cells. This is what lets sweep workers format rows in
+/// parallel: each worker renders into its own arena, and the writer
+/// concatenates the finished spans (ReportWriter::write_rendered)
+/// instead of formatting on the consuming thread.
+///
+/// The per-column prefixes ("," / ", \"name\": ") are rendered once at
+/// construction; rendering a row costs no allocation beyond arena
+/// growth. A RowRenderer is immutable after construction and may be
+/// shared by any number of threads — each in-flight row lives in a Row
+/// cursor on the rendering thread's stack.
+class RowRenderer {
+ public:
+  RowRenderer(ReportFormat format, const std::vector<std::string>& columns);
+
+  std::size_t num_columns() const { return prefixes_.size(); }
+  ReportFormat format() const { return format_; }
+
+  /// One row being rendered into an arena. In JSON the row's "}"
+  /// terminator is withheld exactly like write_row does (the writer
+  /// emits "},\n" or "}\n" when it learns whether a successor exists);
+  /// beginning a row in a non-empty arena emits the "},\n" separator
+  /// first — so an arena holding N rows carries N-1 separators and no
+  /// trailing terminator, which is precisely the byte layout
+  /// write_rendered expects.
+  class Row {
+   public:
+    /// Begins a row appended to `arena`. The arena must contain only
+    /// rows previously rendered by the same renderer (or nothing).
+    Row(const RowRenderer& renderer, std::string& arena);
+
+    /// Appends format_number(value) as the next cell (JSON renders
+    /// non-finite values as null, like write_row).
+    void number(double value);
+    /// Appends a cell that already carries format_number's bytes — the
+    /// memcpy fast path for cached axis-value tokens. JSON maps the
+    /// "inf"/"-inf"/"nan" spellings to null; no other inspection runs,
+    /// so the cell MUST have come from format_number.
+    void preformatted_number(std::string_view cell);
+    /// Appends a general text cell: CSV quoting and the JSON
+    /// number-vs-null-vs-string trichotomy, byte-identical to write_row.
+    void text(std::string_view cell);
+    /// Appends `count` cells previously rendered by this renderer at
+    /// the same column positions (prefixes included) — the cached
+    /// constant-suffix fast path. The bytes are trusted verbatim.
+    void cells_verbatim(std::string_view bytes, std::size_t count);
+    /// Ends the row; aborts unless exactly num_columns() cells were
+    /// emitted (the arity check write_row does on its cell vector).
+    void end();
+
+   private:
+    void append_prefix();
+
+    const RowRenderer* renderer_;
+    std::string* arena_;
+    std::size_t cell_ = 0;
+    bool ended_ = false;
+  };
+
+ private:
+  ReportFormat format_;
+  /// prefixes_[c]: the bytes emitted before cell c's value.
+  std::vector<std::string> prefixes_;
+};
 
 /// Streams a rectangular table row by row to a file (or a string, for
 /// tests and in-memory consumers) without retaining the rows. The
@@ -62,18 +145,30 @@ class ReportWriter {
   ~ReportWriter();
 
   const std::vector<std::string>& columns() const { return columns_; }
+  ReportFormat format() const { return format_; }
   std::size_t rows_written() const { return rows_; }
 
   /// Appends a row; must have exactly columns().size() cells.
   void write_row(const std::vector<std::string>& cells);
 
-  /// Writes the JSON closer, flushes, and closes the file. A truncated
-  /// report (disk full, broken pipe) aborts rather than exiting 0.
-  /// Exactly once; write_row is invalid afterwards.
+  /// Appends `row_count` rows rendered into `bytes` by a RowRenderer
+  /// built over this writer's format and columns — the concatenate-only
+  /// fast path of the worker-rendered pipeline. The bytes are appended
+  /// verbatim (after the JSON row separator, when due), so the result
+  /// is byte-identical to write_row of the same cells.
+  void write_rendered(std::string_view bytes, std::size_t row_count);
+
+  /// Writes the JSON closer, flushes (joining the background flusher if
+  /// one was started), and closes the file. A truncated report (disk
+  /// full, broken pipe) aborts rather than exiting 0. Exactly once;
+  /// write_row is invalid afterwards.
   void finish();
 
  private:
   void flush_to_file();
+  void flusher_loop();
+  /// Opens the file lazily and writes `bytes`; aborts on a short write.
+  void write_file_bytes(const std::string& bytes);
 
   std::vector<std::string> columns_;
   ReportFormat format_;
@@ -84,6 +179,19 @@ class ReportWriter {
   std::string buffer_;
   std::size_t rows_ = 0;
   bool finished_ = false;
+
+  // Double-buffered output: a full buffer_ is swapped into inflight_ and
+  // written by the flusher thread while the producer keeps appending.
+  // The flusher is started lazily at the first file flush, so small
+  // reports (everything fits in one buffer until finish()) never pay
+  // for a thread. stdout stays synchronous — callers interleave their
+  // own writes with it.
+  std::thread flusher_;
+  std::mutex flush_mutex_;
+  std::condition_variable flush_cv_;
+  std::string inflight_;
+  bool flush_pending_ = false;
+  bool flusher_stop_ = false;
 };
 
 /// A rectangular table of pre-formatted cells with named columns.

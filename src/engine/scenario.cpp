@@ -90,7 +90,8 @@ ScenarioSpec parse_scenario(const std::string& spec) {
   return scenario;
 }
 
-ExpandedCell expand(const ScenarioSpec& scenario, const CellParams& p) {
+void expand_arrivals(const ScenarioSpec& scenario, const CellParams& p,
+                     std::vector<ArrivalSpec>& out) {
   P2P_ASSERT_MSG(p.mix >= 0 && p.mix <= 1,
                  "axis mix must lie in [0, 1] (0 = empty-arrival stream, "
                  "1 = the named mix)");
@@ -110,14 +111,18 @@ ExpandedCell expand(const ScenarioSpec& scenario, const CellParams& p) {
   // Zero-rate streams are dropped so the m = 0 (and degenerate-weight)
   // expansions are byte-for-byte the homogeneous cell: same arrival list,
   // same RNG consumption, same report bytes.
-  std::vector<ArrivalSpec> arrivals;
+  out.clear();
   const double empty_rate = (1.0 - p.mix) * p.lambda;
-  if (empty_rate > 0) arrivals.push_back({PieceSet{}, empty_rate});
+  if (empty_rate > 0) out.push_back({PieceSet{}, empty_rate});
   for (const auto& a : scenario.mix) {
     const double rate = p.mix * p.lambda * a.rate;
-    if (rate > 0) arrivals.push_back({a.type, rate});
+    if (rate > 0) out.push_back({a.type, rate});
   }
+}
 
+ExpandedCell expand(const ScenarioSpec& scenario, const CellParams& p) {
+  std::vector<ArrivalSpec> arrivals;
+  expand_arrivals(scenario, p, arrivals);
   ExpandedCell cell{
       SwarmParams(p.k, p.us, p.mu, p.gamma, std::move(arrivals)), {}};
   cell.sim.retry_boost = p.eta;

@@ -96,4 +96,14 @@ struct ExpandedCell {
 /// piece count, or when mix/hetero leave their domains.
 ExpandedCell expand(const ScenarioSpec& scenario, const CellParams& p);
 
+/// The arrival-stream materialization inside expand(), writing into a
+/// reused buffer: clears `out`, then appends (1 - mix) * lambda on the
+/// empty type and mix * lambda across the mix fractions, dropping
+/// zero-rate streams. Runs expand()'s validation of the (scenario, p)
+/// pairing. The sweep engine's allocation-free theory path and the
+/// simulator path both materialize through here, so the classifier and
+/// the simulator can never disagree about the streams a cell carries.
+void expand_arrivals(const ScenarioSpec& scenario, const CellParams& p,
+                     std::vector<ArrivalSpec>& out);
+
 }  // namespace p2p::engine

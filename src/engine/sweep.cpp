@@ -1,10 +1,13 @@
 #include "engine/sweep.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <charconv>
 #include <cmath>
 #include <cstdint>
 #include <cstdlib>
 #include <functional>
+#include <optional>
 #include <span>
 
 #include "analysis/confidence.hpp"
@@ -100,6 +103,98 @@ CellParams extract_params(const std::vector<Axis>& axes,
   P2P_ASSERT_MSG(p.flash >= 0 &&
                      std::abs(flash_raw - static_cast<double>(p.flash)) < 1e-9,
                  "axis flash must take nonnegative integer values");
+  return p;
+}
+
+/// Positions of the nine model axes in the effective grid's axis list,
+/// resolved once per sweep so the per-cell hot loop indexes by slot
+/// instead of comparing axis names nine times per cell.
+struct AxisSlots {
+  std::size_t lambda = 0, us = 0, mu = 0, gamma = 0, k = 0, eta = 0,
+              flash = 0, mix = 0, hetero = 0;
+};
+
+std::size_t axis_slot(const SweepGrid& grid, const char* name) {
+  for (std::size_t i = 0; i < grid.axes.size(); ++i) {
+    if (grid.axes[i].name == name) return i;
+  }
+  P2P_ASSERT_MSG(false, "sweep cell queried for an axis the grid lacks");
+  return 0;
+}
+
+AxisSlots resolve_axis_slots(const SweepGrid& grid) {
+  AxisSlots s;
+  s.lambda = axis_slot(grid, "lambda");
+  s.us = axis_slot(grid, "us");
+  s.mu = axis_slot(grid, "mu");
+  s.gamma = axis_slot(grid, "gamma");
+  s.k = axis_slot(grid, "k");
+  s.eta = axis_slot(grid, "eta");
+  s.flash = axis_slot(grid, "flash");
+  s.mix = axis_slot(grid, "mix");
+  s.hetero = axis_slot(grid, "hetero");
+  return s;
+}
+
+/// Odometer over the grid's cell enumeration (last axis fastest): a
+/// worker walking a contiguous block of cells pays one div/mod chain at
+/// seek() and a carry-propagating increment per step after that, with
+/// the per-axis digit and value exposed directly — no per-cell vector
+/// allocation like SweepGrid::cell_values.
+class CellCursor {
+ public:
+  explicit CellCursor(const SweepGrid& grid)
+      : grid_(&grid),
+        digits_(grid.axes.size(), 0),
+        values_(grid.axes.size(), 0) {}
+
+  void seek(std::size_t cell) {
+    std::size_t rem = cell;
+    for (std::size_t i = digits_.size(); i-- > 0;) {
+      const auto& vals = grid_->axes[i].values;
+      digits_[i] = rem % vals.size();
+      values_[i] = vals[digits_[i]];
+      rem /= vals.size();
+    }
+  }
+
+  void advance() {
+    for (std::size_t i = digits_.size(); i-- > 0;) {
+      const auto& vals = grid_->axes[i].values;
+      if (++digits_[i] < vals.size()) {
+        values_[i] = vals[digits_[i]];
+        return;
+      }
+      digits_[i] = 0;
+      values_[i] = vals[0];
+    }
+  }
+
+  /// Per-axis value indices of the current cell, aligned with the axes.
+  const std::vector<std::size_t>& digits() const { return digits_; }
+  /// Per-axis values of the current cell, aligned with the axes.
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  const SweepGrid* grid_;
+  std::vector<std::size_t> digits_;
+  std::vector<double> values_;
+};
+
+/// extract_params without the name lookups and integrality asserts —
+/// validate_effective_axes already vetted every grid value once up
+/// front, so the per-cell path only rounds.
+CellParams cell_params(const AxisSlots& s, const std::vector<double>& v) {
+  CellParams p;
+  p.lambda = v[s.lambda];
+  p.us = v[s.us];
+  p.mu = v[s.mu];
+  p.gamma = v[s.gamma];
+  p.eta = v[s.eta];
+  p.mix = v[s.mix];
+  p.hetero = v[s.hetero];
+  p.k = static_cast<int>(std::lround(v[s.k]));
+  p.flash = std::llround(v[s.flash]);
   return p;
 }
 
@@ -287,13 +382,21 @@ SweepGrid effective_grid(const SweepGrid& grid) {
   return effective;
 }
 
-/// Fills the non-sim fields of one cell — everything replica 0's work
-/// item computes besides its own simulation. Resets the struct first:
-/// the streaming pipeline recycles ring slots, and a stale CTMC value
-/// from a previous occupant must not survive a skipped solve.
+/// Fills the non-sim fields of one cell — everything the cell's first
+/// work item computes besides its own simulation. Resets the struct
+/// first: the streaming pipeline recycles ring slots, and a stale CTMC
+/// value from a previous occupant must not survive a skipped solve.
+/// `arrival_scratch` is the caller's reused arrival buffer: the theory
+/// classification runs on a SwarmParamsView borrowing it, so the
+/// closed-form path never allocates per cell.
 void fill_cell(CellResult& r, std::size_t cell, const CellParams& p,
-               const SweepOptions& options) {
-  r = CellResult{};
+               const SweepOptions& options,
+               std::vector<ArrivalSpec>& arrival_scratch) {
+  // Every other field is assigned unconditionally below; these two are
+  // only written when their solve/aggregation runs, so a recycled slot
+  // (or the chunk path's reused local) must see them reset.
+  r.sim = SimAggregate{};
+  r.ctmc_mean_peers = std::nan("");
   r.index = cell;
   r.lambda = p.lambda;
   r.us = p.us;
@@ -304,8 +407,9 @@ void fill_cell(CellResult& r, std::size_t cell, const CellParams& p,
   r.flash = p.flash;
   r.mix = p.mix;
   r.hetero = p.hetero;
-  const SwarmParams model = expand(options.scenario, p).params;
-  r.theory = classify(model);
+  expand_arrivals(options.scenario, p, arrival_scratch);
+  r.theory = classify(SwarmParamsView{p.k, p.us, p.mu, p.gamma,
+                                      arrival_scratch});
   // The truncated chain is the *homogeneous* law: under a retry boost or
   // a rate spread its stationary mean is not the answer the simulator
   // approaches, so the column stays NaN rather than posing as an exact
@@ -314,8 +418,205 @@ void fill_cell(CellResult& r, std::size_t cell, const CellParams& p,
       p.eta == 1 && p.hetero == 0 &&
       ctmc_tractable(p.k, options.ctmc_max_peers)) {
     r.ctmc_mean_peers =
-        solve_truncated_swarm(model, options.ctmc_max_peers).mean_peers();
+        solve_truncated_swarm(
+            SwarmParams(p.k, p.us, p.mu, p.gamma, arrival_scratch),
+            options.ctmc_max_peers)
+            .mean_peers();
   }
+}
+
+/// Everything a worker needs to render one grid row without touching
+/// shared mutable state: the columns' RowRenderer, the axis slot map,
+/// every axis value pre-rendered to its format_number token, and — for
+/// theory-only sweeps without a CTMC column — the constant 8-cell sim
+/// tail every row shares, cached once as raw bytes.
+struct GridRenderPlan {
+  RowRenderer renderer;
+  AxisSlots slots;
+  /// axis_tokens[axis][digit] = format_number of that grid value. k and
+  /// flash are rounded to their integer first: sweep_row formats the
+  /// *rounded* c.k / c.flash, and a raw axis value may sit anywhere
+  /// within the 1e-9 integrality slack.
+  std::vector<std::vector<std::string>> axis_tokens;
+  /// The nine axis columns in render order, with maximal runs of
+  /// single-valued axes collapsed into one pre-rendered byte span
+  /// (cells > 0): a typical phase diagram varies two axes and pins
+  /// seven, so most of the row head is one memcpy.
+  struct RenderSegment {
+    std::size_t axis = 0;  // grid slot of the varying axis (cells == 0)
+    std::size_t cells = 0;
+    std::string bytes;
+  };
+  std::vector<RenderSegment> segments;
+  /// The verdict and critical_piece cells take a handful of values per
+  /// run; their full cell bytes (column prefix included) are cached so
+  /// the hot loop appends them verbatim instead of allocating a verdict
+  /// string and re-deciding quoting per cell. verdict_tokens is indexed
+  /// by the Stability enum value; critical_tokens by critical_piece + 1
+  /// (so -1, the gamma <= mu branch, is slot 0).
+  std::string verdict_tokens[3];
+  std::vector<std::string> critical_tokens;
+  std::string const_tail;
+  std::size_t const_tail_cells = 0;
+};
+
+GridRenderPlan make_grid_render_plan(const SweepGrid& effective,
+                                     const AxisSlots& slots,
+                                     const SweepOptions& options,
+                                     const ReportWriter& writer) {
+  GridRenderPlan plan{RowRenderer(writer.format(), writer.columns()),
+                      slots,
+                      {},
+                      {},
+                      {},
+                      {},
+                      {},
+                      0};
+  plan.axis_tokens.resize(effective.axes.size());
+  int max_k = 1;
+  for (std::size_t i = 0; i < effective.axes.size(); ++i) {
+    plan.axis_tokens[i].reserve(effective.axes[i].values.size());
+    for (const double v : effective.axes[i].values) {
+      double cell_value = v;
+      if (i == slots.k) {
+        cell_value = static_cast<double>(std::lround(v));
+        max_k = std::max(max_k, static_cast<int>(std::lround(v)));
+      }
+      if (i == slots.flash) {
+        cell_value = static_cast<double>(std::llround(v));
+      }
+      plan.axis_tokens[i].push_back(format_number(cell_value));
+    }
+  }
+  // Cache the low-cardinality cells' full bytes by rendering each
+  // candidate value through the real Row path at its real column
+  // position (so the cached bytes can never drift from what text() /
+  // number() would emit): the verdict strings, every critical_piece the
+  // grid's K values allow, and — in a theory-only sweep with the CTMC
+  // column disabled — the constant 8-cell sim tail (replicas = 0 and
+  // seven NaNs) every row shares.
+  const std::size_t num_columns = plan.renderer.num_columns();
+  const auto cache_cells = [&](std::size_t column, std::size_t count,
+                               const auto& emit) {
+    std::string scratch;
+    RowRenderer::Row row(plan.renderer, scratch);
+    for (std::size_t c = 0; c < column; ++c) row.number(0);
+    const std::size_t mark = scratch.size();
+    emit(row);
+    std::string bytes = scratch.substr(mark);
+    for (std::size_t c = column + count; c < num_columns; ++c) row.number(0);
+    row.end();
+    return bytes;
+  };
+  const std::size_t verdict_column = num_columns - 11;  // see kSweepTail
+  for (const Stability v : {Stability::kPositiveRecurrent,
+                            Stability::kTransient, Stability::kBorderline}) {
+    plan.verdict_tokens[static_cast<int>(v)] = cache_cells(
+        verdict_column, 1,
+        [&](RowRenderer::Row& row) { row.text(to_string(v)); });
+  }
+  for (int piece = -1; piece < max_k; ++piece) {
+    plan.critical_tokens.push_back(
+        cache_cells(verdict_column + 2, 1,
+                    [&](RowRenderer::Row& row) { row.number(piece); }));
+  }
+  if (options.theory_only && options.ctmc_max_peers <= 0) {
+    plan.const_tail =
+        cache_cells(num_columns - 8, 8, [&](RowRenderer::Row& row) {
+          row.number(0);  // replicas
+          for (int c = 0; c < 7; ++c) row.number(std::nan(""));
+        });
+    plan.const_tail_cells = 8;
+  }
+  // Collapse maximal runs of single-valued axis columns (columns 1..9,
+  // after the index) into one pre-rendered span each; varying axes stay
+  // per-digit token lookups.
+  const std::size_t order[9] = {slots.lambda, slots.us,  slots.mu,
+                                slots.gamma,  slots.k,   slots.eta,
+                                slots.flash,  slots.mix, slots.hetero};
+  for (std::size_t j = 0; j < 9;) {
+    if (effective.axes[order[j]].values.size() != 1) {
+      plan.segments.push_back({order[j], 0, {}});
+      ++j;
+      continue;
+    }
+    std::size_t len = 1;
+    while (j + len < 9 && effective.axes[order[j + len]].values.size() == 1) {
+      ++len;
+    }
+    std::string bytes =
+        cache_cells(1 + j, len, [&](RowRenderer::Row& row) {
+          for (std::size_t t = 0; t < len; ++t) {
+            row.preformatted_number(plan.axis_tokens[order[j + t]][0]);
+          }
+        });
+    plan.segments.push_back({0, len, std::move(bytes)});
+    j += len;
+  }
+  return plan;
+}
+
+/// Renders one finished cell into `arena` — the worker-side twin of
+/// sweep_row + write_row. MIRRORS sweep_row CELL FOR CELL: any column
+/// added or reordered there must land here too, or the worker-rendered
+/// bytes drift from the Table emitters (the byte-identity suite in
+/// tests/test_sweep_stream.cpp is the tripwire).
+void render_grid_row(const GridRenderPlan& plan, const SweepOptions& options,
+                     const std::vector<std::size_t>& digits,
+                     const CellResult& c, std::string& arena) {
+  RowRenderer::Row row(plan.renderer, arena);
+  // Integer fast path for the cell index: for an integer below 2^53
+  // that is not a multiple of 10, its plain decimal digits ARE
+  // format_number's output — integers there are exactly representable
+  // and >= 1 apart, so no shorter decimal round-trips, and scientific
+  // needs every significant digit plus "e+NN", strictly longer. (A
+  // trailing zero can flip that: format_number(1e5) is "1e+05", so
+  // multiples of 10 take the double path.)
+  if (c.index < (std::uint64_t{1} << 53) &&
+      (c.index == 0 || c.index % 10 != 0)) {
+    char buf[20];
+    const auto res = std::to_chars(buf, buf + sizeof(buf), c.index);
+    row.preformatted_number(
+        std::string_view(buf, static_cast<std::size_t>(res.ptr - buf)));
+  } else {
+    row.number(static_cast<double>(c.index));
+  }
+  // The nine axis cells (lambda, us, mu, gamma, k, eta, flash, mix,
+  // hetero, in that order) — pinned axes come pre-merged into verbatim
+  // spans by make_grid_render_plan.
+  for (const GridRenderPlan::RenderSegment& seg : plan.segments) {
+    if (seg.cells > 0) {
+      row.cells_verbatim(seg.bytes, seg.cells);
+    } else {
+      row.preformatted_number(plan.axis_tokens[seg.axis][digits[seg.axis]]);
+    }
+  }
+  if (!options.scenario.empty()) {
+    row.number((1.0 - c.mix) * c.lambda);
+    for (const auto& a : options.scenario.mix) {
+      row.number(c.mix * c.lambda * a.rate);
+    }
+  }
+  row.cells_verbatim(plan.verdict_tokens[static_cast<int>(c.theory.verdict)],
+                     1);
+  row.number(c.theory.margin);
+  row.cells_verbatim(
+      plan.critical_tokens[static_cast<std::size_t>(c.theory.critical_piece +
+                                                    1)],
+      1);
+  if (plan.const_tail_cells > 0) {
+    row.cells_verbatim(plan.const_tail, plan.const_tail_cells);
+  } else {
+    row.number(c.sim.replicas);
+    row.number(c.sim.final_peers_mean);
+    row.number(c.sim.mean_peers_mean);
+    row.number(c.sim.mean_sojourn);
+    row.number(c.sim.mean_peers_sem);
+    row.number(c.sim.mean_peers_lo);
+    row.number(c.sim.mean_peers_hi);
+    row.number(c.ctmc_mean_peers);
+  }
+  row.end();
 }
 
 /// Chunk, claim-window and ring sizing shared by the grid and frontier
@@ -359,15 +660,53 @@ RingPlan plan_rings(std::size_t num_items, std::size_t replicas,
   return plan;
 }
 
+/// One ring slot of in-flight cell state. `pending` is the replica
+/// countdown that elects the slot's aggregator/renderer: every worker
+/// block that finishes items of the cell decrements by the number it
+/// finished, and the decrement that reaches zero (an acq_rel RMW, so it
+/// observes every earlier finisher's writes through the release
+/// sequence) aggregates the samples and renders the row. The consumer
+/// re-arms `pending` with a relaxed store — safe because the pool opens
+/// the claim window past a prefix only after on_prefix returns, so no
+/// worker can touch the slot concurrently, and the hand-back is ordered
+/// by the pool mutex.
+struct CellSlot {
+  CellResult result;
+  std::string arena;
+  std::atomic<std::size_t> pending{0};
+};
+
+/// One ring slot of the chunk-batched writer path (replicas == 1): the
+/// finished block's rendered bytes plus its verdict tallies. With one
+/// item per cell a claimed block is completed entirely by its worker,
+/// so the whole chunk's rows can share one arena and the consumer pays
+/// one write_rendered — and one ring access — per CHUNK instead of per
+/// cell. Reuse safety is the claim window again: a chunk index is only
+/// claimable within window_chunks of the consumed prefix, and the ring
+/// is larger than the window.
+struct ChunkSlot {
+  std::string arena;
+  std::size_t rows = 0;
+  std::size_t stable = 0, transient = 0, borderline = 0;
+};
+
 /// The shared sweep pipeline behind run_sweep and run_sweep_stream:
 /// validates, expands the grid, fans the (cell, replica) items across
-/// the pool in chunks, and calls `sink` with each finished cell in index
+/// the pool in chunk-sized blocks, and emits each finished cell in index
 /// order as soon as every cell before it is complete. Live state is a
-/// ring of O(window) items — the sink decides whether cells are retained
-/// (run_sweep) or emitted and dropped (run_sweep_stream).
-SweepSummary sweep_cells_ordered(
-    const SweepGrid& grid, const SweepOptions& options,
-    const std::function<void(CellResult&&)>& sink) {
+/// ring of O(window) items.
+///
+/// Exactly one of `sink` / `writer` is non-null. With a writer, the
+/// cell's report row is rendered INSIDE the worker that finishes it
+/// (into the slot's reusable arena), and the consumer thread only
+/// concatenates finished spans into the writer — formatting scales with
+/// the pool instead of serializing on the consumer. With a sink, the
+/// CellResult is handed over unrendered (run_sweep keeps the structs).
+SweepSummary sweep_cells_ordered(const SweepGrid& grid,
+                                 const SweepOptions& options,
+                                 const std::function<void(CellResult&&)>* sink,
+                                 ReportWriter* writer) {
+  P2P_ASSERT((sink != nullptr) != (writer != nullptr));
   validate_caller_axes(grid);
   validate_options(options);
   const SweepGrid effective = effective_grid(grid);
@@ -386,49 +725,167 @@ SweepSummary sweep_cells_ordered(
 
   const RingPlan plan = plan_rings(num_items, replicas, options);
   const std::size_t ring_items = plan.ring_items;
-  const std::size_t cell_ring = plan.block_ring;
+  // The slot ring is rounded up to a power of two so the per-cell slot
+  // lookup is a mask, not a division — the ring only ever grows, so the
+  // reuse-safety argument (claim window opens after the consumer) is
+  // unchanged.
+  std::size_t cell_ring = 1;
+  while (cell_ring < plan.block_ring) cell_ring *= 2;
+  const std::size_t slot_mask = cell_ring - 1;
 
-  std::vector<ReplicaSample> samples(options.theory_only ? 0 : ring_items);
-  std::vector<CellResult> cells(cell_ring);
+  // With one item per cell and a writer, a claimed block is finished
+  // entirely by one worker, so the pipeline batches whole chunks: each
+  // block renders into its chunk's arena and the ring carries
+  // (range, bytes) instead of per-cell structs.
+  const bool chunk_mode = writer != nullptr && replicas == 1;
+  std::size_t chunk_ring = 1;
+  if (chunk_mode) {
+    const std::size_t window_chunks = plan.window / plan.chunk;
+    while (chunk_ring < window_chunks + 2) chunk_ring *= 2;
+  }
+  const std::size_t chunk_mask = chunk_ring - 1;
+  std::vector<ChunkSlot> chunk_slots(chunk_mode ? chunk_ring : 0);
+
+  std::vector<ReplicaSample> samples(
+      options.theory_only || chunk_mode ? 0 : ring_items);
+  std::vector<CellSlot> slots(chunk_mode ? 0 : cell_ring);
+  if (replicas > 1) {
+    for (auto& slot : slots) {
+      slot.pending.store(replicas, std::memory_order_relaxed);
+    }
+  }
+
+  const AxisSlots axis_slots = resolve_axis_slots(effective);
+  std::optional<GridRenderPlan> render;
+  if (writer != nullptr) {
+    render.emplace(
+        make_grid_render_plan(effective, axis_slots, options, *writer));
+  }
 
   SweepSummary summary;
   summary.cells = num_cells;
   std::size_t emitted = 0;
 
   ThreadPool pool(options.threads);
-  pool.parallel_for_streaming(
+  pool.parallel_for_streaming_blocks(
       num_items, plan.chunk, plan.window,
-      [&](std::size_t item) {
-        const std::size_t cell = item / replicas;
-        const std::size_t replica = item % replicas;
-        const std::vector<double> values = effective.cell_values(cell);
-        const CellParams p = extract_params(effective.axes, values);
-        if (replica == 0) {
-          fill_cell(cells[cell % cell_ring], cell, p, options);
+      [&](std::size_t begin, std::size_t end) {
+        // One claimed block: walk its cells with an odometer cursor and
+        // a reused arrival buffer — the per-item work is rounding, the
+        // closed form, and (in replica mode) the simulations; nothing
+        // here allocates per cell in the theory-only path.
+        CellCursor cursor(effective);
+        cursor.seek(begin / replicas);
+        std::vector<ArrivalSpec> arrival_scratch;
+        if (chunk_mode) {
+          // Chunk-batched path: one local CellResult reused across the
+          // block's cells, rows appended to the chunk's arena, verdicts
+          // tallied into the chunk slot (the sums are order-free, so
+          // the totals stay deterministic).
+          ChunkSlot& cslot = chunk_slots[(begin / plan.chunk) & chunk_mask];
+          cslot.arena.clear();
+          cslot.rows = end - begin;
+          cslot.stable = cslot.transient = cslot.borderline = 0;
+          CellResult result;
+          for (std::size_t cell = begin; cell < end; ++cell) {
+            const CellParams p = cell_params(axis_slots, cursor.values());
+            fill_cell(result, cell, p, options, arrival_scratch);
+            if (!options.theory_only) {
+              const ReplicaSample sample = simulate_replica(
+                  p, options,
+                  derive_seed(options.base_seed, kStreamCellSim, cell, 0));
+              Rng agg_rng(
+                  derive_seed(options.base_seed, kStreamCellAgg, cell, 0));
+              result.sim = aggregate_samples(
+                  std::span<const ReplicaSample>(&sample, 1), options,
+                  agg_rng);
+            }
+            switch (result.theory.verdict) {
+              case Stability::kPositiveRecurrent:
+                ++cslot.stable;
+                break;
+              case Stability::kTransient:
+                ++cslot.transient;
+                break;
+              case Stability::kBorderline:
+                ++cslot.borderline;
+                break;
+            }
+            render_grid_row(*render, options, cursor.digits(), result,
+                            cslot.arena);
+            if (cell + 1 < end) cursor.advance();
+          }
+          return;
         }
-        if (!options.theory_only) {
-          samples[item % ring_items] = simulate_replica(
-              p, options,
-              derive_seed(options.base_seed, kStreamCellSim, cell, replica));
+        // single = the one-replica shape: item == cell, so the per-cell
+        // loop below runs no division at all.
+        const bool single = replicas == 1;
+        std::size_t item = begin;
+        while (item < end) {
+          const std::size_t cell = single ? item : item / replicas;
+          const std::size_t cell_end =
+              single ? item + 1 : std::min(end, (cell + 1) * replicas);
+          CellSlot& slot = slots[cell & slot_mask];
+          const CellParams p = cell_params(axis_slots, cursor.values());
+          if (single || item % replicas == 0) {
+            fill_cell(slot.result, cell, p, options, arrival_scratch);
+          }
+          if (!options.theory_only) {
+            for (std::size_t it = item; it < cell_end; ++it) {
+              samples[it % ring_items] = simulate_replica(
+                  p, options,
+                  derive_seed(options.base_seed, kStreamCellSim, cell,
+                              it % replicas));
+            }
+          }
+          // The finisher that completes the cell (with one replica:
+          // always this block) aggregates and renders it, on whatever
+          // worker thread it ran — seeds and formatting depend only on
+          // the cell index, so the bytes cannot.
+          const std::size_t done = cell_end - item;
+          const bool last =
+              single ||
+              slot.pending.fetch_sub(done, std::memory_order_acq_rel) == done;
+          if (last) {
+            if (!options.theory_only) {
+              Rng agg_rng(
+                  derive_seed(options.base_seed, kStreamCellAgg, cell, 0));
+              slot.result.sim = aggregate_samples(
+                  std::span<const ReplicaSample>(
+                      samples.data() + (cell * replicas) % ring_items,
+                      replicas),
+                  options, agg_rng);
+            }
+            if (render) {
+              slot.arena.clear();
+              render_grid_row(*render, options, cursor.digits(), slot.result,
+                              slot.arena);
+            }
+          }
+          item = cell_end;
+          if (item < end) cursor.advance();
         }
       },
       [&](std::size_t prefix_items) {
-        // Aggregation and emission run serially on the calling thread in
-        // cell order; the bootstrap RNG is derived per cell, so the
-        // output never depends on scheduling.
+        // The consumer runs serially on the calling thread in cell
+        // order; with a writer it only tallies verdicts and concatenates
+        // the pre-rendered spans — one span per chunk in chunk mode.
+        if (chunk_mode) {
+          while (emitted < prefix_items) {
+            ChunkSlot& cslot =
+                chunk_slots[(emitted / plan.chunk) & chunk_mask];
+            writer->write_rendered(cslot.arena, cslot.rows);
+            summary.stable += cslot.stable;
+            summary.transient += cslot.transient;
+            summary.borderline += cslot.borderline;
+            emitted += cslot.rows;
+          }
+          return;
+        }
         const std::size_t complete_cells = prefix_items / replicas;
         for (; emitted < complete_cells; ++emitted) {
-          CellResult& r = cells[emitted % cell_ring];
-          if (!options.theory_only) {
-            Rng agg_rng(
-                derive_seed(options.base_seed, kStreamCellAgg, emitted, 0));
-            r.sim = aggregate_samples(
-                std::span<const ReplicaSample>(
-                    samples.data() + (emitted * replicas) % ring_items,
-                    replicas),
-                options, agg_rng);
-          }
-          switch (r.theory.verdict) {
+          CellSlot& slot = slots[emitted & slot_mask];
+          switch (slot.result.theory.verdict) {
             case Stability::kPositiveRecurrent:
               ++summary.stable;
               break;
@@ -439,7 +896,14 @@ SweepSummary sweep_cells_ordered(
               ++summary.borderline;
               break;
           }
-          sink(std::move(r));
+          if (writer != nullptr) {
+            writer->write_rendered(slot.arena, 1);
+          } else {
+            (*sink)(std::move(slot.result));
+          }
+          if (replicas > 1) {
+            slot.pending.store(replicas, std::memory_order_relaxed);
+          }
         }
       });
   return summary;
@@ -576,9 +1040,10 @@ SweepGrid default_region_grid() {
 SweepResult run_sweep(const SweepGrid& grid, const SweepOptions& options) {
   SweepResult result;
   result.options = options;
-  sweep_cells_ordered(grid, options, [&](CellResult&& cell) {
+  const std::function<void(CellResult&&)> sink = [&](CellResult&& cell) {
     result.cells.push_back(std::move(cell));
-  });
+  };
+  sweep_cells_ordered(grid, options, &sink, nullptr);
   result.grid = effective_grid(grid);
   return result;
 }
@@ -589,9 +1054,7 @@ SweepSummary run_sweep_stream(const SweepGrid& grid,
   P2P_ASSERT_MSG(writer.columns() == sweep_columns(options),
                  "run_sweep_stream writer must be built with "
                  "sweep_columns(options)");
-  return sweep_cells_ordered(grid, options, [&](CellResult&& cell) {
-    writer.write_row(sweep_row(cell, options));
-  });
+  return sweep_cells_ordered(grid, options, nullptr, &writer);
 }
 
 namespace {
@@ -781,24 +1244,73 @@ FrontierPoint bisect_row(const SweepGrid& rows, std::size_t row,
   return pt;
 }
 
+/// One ring slot of in-flight frontier state; see CellSlot for the
+/// `pending` countdown and re-arm protocol.
+struct FrontierSlot {
+  FrontierPoint point;
+  std::string arena;
+  std::atomic<std::size_t> pending{0};
+};
+
+/// Renders one localized frontier point into `arena` — the worker-side
+/// twin of frontier_row + write_row. MIRRORS frontier_row CELL FOR
+/// CELL; see render_grid_row's note.
+void render_frontier_row(const RowRenderer& renderer,
+                         const FrontierPoint& pt, const RefineOptions& refine,
+                         const SweepOptions& options, std::string& arena) {
+  RowRenderer::Row row(renderer, arena);
+  row.number(static_cast<double>(pt.row));
+  row.text(refine.axis);
+  row.number(pt.bracketed ? 1 : 0);
+  row.number(pt.value);
+  row.number(pt.value_lo);
+  row.number(pt.value_hi);
+  row.number(pt.margin);
+  row.number(pt.params.lambda);
+  row.number(pt.params.us);
+  row.number(pt.params.mu);
+  row.number(pt.params.gamma);
+  row.number(pt.params.k);
+  row.number(pt.params.eta);
+  row.number(static_cast<double>(pt.params.flash));
+  row.number(pt.params.mix);
+  row.number(pt.params.hetero);
+  if (!options.scenario.empty()) {
+    row.number((1.0 - pt.params.mix) * pt.params.lambda);
+    for (const auto& a : options.scenario.mix) {
+      row.number(pt.params.mix * pt.params.lambda * a.rate);
+    }
+  }
+  row.number(pt.sim.replicas);
+  row.number(pt.sim.mean_peers_mean);
+  row.number(pt.sim.mean_peers_sem);
+  row.number(pt.sim.mean_peers_lo);
+  row.number(pt.sim.mean_peers_hi);
+  row.end();
+}
+
 /// The shared frontier pipeline behind refine_frontier and
 /// run_frontier_stream: validates, fans the (row, replica) items across
-/// the pool in chunks, and calls `sink` with each localized point in
-/// row order as soon as every row before it is complete. Every item
-/// re-runs its row's closed-form bisection instead of publishing it
-/// across items: the bisection is a deterministic handful of classify()
-/// calls, cheap next to one replica simulation, and recomputing it
-/// keeps the live state a ring of O(chunk * threads) items with no
-/// cross-item synchronization. Unbracketed rows skip the simulation
-/// entirely. Seeds key on the row index, so adding an unbracketed row
-/// elsewhere in the grid never shifts another row's streams — and the
-/// emitted numbers match the retained-points emitter of PRs 2/3
-/// bit-exactly.
+/// the pool in chunk-sized blocks, and emits each localized point in
+/// row order as soon as every row before it is complete. Each block
+/// re-runs the closed-form bisection once per row it touches instead of
+/// publishing it across blocks: the bisection is a deterministic
+/// handful of classify() calls, cheap next to one replica simulation,
+/// and recomputing it keeps the live state a ring of O(chunk * threads)
+/// items with no cross-item synchronization. Unbracketed rows skip the
+/// simulation entirely. Seeds key on the row index, so adding an
+/// unbracketed row elsewhere in the grid never shifts another row's
+/// streams — and the emitted numbers match the retained-points emitter
+/// of PRs 2/3 bit-exactly.
+///
+/// Exactly one of `sink` / `writer` is non-null; with a writer the row
+/// bytes are rendered by the finishing worker, as in the grid pipeline.
 FrontierSummary frontier_points_ordered(
     const SweepGrid& grid, const SweepOptions& options,
     const RefineOptions& refine,
-    const std::function<void(FrontierPoint&&)>& sink,
+    const std::function<void(FrontierPoint&&)>* sink, ReportWriter* writer,
     SweepGrid* effective_out = nullptr) {
+  P2P_ASSERT((sink != nullptr) != (writer != nullptr));
   validate_caller_axes(grid);
   validate_options(options);
   const SweepGrid effective = effective_grid(grid);
@@ -834,48 +1346,81 @@ FrontierSummary frontier_points_ordered(
 
   const RingPlan plan = plan_rings(num_items, replicas, options);
   std::vector<ReplicaSample> samples(plan.ring_items);
-  std::vector<FrontierPoint> points(plan.block_ring);
+  std::vector<FrontierSlot> slots(plan.block_ring);
+  if (replicas > 1) {
+    for (auto& slot : slots) {
+      slot.pending.store(replicas, std::memory_order_relaxed);
+    }
+  }
+
+  std::optional<RowRenderer> renderer;
+  if (writer != nullptr) {
+    renderer.emplace(writer->format(), writer->columns());
+  }
 
   FrontierSummary summary;
   summary.rows = num_rows;
   std::size_t emitted = 0;
 
   ThreadPool pool(options.threads);
-  pool.parallel_for_streaming(
+  pool.parallel_for_streaming_blocks(
       num_items, plan.chunk, plan.window,
-      [&](std::size_t item) {
-        const std::size_t row = item / replicas;
-        const std::size_t replica = item % replicas;
-        FrontierPoint pt =
-            bisect_row(rows, row, *refined, refine, options.scenario);
-        const bool bracketed = pt.bracketed;
-        const CellParams params = pt.params;
-        if (replica == 0) points[row % points.size()] = std::move(pt);
-        if (bracketed) {
-          samples[item % plan.ring_items] = simulate_replica(
-              params, options,
-              derive_seed(options.base_seed, kStreamFrontierSim, row,
-                          replica));
+      [&](std::size_t begin, std::size_t end) {
+        std::size_t item = begin;
+        while (item < end) {
+          const std::size_t row = item / replicas;
+          const std::size_t row_end = std::min(end, (row + 1) * replicas);
+          FrontierSlot& slot = slots[row % slots.size()];
+          FrontierPoint pt =
+              bisect_row(rows, row, *refined, refine, options.scenario);
+          if (item % replicas == 0) slot.point = pt;
+          if (pt.bracketed) {
+            for (std::size_t it = item; it < row_end; ++it) {
+              samples[it % plan.ring_items] = simulate_replica(
+                  pt.params, options,
+                  derive_seed(options.base_seed, kStreamFrontierSim, row,
+                              it % replicas));
+            }
+          }
+          const std::size_t done = row_end - item;
+          const bool last =
+              replicas == 1 ||
+              slot.pending.fetch_sub(done, std::memory_order_acq_rel) == done;
+          if (last) {
+            if (pt.bracketed) {
+              Rng agg_rng(derive_seed(options.base_seed, kStreamFrontierAgg,
+                                      row, 0));
+              slot.point.sim = aggregate_samples(
+                  std::span<const ReplicaSample>(
+                      samples.data() + (row * replicas) % plan.ring_items,
+                      replicas),
+                  options, agg_rng);
+              pt.sim = slot.point.sim;
+            }
+            if (renderer) {
+              slot.arena.clear();
+              render_frontier_row(*renderer, pt, refine, options, slot.arena);
+            }
+          }
+          item = row_end;
         }
       },
       [&](std::size_t prefix_items) {
-        // Aggregation and emission run serially on the calling thread in
-        // row order; the bootstrap RNG is derived per row, so the output
-        // never depends on scheduling.
+        // The consumer runs serially on the calling thread in row order;
+        // with a writer it only tallies brackets and concatenates the
+        // pre-rendered spans.
         const std::size_t complete_rows = prefix_items / replicas;
         for (; emitted < complete_rows; ++emitted) {
-          FrontierPoint& pt = points[emitted % points.size()];
-          if (pt.bracketed) {
-            Rng agg_rng(derive_seed(options.base_seed, kStreamFrontierAgg,
-                                    emitted, 0));
-            pt.sim = aggregate_samples(
-                std::span<const ReplicaSample>(
-                    samples.data() + (emitted * replicas) % plan.ring_items,
-                    replicas),
-                options, agg_rng);
-            ++summary.bracketed;
+          FrontierSlot& slot = slots[emitted % slots.size()];
+          if (slot.point.bracketed) ++summary.bracketed;
+          if (writer != nullptr) {
+            writer->write_rendered(slot.arena, 1);
+          } else {
+            (*sink)(std::move(slot.point));
           }
-          sink(std::move(pt));
+          if (replicas > 1) {
+            slot.pending.store(replicas, std::memory_order_relaxed);
+          }
         }
       });
   return summary;
@@ -889,10 +1434,11 @@ FrontierResult refine_frontier(const SweepGrid& grid,
   FrontierResult result;
   result.refine = refine;
   result.options = options;
-  frontier_points_ordered(
-      grid, options, refine,
-      [&](FrontierPoint&& pt) { result.points.push_back(std::move(pt)); },
-      &result.grid);
+  const std::function<void(FrontierPoint&&)> sink = [&](FrontierPoint&& pt) {
+    result.points.push_back(std::move(pt));
+  };
+  frontier_points_ordered(grid, options, refine, &sink, nullptr,
+                          &result.grid);
   return result;
 }
 
@@ -903,10 +1449,7 @@ FrontierSummary run_frontier_stream(const SweepGrid& grid,
   P2P_ASSERT_MSG(writer.columns() == frontier_columns(options),
                  "run_frontier_stream writer must be built with "
                  "frontier_columns(options)");
-  return frontier_points_ordered(
-      grid, options, refine, [&](FrontierPoint&& pt) {
-        writer.write_row(frontier_row(pt, refine, options));
-      });
+  return frontier_points_ordered(grid, options, refine, nullptr, &writer);
 }
 
 std::vector<std::string> frontier_columns(const SweepOptions& options) {

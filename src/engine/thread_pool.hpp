@@ -85,7 +85,8 @@ class ThreadPool {
   void parallel_for(std::size_t n,
                     const std::function<void(std::size_t)>& fn,
                     std::size_t chunk = 1) {
-    run_job(n, chunk, /*window=*/0, fn, nullptr);
+    const BlockFn block = item_block(fn);
+    run_job(n, chunk, /*window=*/0, block, nullptr);
   }
 
   /// Like parallel_for, but streams completion to the caller: whenever
@@ -100,12 +101,74 @@ class ThreadPool {
                               std::size_t window,
                               const std::function<void(std::size_t)>& fn,
                               const std::function<void(std::size_t)>& on_prefix) {
-    run_job(n, chunk, window, fn, &on_prefix);
+    const BlockFn block = item_block(fn);
+    run_job(n, chunk, window, block, &on_prefix);
+  }
+
+  /// Like parallel_for_streaming, but each claimed chunk is handed to
+  /// block_fn as one half-open index range [begin, end) instead of one
+  /// index at a time. A worker that processes a whole contiguous block
+  /// can hoist per-chunk setup — grid odometers, cached axis values,
+  /// arena reservations — out of the per-item loop, which is what lets
+  /// the sweep engine render rows at memcpy speed. Same claiming,
+  /// windowing, prefix and must-not-throw contracts as
+  /// parallel_for_streaming.
+  void parallel_for_streaming_blocks(
+      std::size_t n, std::size_t chunk, std::size_t window,
+      const std::function<void(std::size_t, std::size_t)>& block_fn,
+      const std::function<void(std::size_t)>& on_prefix) {
+    const BlockFn block = guarded_block(block_fn);
+    run_job(n, chunk, window, block, &on_prefix);
   }
 
  private:
+  /// Jobs run chunk-at-a-time internally; the per-item entry points wrap
+  /// their fn in a range loop.
+  using BlockFn = std::function<void(std::size_t, std::size_t)>;
+
+  /// The per-item loop with the index-naming throw guard the per-item
+  /// API documents.
+  static BlockFn item_block(const std::function<void(std::size_t)>& fn) {
+    return [&fn](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) {
+        // fn must not throw: an exception cannot be matched back to its
+        // item by the caller, and unwinding through the pool would
+        // std::terminate inside libstdc++ with no index in sight. Turn
+        // it into an assert that names the item.
+        try {
+          fn(i);
+        } catch (const std::exception& e) {
+          P2P_ASSERT_MSG(false, "parallel_for fn threw at index " +
+                                    std::to_string(i) + ": " + e.what());
+        } catch (...) {
+          P2P_ASSERT_MSG(false, "parallel_for fn threw at index " +
+                                    std::to_string(i));
+        }
+      }
+    };
+  }
+
+  /// The range-naming throw guard for the block API.
+  static BlockFn guarded_block(const BlockFn& fn) {
+    return [&fn](std::size_t begin, std::size_t end) {
+      const auto range = [begin, end] {
+        return "[" + std::to_string(begin) + ", " + std::to_string(end) +
+               ")";
+      };
+      try {
+        fn(begin, end);
+      } catch (const std::exception& e) {
+        P2P_ASSERT_MSG(false, "parallel_for block fn threw in range " +
+                                  range() + ": " + e.what());
+      } catch (...) {
+        P2P_ASSERT_MSG(false,
+                       "parallel_for block fn threw in range " + range());
+      }
+    };
+  }
+
   void run_job(std::size_t n, std::size_t chunk, std::size_t window,
-               const std::function<void(std::size_t)>& fn,
+               const BlockFn& fn,
                const std::function<void(std::size_t)>* on_prefix) {
     if (n == 0) return;
     if (chunk == 0) chunk = auto_chunk(n, size());
@@ -186,7 +249,7 @@ class ThreadPool {
   /// nothing is claimable (job exhausted or window-stalled). The caller
   /// is woken once per chunk that can matter to it, never per item.
   bool run_one_chunk() {
-    const std::function<void(std::size_t)>* fn = nullptr;
+    const BlockFn* fn = nullptr;
     std::size_t begin = 0, end = 0;
     {
       std::lock_guard<std::mutex> lock(mutex_);
@@ -196,21 +259,9 @@ class ThreadPool {
       end = std::min(begin + chunk_, job_n_);
       next_ = end;
     }
-    for (std::size_t i = begin; i < end; ++i) {
-      // fn must not throw: an exception cannot be matched back to its
-      // item by the caller, and unwinding through the pool would
-      // std::terminate inside libstdc++ with no index in sight. Turn it
-      // into an assert that names the item.
-      try {
-        (*fn)(i);
-      } catch (const std::exception& e) {
-        P2P_ASSERT_MSG(false, "parallel_for fn threw at index " +
-                                  std::to_string(i) + ": " + e.what());
-      } catch (...) {
-        P2P_ASSERT_MSG(false,
-                       "parallel_for fn threw at index " + std::to_string(i));
-      }
-    }
+    // The throw guards (item_block / guarded_block) are baked into fn by
+    // the entry points, so this call never unwinds.
+    (*fn)(begin, end);
     bool notify = false;
     {
       std::lock_guard<std::mutex> lock(mutex_);
@@ -259,7 +310,7 @@ class ThreadPool {
   std::condition_variable job_cv_;
   std::condition_variable done_cv_;
   std::vector<std::thread> workers_;
-  const std::function<void(std::size_t)>* job_fn_ = nullptr;
+  const BlockFn* job_fn_ = nullptr;
   std::size_t job_n_ = 0;
   std::size_t chunk_ = 1;
   std::size_t next_ = 0;

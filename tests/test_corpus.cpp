@@ -207,6 +207,74 @@ TEST(Corpus, ArchivedFrontierPointsRederiveFromTheirRows) {
   EXPECT_GE(checked, 10u);  // the two archived frontiers alone carry 10
 }
 
+std::string file_bytes(const std::string& path) {
+  std::string text;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr) << path;
+  if (f == nullptr) return text;
+  char buf[4096];
+  std::size_t got = 0;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, got);
+  std::fclose(f);
+  return text;
+}
+
+TEST(Corpus, ArchivedReportsRegenerateByteIdentically) {
+  // The archives are not merely re-derivable — the engine must still
+  // EMIT them, byte for byte, at any thread count and chunk size. This
+  // is the whole-pipeline determinism contract (worker-side rendering
+  // included) run against the two cheapest archives; EXPERIMENTS.md
+  // records the generating commands these options mirror.
+  const std::string dir = P2P_EXPERIMENTS_DIR;
+  {
+    // p2p_sweep --grid "lambda=0.5:3.0:48;us=0.2:1.7:48" --theory-only
+    const SweepGrid grid =
+        parse_grid("lambda=0.5:3.0:48;us=0.2:1.7:48");
+    SweepOptions options;
+    options.theory_only = true;
+    const std::string archived = file_bytes(dir + "/region_theory.csv");
+    for (const int threads : {1, 2, 8}) {
+      for (const std::size_t chunk : {std::size_t{7}, std::size_t{0}}) {
+        options.threads = threads;
+        options.chunk = chunk;
+        std::string out;
+        ReportWriter writer(&out, ReportFormat::kCsv,
+                            sweep_columns(options));
+        run_sweep_stream(grid, options, writer);
+        writer.finish();
+        EXPECT_EQ(out, archived)
+            << "threads " << threads << " chunk " << chunk;
+      }
+    }
+  }
+  {
+    // p2p_sweep --mix example2:3,1
+    //   --grid "us=1;mu=1;gamma=inf;mix=0:1:5;lambda=0.6:3.0:9"
+    //   --replicas 4 --warmup 100 --horizon 400
+    SweepGrid grid =
+        parse_grid("us=1;mu=1;gamma=inf;mix=0:1:5;lambda=0.6:3.0:9");
+    SweepOptions options;
+    options.scenario = parse_scenario("example2:3,1");
+    // The CLI pins the k axis to the scenario's piece count when the
+    // grid does not name one.
+    grid.set_axis(
+        Axis{"k", {static_cast<double>(options.scenario.num_pieces)}});
+    options.replicas = 4;
+    options.warmup = 100;
+    options.horizon = 400;
+    const std::string archived =
+        file_bytes(dir + "/mix_example2_region.csv");
+    for (const int threads : {1, 8}) {
+      options.threads = threads;
+      std::string out;
+      ReportWriter writer(&out, ReportFormat::kCsv, sweep_columns(options));
+      run_sweep_stream(grid, options, writer);
+      writer.finish();
+      EXPECT_EQ(out, archived) << "threads " << threads;
+    }
+  }
+}
+
 TEST(Corpus, RegionGridReproducesItsArchivedFrontier) {
   // The acceptance pairing: extract_frontier over the archived
   // mix_example2 region reproduces the separately archived frontier

@@ -39,10 +39,18 @@ TEST(ParseReportNumber, InvertsFormatNumber) {
                            6.02214076e23,
                            std::nextafter(1.0, 2.0)};
   for (const double v : values) {
-    const double parsed = parse_report_number(format_number(v), "test");
+    // Round-trip through the appending formatter the worker-side row
+    // renderer uses (format_number is a thin wrapper over it), with a
+    // nonempty prefix so an accidental clear() would be caught.
+    std::string token = "x";
+    format_number_into(token, v);
+    ASSERT_EQ(token.substr(0, 1), "x");
+    token.erase(0, 1);
+    EXPECT_EQ(token, format_number(v));
+    const double parsed = parse_report_number(token, "test");
     EXPECT_EQ(std::bit_cast<std::uint64_t>(parsed),
               std::bit_cast<std::uint64_t>(v))
-        << format_number(v);
+        << token;
   }
   EXPECT_TRUE(std::isnan(parse_report_number("nan", "test")));
   EXPECT_EQ(parse_report_number("inf", "test"),

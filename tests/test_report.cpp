@@ -276,5 +276,139 @@ TEST(ReportWriter, AbortingProducerLeavesExistingFileUntouched) {
   std::remove(path.c_str());
 }
 
+// --- RowRenderer: the worker-side serializer behind the streaming
+// pipeline. Arenas it fills are handed to write_rendered verbatim, so
+// its bytes must equal what write_row would have produced cell for
+// cell — in both formats, for every cell kind.
+
+/// Renders `rows` into one arena (numbers through number(), everything
+/// else through text()), hands the arena to write_rendered, and asserts
+/// the writer output equals the same rows pushed through write_row.
+void render_and_check(const std::vector<std::string>& columns,
+                      const std::vector<std::vector<std::string>>& rows,
+                      ReportFormat format) {
+  std::string via_rows;
+  ReportWriter row_writer(&via_rows, format, columns);
+  for (const auto& cells : rows) row_writer.write_row(cells);
+  row_writer.finish();
+
+  RowRenderer renderer(format, columns);
+  std::string arena;
+  for (const auto& cells : rows) {
+    RowRenderer::Row row(renderer, arena);
+    for (const std::string& cell : cells) row.text(cell);
+    row.end();
+  }
+  std::string via_arena;
+  ReportWriter arena_writer(&via_arena, format, columns);
+  arena_writer.write_rendered(arena, rows.size());
+  arena_writer.finish();
+  EXPECT_EQ(via_arena, via_rows);
+}
+
+TEST(RowRenderer, BytesEqualWriteRowInBothFormats) {
+  const std::vector<std::string> columns = {"i", "x", "note"};
+  const std::vector<std::vector<std::string>> rows = {
+      {"1", "2.5", "stable"},
+      {"2", "inf", "has,comma"},
+      {"3", "nan", "say \"hi\""},
+      {"4", "-inf", ""},
+      {"5", "0.1", "line\nbreak"},
+  };
+  render_and_check(columns, rows, ReportFormat::kCsv);
+  render_and_check(columns, rows, ReportFormat::kJson);
+}
+
+TEST(RowRenderer, NumberPathsAgreeWithText) {
+  // number(v), preformatted_number(format_number(v)) and
+  // text(format_number(v)) must be three spellings of the same bytes —
+  // including the JSON null mapping for non-finite values.
+  const double values[] = {0.0, -1.5, 1.0 / 3.0, 1e-300,
+                           std::numeric_limits<double>::infinity(),
+                           -std::numeric_limits<double>::infinity(),
+                           std::nan("")};
+  for (const ReportFormat format :
+       {ReportFormat::kCsv, ReportFormat::kJson}) {
+    RowRenderer renderer(format, {"v"});
+    for (const double v : values) {
+      std::string a, b, c;
+      RowRenderer::Row ra(renderer, a);
+      ra.number(v);
+      ra.end();
+      RowRenderer::Row rb(renderer, b);
+      rb.preformatted_number(format_number(v));
+      rb.end();
+      RowRenderer::Row rc(renderer, c);
+      rc.text(format_number(v));
+      rc.end();
+      EXPECT_EQ(a, b) << format_number(v);
+      EXPECT_EQ(a, c) << format_number(v);
+    }
+  }
+}
+
+TEST(RowRenderer, CellsVerbatimSplicesCachedSpans) {
+  // Cache the byte span of columns [1, 3) once, then build a row from
+  // index + cached middle + tail; the row must equal one rendered cell
+  // by cell. This is the constant-axis-run fast path in miniature.
+  for (const ReportFormat format :
+       {ReportFormat::kCsv, ReportFormat::kJson}) {
+    RowRenderer renderer(format, {"i", "a", "b", "t"});
+    std::string whole;
+    RowRenderer::Row all(renderer, whole);
+    all.number(7);
+    all.number(1.5);
+    all.number(2.5);
+    all.number(9);
+    all.end();
+
+    std::string scratch;
+    RowRenderer::Row probe(renderer, scratch);
+    probe.number(7);
+    const std::size_t mark = scratch.size();
+    probe.number(1.5);
+    probe.number(2.5);
+    const std::string cached = scratch.substr(mark);
+    probe.number(9);
+    probe.end();
+
+    std::string spliced;
+    RowRenderer::Row row(renderer, spliced);
+    row.number(7);
+    row.cells_verbatim(cached, 2);
+    row.number(9);
+    row.end();
+    EXPECT_EQ(spliced, whole);
+  }
+}
+
+TEST(RowRendererDeath, WrongArityAborts) {
+  RowRenderer renderer(ReportFormat::kCsv, {"a", "b"});
+  EXPECT_DEATH(
+      {
+        std::string arena;
+        RowRenderer::Row row(renderer, arena);
+        row.number(1);
+        row.end();  // one cell short
+      },
+      "arity");
+  EXPECT_DEATH(
+      {
+        std::string arena;
+        RowRenderer::Row row(renderer, arena);
+        row.number(1);
+        row.number(2);
+        row.number(3);  // one cell over
+      },
+      "arity");
+  EXPECT_DEATH(
+      {
+        std::string arena;
+        RowRenderer::Row row(renderer, arena);
+        row.cells_verbatim("x,y,z", 3);  // 3 cells into a 2-column row
+      },
+      "arity");
+}
+
 }  // namespace
 }  // namespace p2p::engine

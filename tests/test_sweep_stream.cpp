@@ -90,6 +90,51 @@ TEST(RunSweepStream, DeterminismMatrixOverThreadsAndChunks) {
   }
 }
 
+TEST(RunSweepStream, TheoryOnlyDeterminismMatrixMatchesTheTable) {
+  // The theory-only + replicas=1 streaming path takes the chunk-batched
+  // route: a worker completes a whole claimed block into one arena and
+  // the consumer emits it with a single write_rendered. The matrix pins
+  // that route to the in-memory Table bytes for both formats — along
+  // with the cached-token fast paths (constant-axis runs, verdict /
+  // critical-piece cells, the constant sim tail) that only exist on it.
+  const SweepGrid grid =
+      parse_grid("lambda=0.5:3.0:16;us=0.5,1.5;k=2;gamma=1.25");
+  SweepOptions base;
+  base.theory_only = true;
+  const Table table = run_sweep(grid, base).to_table();
+  for (const int threads : {1, 2, 8}) {
+    for (const std::size_t chunk :
+         {std::size_t{1}, std::size_t{7}, std::size_t{0}}) {
+      SweepOptions options = base;
+      options.threads = threads;
+      options.chunk = chunk;
+      EXPECT_EQ(stream_csv(grid, options), table.to_csv())
+          << "threads " << threads << " chunk " << chunk;
+      EXPECT_EQ(stream_json(grid, options), table.to_json())
+          << "threads " << threads << " chunk " << chunk;
+    }
+  }
+}
+
+TEST(RunSweepStream, ReusedArenasCarryNoStaleBytesAcrossRuns) {
+  // A grid far larger than the chunk ring recycles every arena many
+  // times; a missing clear() would leave a prior cell's bytes in front
+  // of a later cell's. Two back-to-back runs over the same engine state
+  // must produce identical bytes — and the varying-width index column
+  // (1 digit through 4 digits) makes any stale prefix shift the row.
+  const SweepGrid grid = parse_grid("lambda=0.5:3.0:64;us=0.2:1.7:32;k=1");
+  SweepOptions options;
+  options.theory_only = true;
+  options.threads = 4;
+  options.chunk = 3;
+  const std::string first = stream_csv(grid, options);
+  const std::string second = stream_csv(grid, options);
+  EXPECT_EQ(first, second);
+  std::size_t lines = 0;
+  for (const char c : first) lines += c == '\n';
+  EXPECT_EQ(lines, 64u * 32u + 1);
+}
+
 TEST(RunSweepStream, SummaryTalliesMatchTheTable) {
   const SweepGrid grid = parse_grid("k=1;us=1;mu=1;gamma=1.25;lambda=1,9");
   SweepOptions options;

@@ -152,6 +152,39 @@ TEST(ThreadPool, StreamingReusableAcrossJobs) {
   }
 }
 
+TEST(ThreadPool, StreamingBlocksCoverChunkAlignedRangesExactlyOnce) {
+  // The block-range entry point hands workers whole claimed chunks:
+  // every block must be [k*chunk, min((k+1)*chunk, n)) for some k, the
+  // blocks must tile [0, n) exactly once, and prefixes still only cover
+  // finished blocks. This is the contract the sweep engine's
+  // chunk-batched arenas (one arena per claimed block) are built on.
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 503;  // deliberately not a chunk multiple
+  constexpr std::size_t kChunk = 7;
+  std::vector<std::atomic<int>> hits(kN);
+  std::atomic<bool> misaligned{false};
+  std::size_t last_prefix = 0;
+  pool.parallel_for_streaming_blocks(
+      kN, kChunk, /*window=*/56,
+      [&](std::size_t begin, std::size_t end) {
+        if (begin % kChunk != 0 ||
+            (end != kN && end - begin != kChunk) || end <= begin) {
+          misaligned.store(true);
+        }
+        for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+      },
+      [&](std::size_t prefix) {
+        ASSERT_GT(prefix, last_prefix);
+        for (std::size_t i = 0; i < prefix; ++i) {
+          ASSERT_EQ(hits[i].load(), 1) << "prefix " << prefix;
+        }
+        last_prefix = prefix;
+      });
+  EXPECT_FALSE(misaligned.load());
+  EXPECT_EQ(last_prefix, kN);
+  for (const auto& h : hits) ASSERT_EQ(h.load(), 1);
+}
+
 TEST(ThreadPoolDeath, RejectsZeroThreads) {
   EXPECT_DEATH(ThreadPool(0), ">= 1 thread");
   // auto_chunk shares the contract: 64 * 0 threads in the divisor would
@@ -172,6 +205,20 @@ TEST(ThreadPoolDeath, ThrowingFnAbortsWithTheItemIndex) {
         });
       },
       "threw at index 7.*boom");
+}
+
+TEST(ThreadPoolDeath, ThrowingBlockFnAbortsWithTheRange) {
+  EXPECT_DEATH(
+      {
+        ThreadPool pool(1);
+        pool.parallel_for_streaming_blocks(
+            10, /*chunk=*/4, /*window=*/8,
+            [](std::size_t begin, std::size_t) {
+              if (begin == 4) throw std::runtime_error("boom");
+            },
+            [](std::size_t) {});
+      },
+      "block fn threw in range \\[4, 8\\).*boom");
 }
 
 }  // namespace
