@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "ctmc/event_rates.hpp"
+
 namespace p2p {
 
 TypeCountChain::TypeCountChain(SwarmParams params, std::uint64_t seed)
@@ -89,24 +91,15 @@ void TypeCountChain::do_seed_departure() {
 }
 
 double TypeCountChain::total_event_rate() const {
-  const auto n = static_cast<double>(state_.total_peers());
-  const double seed_rate = n >= 1 ? params_.seed_rate() : 0.0;
-  const double depart_rate =
-      params_.immediate_departure()
-          ? 0.0
-          : params_.seed_depart_rate() * static_cast<double>(state_.seeds());
-  return params_.total_arrival_rate() + seed_rate +
-         n * params_.contact_rate() + depart_rate;
+  return aggregate_event_rates(params_.view(), state_.total_peers(),
+                               state_.seeds())
+      .total();
 }
 
 void TypeCountChain::dispatch_event() {
-  const auto n = static_cast<double>(state_.total_peers());
-  const double rates[4] = {
-      params_.total_arrival_rate(), n >= 1 ? params_.seed_rate() : 0.0,
-      n * params_.contact_rate(),
-      params_.immediate_departure()
-          ? 0.0
-          : params_.seed_depart_rate() * static_cast<double>(state_.seeds())};
+  const AggregateRates r = aggregate_event_rates(
+      params_.view(), state_.total_peers(), state_.seeds());
+  const double rates[4] = {r.arrival, r.seed, r.peer, r.depart};
   switch (rng_.discrete(rates)) {
     case 0:
       do_arrival();

@@ -718,6 +718,12 @@ ReportSchema validate_report_schema(const std::vector<std::string>& columns) {
   }
   schema.tail_start = i;
   for (const char* c : tail) expect(i++, c);
+  // The sim_backend column (engine/sweep.hpp) trails the fixed tail and
+  // is optional: theory-only grids and pre-backend corpora lack it.
+  if (i < columns.size() && columns[i] == kSimBackendColumn) {
+    schema.has_backend = true;
+    ++i;
+  }
   P2P_ASSERT_MSG(i == columns.size(),
                  "report header has trailing columns after \"" +
                      std::string(tail.back()) + "\" (got \"" + columns[i] +

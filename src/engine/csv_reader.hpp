@@ -128,6 +128,11 @@ struct ReportSchema {
   /// "replicas" for the frontier).
   std::size_t tail_start = 0;
   std::size_t num_columns = 0;
+  /// True when the trailing "sim_backend" column is present. Reports
+  /// written since the type-count backend landed carry it whenever a
+  /// simulator ran; earlier corpora (and theory-only grids) do not, and
+  /// both generations must keep validating.
+  bool has_backend = false;
 };
 
 /// Inverse of mix_column_name: "lambda_t1.2" -> {0, 1}. Aborts on

@@ -17,6 +17,7 @@
 #include "engine/thread_pool.hpp"
 #include "rand/rng.hpp"
 #include "sim/swarm.hpp"
+#include "sim/typecount_sim.hpp"
 #include "util/assert.hpp"
 
 namespace p2p::engine {
@@ -209,34 +210,50 @@ ReplicaSample simulate_replica(const CellParams& p,
                                const SweepOptions& options,
                                std::uint64_t seed) {
   ExpandedCell cell = expand(options.scenario, p);
-  cell.sim.rng_seed = seed;
-  SwarmSim sim(cell.params, cell.sim);
+  // Both backends realize the same law on the type-count domain, so the
+  // measurement path below sees only the SwarmBackend interface; which
+  // concrete simulator runs is the per-cell resolution of
+  // SweepOptions::sim_backend (forced out-of-domain choices were
+  // rejected up front).
+  std::optional<SwarmSim> per_peer;
+  std::optional<TypeCountSim> type_count;
+  SwarmBackend* sim = nullptr;
+  if (resolve_sim_backend(options.sim_backend, p) == SimBackend::kTypeCount) {
+    type_count.emplace(
+        std::move(cell.params),
+        TypeCountSimOptions{cell.sim.tracked_piece, seed});
+    sim = &*type_count;
+  } else {
+    cell.sim.rng_seed = seed;
+    per_peer.emplace(std::move(cell.params), cell.sim);
+    sim = &*per_peer;
+  }
   if (p.flash > 0) {
-    sim.inject_peers(PieceSet::full(p.k).without(0), p.flash);
+    sim->inject_peers(PieceSet::full(p.k).without(0), p.flash);
   }
   // The occupancy integral over [warmup, horizon] is the total integral
   // minus the integral at the warmup instant, so no simulator support is
   // needed to discard the empty-start transient.
   double warm_integral = 0, warm_time = 0;
   if (options.warmup > 0) {
-    sim.run_until(options.warmup);
-    warm_time = sim.now();
-    warm_integral = sim.time_averaged_peers() * warm_time;
+    sim->run_until(options.warmup);
+    warm_time = sim->now();
+    warm_integral = sim->time_averaged_peers() * warm_time;
   }
-  sim.run_until(options.horizon);
+  sim->run_until(options.horizon);
 
   ReplicaSample r;
-  r.final_peers = static_cast<double>(sim.total_peers());
+  r.final_peers = static_cast<double>(sim->total_peers());
   // run_until steps whole events, so the warmup run can overshoot past
   // the horizon when the event rate is tiny; a zero-width measurement
   // window then carries no information — report NaN, never a fake 0.
-  const double window = sim.now() - warm_time;
+  const double window = sim->now() - warm_time;
   r.mean_peers =
       window > 0
-          ? (sim.time_averaged_peers() * sim.now() - warm_integral) / window
+          ? (sim->time_averaged_peers() * sim->now() - warm_integral) / window
           : std::nan("");
-  r.mean_sojourn = sim.sojourn_stats().count() > 0
-                       ? sim.sojourn_stats().mean()
+  r.mean_sojourn = sim->sojourn_stats().count() > 0
+                       ? sim->sojourn_stats().mean()
                        : std::nan("");
   return r;
 }
@@ -397,6 +414,7 @@ void fill_cell(CellResult& r, std::size_t cell, const CellParams& p,
   // (or the chunk path's reused local) must see them reset.
   r.sim = SimAggregate{};
   r.ctmc_mean_peers = std::nan("");
+  r.backend = resolve_sim_backend(options.sim_backend, p);
   r.index = cell;
   r.lambda = p.lambda;
   r.us = p.us;
@@ -456,9 +474,17 @@ struct GridRenderPlan {
   /// (so -1, the gamma <= mu branch, is slot 0).
   std::string verdict_tokens[3];
   std::vector<std::string> critical_tokens;
+  /// Full trailing sim_backend cells (absent under theory_only), indexed
+  /// by backend_token_slot of the cell's resolved backend.
+  std::string backend_tokens[2];
   std::string const_tail;
   std::size_t const_tail_cells = 0;
 };
+
+/// backend_tokens index of a resolved backend.
+std::size_t backend_token_slot(SimBackend resolved) {
+  return resolved == SimBackend::kTypeCount ? 1 : 0;
+}
 
 GridRenderPlan make_grid_render_plan(const SweepGrid& effective,
                                      const AxisSlots& slots,
@@ -466,6 +492,7 @@ GridRenderPlan make_grid_render_plan(const SweepGrid& effective,
                                      const ReportWriter& writer) {
   GridRenderPlan plan{RowRenderer(writer.format(), writer.columns()),
                       slots,
+                      {},
                       {},
                       {},
                       {},
@@ -508,7 +535,12 @@ GridRenderPlan make_grid_render_plan(const SweepGrid& effective,
     row.end();
     return bytes;
   };
-  const std::size_t verdict_column = num_columns - 11;  // see kSweepTail
+  // Front-counted: index column + nine axes + the optional per-type
+  // block put "verdict" here (the tail is no longer a fixed distance
+  // from the end — the sim_backend column exists only when simulating).
+  const std::size_t verdict_column =
+      sweep_schema_head().size() +
+      (options.scenario.empty() ? 0 : 1 + options.scenario.mix.size());
   for (const Stability v : {Stability::kPositiveRecurrent,
                             Stability::kTransient, Stability::kBorderline}) {
     plan.verdict_tokens[static_cast<int>(v)] = cache_cells(
@@ -519,6 +551,13 @@ GridRenderPlan make_grid_render_plan(const SweepGrid& effective,
     plan.critical_tokens.push_back(
         cache_cells(verdict_column + 2, 1,
                     [&](RowRenderer::Row& row) { row.number(piece); }));
+  }
+  if (!options.theory_only) {
+    for (const SimBackend b : {SimBackend::kPerPeer, SimBackend::kTypeCount}) {
+      plan.backend_tokens[backend_token_slot(b)] = cache_cells(
+          num_columns - 1, 1,
+          [&](RowRenderer::Row& row) { row.text(to_string(b)); });
+    }
   }
   if (options.theory_only && options.ctmc_max_peers <= 0) {
     plan.const_tail =
@@ -615,6 +654,10 @@ void render_grid_row(const GridRenderPlan& plan, const SweepOptions& options,
     row.number(c.sim.mean_peers_lo);
     row.number(c.sim.mean_peers_hi);
     row.number(c.ctmc_mean_peers);
+    if (!options.theory_only) {
+      row.cells_verbatim(plan.backend_tokens[backend_token_slot(c.backend)],
+                         1);
+    }
   }
   row.end();
 }
@@ -711,6 +754,13 @@ SweepSummary sweep_cells_ordered(const SweepGrid& grid,
   validate_options(options);
   const SweepGrid effective = effective_grid(grid);
   validate_effective_axes(effective, options);
+  if (!options.theory_only && options.sim_backend == SimBackend::kTypeCount) {
+    // A forced backend must never silently change the law: abort up
+    // front, naming the offending axis, instead of running out-of-domain
+    // cells on the wrong simulator (kAuto falls back per cell instead).
+    const std::string violation = typecount_domain_violation(effective);
+    P2P_ASSERT_MSG(violation.empty(), violation);
+  }
 
   const std::size_t num_cells = effective.num_cells();
   // Theory-only sweeps run one closed-form item per cell: fanning unused
@@ -1079,10 +1129,14 @@ constexpr const char* kFrontierTail[] = {
     "replicas", "sim_mean_peers", "sim_mean_peers_sem", "sim_mean_peers_lo",
     "sim_mean_peers_hi"};
 
-/// head + [per-type block] + tail, the shape of both report tables.
+/// head + [per-type block] + tail + [sim_backend], the shape of both
+/// report tables. The backend column trails the fixed tail so archived
+/// pre-backend corpora remain a prefix of the new schema (the reader
+/// treats it as optional).
 std::vector<std::string> schema_columns(std::span<const char* const> head,
                                         std::span<const char* const> tail,
-                                        const ScenarioSpec& scenario) {
+                                        const ScenarioSpec& scenario,
+                                        bool with_backend) {
   std::vector<std::string> cols(head.begin(), head.end());
   if (!scenario.empty()) {
     // Per-type arrival-rate columns: the composition the mix axis
@@ -1091,6 +1145,7 @@ std::vector<std::string> schema_columns(std::span<const char* const> head,
     for (const auto& a : scenario.mix) cols.push_back(mix_column_name(a.type));
   }
   cols.insert(cols.end(), tail.begin(), tail.end());
+  if (with_backend) cols.push_back(kSimBackendColumn);
   return cols;
 }
 
@@ -1113,8 +1168,69 @@ std::string mix_column_name(PieceSet type) {
 }
 
 std::vector<std::string> sweep_columns(const SweepOptions& options) {
+  // Theory-only grids carry no backend column: no simulator ran, and
+  // archived closed-form corpora must keep reproducing byte-identically.
   return schema_columns(sweep_schema_head(), sweep_schema_tail(),
-                        options.scenario);
+                        options.scenario, !options.theory_only);
+}
+
+const char* to_string(SimBackend backend) {
+  switch (backend) {
+    case SimBackend::kPerPeer:
+      return "perpeer";
+    case SimBackend::kTypeCount:
+      return "typecount";
+    case SimBackend::kAuto:
+      break;
+  }
+  P2P_ASSERT_MSG(false, "kAuto is a request, not a resolved backend");
+  return "";
+}
+
+bool typecount_in_domain(const CellParams& p) {
+  // eta != 1 is per-peer state (the retry boost tracks each peer's last
+  // contact), hetero != 0 draws per-peer rate classes, and the dense
+  // type-count state caps K at 16 — outside any of these, only the
+  // per-peer simulator realizes the cell's law. The engine's piece
+  // selection is always RandomUseful, the domain's third leg.
+  return p.eta == 1.0 && p.hetero == 0.0 && p.k <= 16;
+}
+
+SimBackend resolve_sim_backend(SimBackend requested, const CellParams& p) {
+  if (requested != SimBackend::kAuto) return requested;
+  return typecount_in_domain(p) ? SimBackend::kTypeCount
+                                : SimBackend::kPerPeer;
+}
+
+std::string typecount_domain_violation(const SweepGrid& grid) {
+  const SweepGrid effective = effective_grid(grid);
+  const auto offends = [](const std::string& name, double v) {
+    if (name == "eta") return v != 1.0;
+    if (name == "hetero") return v != 0.0;
+    if (name == "k") return v > 16;
+    return false;
+  };
+  const auto requirement = [](const std::string& name) {
+    if (name == "eta") {
+      return "eta = 1 (the Section VIII-C retry boost is per-peer state)";
+    }
+    if (name == "hetero") {
+      return "hetero = 0 (rate classes are drawn per peer)";
+    }
+    return "k <= 16 (the dense type-count state is 2^k wide)";
+  };
+  for (const auto& axis : effective.axes) {
+    for (const double v : axis.values) {
+      if (offends(axis.name, v)) {
+        return "the typecount backend requires " +
+               std::string(requirement(axis.name)) + ", but axis " +
+               axis.name + " takes the value " +
+               format_number(v) +
+               "; drop the axis or use the perpeer/auto backend";
+      }
+    }
+  }
+  return {};
 }
 
 std::vector<std::string> sweep_row(const CellResult& c,
@@ -1146,6 +1262,7 @@ std::vector<std::string> sweep_row(const CellResult& c,
         format_number(c.ctmc_mean_peers)}) {
     row.push_back(std::move(cell));
   }
+  if (!options.theory_only) row.push_back(to_string(c.backend));
   return row;
 }
 
@@ -1286,6 +1403,10 @@ void render_frontier_row(const RowRenderer& renderer,
   row.number(pt.sim.mean_peers_sem);
   row.number(pt.sim.mean_peers_lo);
   row.number(pt.sim.mean_peers_hi);
+  // The backend the point's replicas run on; the refined axis is never
+  // a domain axis (eta/hetero/k), so the resolution is well defined
+  // even for unbracketed rows.
+  row.text(to_string(resolve_sim_backend(options.sim_backend, pt.params)));
   row.end();
 }
 
@@ -1315,6 +1436,12 @@ FrontierSummary frontier_points_ordered(
   validate_options(options);
   const SweepGrid effective = effective_grid(grid);
   validate_effective_axes(effective, options);
+  if (options.sim_backend == SimBackend::kTypeCount) {
+    // Same forced-backend guard as the grid pipeline: frontier points
+    // always simulate, so an out-of-domain row axis must abort up front.
+    const std::string violation = typecount_domain_violation(effective);
+    P2P_ASSERT_MSG(violation.empty(), violation);
+  }
   if (effective_out != nullptr) *effective_out = effective;
 
   P2P_ASSERT_MSG(refinable_axis(refine.axis),
@@ -1457,7 +1584,7 @@ std::vector<std::string> frontier_columns(const SweepOptions& options) {
   // (NaN when the row never bracketed a flip) — the mix weights are not
   // recoverable from the generic axis columns alone.
   return schema_columns(frontier_schema_head(), frontier_schema_tail(),
-                        options.scenario);
+                        options.scenario, /*with_backend=*/true);
 }
 
 std::vector<std::string> frontier_row(const FrontierPoint& pt,
@@ -1487,6 +1614,7 @@ std::vector<std::string> frontier_row(const FrontierPoint& pt,
                            format_number(pt.sim.mean_peers_hi)}) {
     row.push_back(std::move(cell));
   }
+  row.push_back(to_string(resolve_sim_backend(options.sim_backend, pt.params)));
   return row;
 }
 

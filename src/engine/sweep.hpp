@@ -86,6 +86,44 @@ inline constexpr const char* kLambdaTypePrefix = "lambda_t";
 /// splittable. The reader inverts this with parse_mix_column_type.
 std::string mix_column_name(PieceSet type);
 
+// --- Simulation backend selection ---
+
+/// Which simulator runs a cell's replicas. Both backends realize the
+/// same stochastic law on the type-count backend's domain; they differ
+/// only in representation (sim/backend.hpp):
+///
+///   kPerPeer   — SwarmSim, per-peer records. Required for eta != 1
+///                (the retry boost is per-peer state) and hetero != 0
+///                (per-peer rate classes); works everywhere.
+///   kTypeCount — TypeCountSim, counts per PieceSet type with silent
+///                contacts integrated out analytically. Orders of
+///                magnitude faster on large swarms, but only lawful
+///                where identical-type peers are exchangeable:
+///                eta = 1, hetero = 0 and k <= 16.
+///   kAuto      — per cell: kTypeCount where its law applies, kPerPeer
+///                otherwise. The default.
+enum class SimBackend { kAuto, kPerPeer, kTypeCount };
+
+/// Report token of a *resolved* backend ("perpeer" / "typecount";
+/// kAuto never reaches a report row).
+const char* to_string(SimBackend backend);
+
+/// True when the type-count backend realizes the cell's law: eta = 1,
+/// hetero = 0 and k <= 16 (TypeCountState's dense-type limit). The
+/// engine's piece selection is always RandomUseful, the third leg of
+/// the domain.
+bool typecount_in_domain(const CellParams& p);
+
+/// Resolves kAuto by the documented rule; forced choices pass through.
+SimBackend resolve_sim_backend(SimBackend requested, const CellParams& p);
+
+/// Trailing report column recording the backend each cell's replicas
+/// ran on. Present whenever the table carries simulation columns that
+/// a backend actually produced (grid mode without --theory-only, and
+/// every frontier table); absent from theory-only grids, so archived
+/// closed-form corpora reproduce byte-identically.
+inline constexpr const char* kSimBackendColumn = "sim_backend";
+
 /// One sweep axis: a parameter name and the grid values it takes.
 /// Valid names: "lambda" (total arrival rate), "us", "mu", "gamma"
 /// ("inf" allowed), "k" (integral piece count), "eta" (Section VIII-C
@@ -123,6 +161,14 @@ struct SweepGrid {
 
 /// Parses ';'-separated axis specs, e.g. "lambda=0.5:3.0:16;gamma=inf".
 SweepGrid parse_grid(const std::string& spec);
+
+/// Empty when every cell of `grid` (missing axes filled from the
+/// default region grid, like run_sweep does) lies in the type-count
+/// backend's domain; otherwise a message naming the offending axis and
+/// value. Shared by the engine's forced-typecount validation and
+/// p2p_sweep's friendly pre-flight error, so the two never disagree on
+/// the domain.
+std::string typecount_domain_violation(const SweepGrid& grid);
 
 /// The standard Theorem-1 region grid: lambda 0.5:3.0:16 crossed with
 /// us 0.2:1.7:16 (256 cells) at mu = 1, gamma = 1.25, K = 3, eta = 1,
@@ -170,6 +216,13 @@ struct SweepOptions {
   /// by nature.
   std::int64_t ctmc_max_peers = 0;
 
+  /// Simulation backend for the replica runs. kAuto picks per cell:
+  /// the type-count backend where its law applies (eta = 1, hetero = 0,
+  /// k <= 16), the per-peer simulator otherwise. Forcing kTypeCount on
+  /// a grid with cells outside that domain aborts up front, naming the
+  /// offending axis — the backend must never silently change the law.
+  SimBackend sim_backend = SimBackend::kAuto;
+
   /// Typed-arrival scenario the mix/hetero axes act on; default empty
   /// (the mix axis must then be 0 everywhere).
   ScenarioSpec scenario;
@@ -215,6 +268,9 @@ struct CellResult {
   SimAggregate sim;
   /// NaN unless the CTMC solve ran for this cell.
   double ctmc_mean_peers = std::nan("");
+  /// Resolved backend the cell's replicas ran on (never kAuto).
+  /// Meaningless — and the report column absent — under theory_only.
+  SimBackend backend = SimBackend::kPerPeer;
 };
 
 struct SweepResult {
@@ -228,7 +284,8 @@ struct SweepResult {
   /// type, one-based and '.'-joined, e.g. lambda_t1.2], verdict, margin,
   /// critical_piece, replicas, sim_final_peers, sim_mean_peers,
   /// sim_mean_sojourn, sim_mean_peers_sem, sim_mean_peers_lo,
-  /// sim_mean_peers_hi, ctmc_mean_peers.
+  /// sim_mean_peers_hi, ctmc_mean_peers[, sim_backend unless
+  /// theory_only].
   Table to_table() const;
 };
 
@@ -329,7 +386,8 @@ struct FrontierResult {
   /// value_lo, value_hi, margin, lambda, us, mu, gamma, k, eta, flash,
   /// mix, hetero, [the same per-type arrival-rate columns as the grid
   /// table when the scenario is non-empty], replicas, sim_mean_peers,
-  /// sim_mean_peers_sem, sim_mean_peers_lo, sim_mean_peers_hi.
+  /// sim_mean_peers_sem, sim_mean_peers_lo, sim_mean_peers_hi,
+  /// sim_backend.
   Table to_table() const;
 };
 

@@ -1,0 +1,61 @@
+// SwarmBackend: the simulation-layer abstraction with two implementations
+// of one law.
+//
+//   * SwarmSim (sim/swarm.hpp) — per-peer state. O(1) per event but
+//     every silent contact is a materialized event; required whenever the
+//     law itself is peer-granular: piece-selection policies other than
+//     RandomUseful, the VIII-C retry boost (eta > 1), heterogeneous
+//     per-peer rates, Fig. 2 group tracking.
+//
+//   * TypeCountSim (sim/typecount_sim.hpp) — peers with identical
+//     PieceSets are exchangeable, so the swarm is stored as counts per
+//     type with aggregate rates maintained incrementally and silent
+//     events integrated out analytically. Orders of magnitude faster on
+//     large swarms; exact for the base model (RandomUseful, eta = 1,
+//     homogeneous rates).
+//
+// The interface is the surface engine/sweep.cpp's replica runner and the
+// cross-backend equivalence tests need; concrete extras (group counts,
+// policy hooks, run_sampled) stay on the concrete classes.
+#pragma once
+
+#include <cstdint>
+
+#include "core/state.hpp"
+#include "sim/stats.hpp"
+#include "util/piece_set.hpp"
+
+namespace p2p {
+
+class SwarmBackend {
+ public:
+  virtual ~SwarmBackend() = default;
+
+  /// Current simulated time.
+  virtual double now() const = 0;
+  virtual std::int64_t total_peers() const = 0;
+  virtual std::int64_t peer_seeds() const = 0;
+
+  /// Adds `count` peers of the given type at the current instant (e.g. a
+  /// one-club flash crowd). Not counted as arrivals.
+  virtual void inject_peers(PieceSet type, std::int64_t count) = 0;
+
+  /// Advances one event. Returns false iff the total event rate is zero.
+  virtual bool step() = 0;
+  virtual void run_until(double t_end) = 0;
+
+  /// Exact time average of the peer population over [0, now()].
+  virtual double time_averaged_peers() const = 0;
+  /// Raw occupancy integral (for warmup-window subtraction).
+  virtual double occupancy_integral() const = 0;
+
+  /// Sojourn times of departed peers (arrival to departure).
+  virtual const OnlineStats& sojourn_stats() const = 0;
+  /// The backend-agnostic counting processes.
+  virtual const SwarmCounters& counters() const = 0;
+
+  /// Aggregate state vector (for cross-validation); K <= 16.
+  virtual TypeCountState type_counts() const = 0;
+};
+
+}  // namespace p2p

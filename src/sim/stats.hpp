@@ -37,6 +37,48 @@ class OnlineStats {
   double m2_ = 0;
 };
 
+/// The counting processes every swarm backend maintains (Section VI uses
+/// A_t and D_t in the transience proof; the rest feed the sweep reports
+/// and cross-backend sanity checks). Backend-agnostic by construction:
+/// both the per-peer and the type-count simulator accumulate into this
+/// struct, so the report layer never cares which backend ran.
+struct SwarmCounters {
+  std::int64_t arrivals = 0;
+  std::int64_t departures = 0;
+  std::int64_t downloads = 0;
+  /// Contacts that transferred nothing. The type-count backend aggregates
+  /// silent events away analytically and never materializes them, so its
+  /// count stays 0 (see sim/typecount_sim.hpp).
+  std::int64_t silent_contacts = 0;
+  /// A_t: cumulative arrivals without the tracked piece.
+  std::int64_t arrivals_without_tracked = 0;
+  /// D_t: cumulative downloads of the tracked piece.
+  std::int64_t downloads_of_tracked = 0;
+};
+
+/// Exact event-by-event occupancy integral: the population is constant
+/// between events, so accruing n * dt per holding interval gives the
+/// time average of N_s with no sampling error. Owns the simulation clock.
+class OccupancyIntegral {
+ public:
+  /// Moves the clock to `to`, accruing `population` over the interval.
+  void advance(double to, std::int64_t population) {
+    integral_ += static_cast<double>(population) * (to - now_);
+    now_ = to;
+  }
+
+  double now() const { return now_; }
+  double integral() const { return integral_; }
+  /// (1/t) integral of N_s ds over [0, now()]; 0 before any time passes.
+  double time_average() const {
+    return now_ > 0 ? integral_ / now_ : 0.0;
+  }
+
+ private:
+  double now_ = 0;
+  double integral_ = 0;
+};
+
 /// A sampled time series (t_i, v_i), t_i strictly increasing.
 struct TimeSeries {
   std::vector<double> t;

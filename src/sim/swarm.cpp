@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "ctmc/event_rates.hpp"
+
 namespace p2p {
 
 SwarmSim::SwarmSim(SwarmParams params,
@@ -74,13 +76,13 @@ void SwarmSim::add_peer(PieceSet type, bool count_as_arrival) {
   const PieceSet full = PieceSet::full(params_.num_pieces());
   if (params_.immediate_departure() && type == full) {
     // A complete arrival departs instantly; it never joins the population.
-    if (count_as_arrival) ++arrivals_;
-    ++departures_;
+    if (count_as_arrival) ++counters_.arrivals;
+    ++counters_.departures;
     return;
   }
   Peer peer;
   peer.pieces = type;
-  peer.arrival_time = now_;
+  peer.arrival_time = occupancy_.now();
   if (!class_weights_.empty()) {
     peer.rate_multiplier =
         options_.rate_classes[rng_.discrete(class_weights_)].multiplier;
@@ -99,8 +101,10 @@ void SwarmSim::add_peer(PieceSet type, bool count_as_arrival) {
   peers_[idx].group = g;
   ++group_slot(g);
   if (count_as_arrival) {
-    ++arrivals_;
-    if (!type.contains(options_.tracked_piece)) ++a_count_;
+    ++counters_.arrivals;
+    if (!type.contains(options_.tracked_piece)) {
+      ++counters_.arrivals_without_tracked;
+    }
   }
 }
 
@@ -112,7 +116,7 @@ void SwarmSim::inject_peers(PieceSet type, std::int64_t count) {
 
 void SwarmSim::remove_peer(std::size_t idx) {
   Peer& peer = peers_[idx];
-  sojourn_.add(now_ - peer.arrival_time);
+  sojourn_.add(occupancy_.now() - peer.arrival_time);
   for (int piece : peer.pieces) --piece_holders_[piece];
   --group_slot(static_cast<Group>(peer.group));
   total_clock_weight_ -= clock_weight(peer);
@@ -137,7 +141,7 @@ void SwarmSim::remove_peer(std::size_t idx) {
     }
   }
   peers_.pop_back();
-  ++departures_;
+  ++counters_.departures;
 }
 
 void SwarmSim::give_piece(std::size_t idx, int piece) {
@@ -145,8 +149,8 @@ void SwarmSim::give_piece(std::size_t idx, int piece) {
   P2P_ASSERT(!peer.pieces.contains(piece));
   peer.pieces = peer.pieces.with(piece);
   ++piece_holders_[piece];
-  ++downloads_;
-  if (piece == options_.tracked_piece) ++d_count_;
+  ++counters_.downloads;
+  if (piece == options_.tracked_piece) ++counters_.downloads_of_tracked;
 
   const PieceSet full = PieceSet::full(params_.num_pieces());
   if (peer.pieces == full) {
@@ -192,7 +196,7 @@ void SwarmSim::do_seed_tick() {
   const PieceSet needed =
       peers_[target].pieces.complement(params_.num_pieces());
   if (needed.empty()) {
-    ++silent_;
+    ++counters_.silent_contacts;
     seed_boosted_ = true;
     return;
   }
@@ -208,7 +212,7 @@ void SwarmSim::do_peer_tick() {
   const std::size_t target = random_peer_index();
   const PieceSet useful = peers_[uploader].pieces.minus(peers_[target].pieces);
   if (useful.empty()) {
-    ++silent_;
+    ++counters_.silent_contacts;
     if (!peers_[uploader].boosted) {
       total_clock_weight_ -= clock_weight(peers_[uploader]);
       peers_[uploader].boosted = true;
@@ -237,20 +241,21 @@ void SwarmSim::do_seed_departure() {
 }
 
 SwarmSim::EventRates SwarmSim::event_rates() const {
-  const auto n = static_cast<double>(peers_.size());
-  const double eta = options_.retry_boost;
+  // Base-model clocks from the shared derivation, then the per-peer
+  // modifiers: the VIII-C retry boost scales the seed clock while the
+  // last seed contact was unsuccessful, and the peer clock runs on the
+  // incrementally maintained sum of per-peer clock weights (multiplier x
+  // boost) instead of plain mu * n.
+  const AggregateRates base = aggregate_event_rates(
+      params_.view(), static_cast<std::int64_t>(peers_.size()),
+      static_cast<std::int64_t>(seed_indices_.size()));
   EventRates rates;
-  rates.arrival = params_.total_arrival_rate();
-  rates.seed =
-      n >= 1 ? params_.seed_rate() * (seed_boosted_ ? eta : 1.0) : 0.0;
-  // total_clock_weight_ is maintained incrementally; clamp at zero so
-  // floating-point residue from non-dyadic multipliers can never produce
-  // a (tiny) negative rate.
+  rates.arrival = base.arrival;
+  rates.seed = base.seed * (seed_boosted_ ? options_.retry_boost : 1.0);
+  // Clamp at zero so floating-point residue from non-dyadic multipliers
+  // can never produce a (tiny) negative rate.
   rates.peer = params_.contact_rate() * std::max(0.0, total_clock_weight_);
-  rates.depart = params_.immediate_departure()
-                     ? 0.0
-                     : params_.seed_depart_rate() *
-                           static_cast<double>(seed_indices_.size());
+  rates.depart = base.depart;
   return rates;
 }
 
@@ -274,21 +279,19 @@ void SwarmSim::dispatch(const EventRates& rates) {
 }
 
 void SwarmSim::advance_time(double t) {
-  occupancy_integral_ +=
-      static_cast<double>(peers_.size()) * (t - now_);
-  now_ = t;
+  occupancy_.advance(t, static_cast<std::int64_t>(peers_.size()));
 }
 
 bool SwarmSim::step() {
   const EventRates rates = event_rates();
   if (rates.total() <= 0) return false;
-  advance_time(now_ + rng_.exponential(rates.total()));
+  advance_time(occupancy_.now() + rng_.exponential(rates.total()));
   dispatch(rates);
   return true;
 }
 
 void SwarmSim::run_until(double t_end) {
-  while (now_ < t_end) {
+  while (occupancy_.now() < t_end) {
     if (!step()) break;
   }
 }
@@ -298,11 +301,12 @@ void SwarmSim::run_sampled(double t_end, double dt,
   // Samples observe the pre-event state: the holding time is drawn first,
   // samples falling strictly before the next event time are emitted, and
   // only then is the event applied.
-  double next_sample = now_ + dt;
-  while (now_ < t_end) {
+  double next_sample = occupancy_.now() + dt;
+  while (occupancy_.now() < t_end) {
     const EventRates rates = event_rates();
     if (rates.total() <= 0) break;
-    const double event_time = now_ + rng_.exponential(rates.total());
+    const double event_time =
+        occupancy_.now() + rng_.exponential(rates.total());
     while (next_sample <= t_end && next_sample < event_time) {
       fn(next_sample);
       next_sample += dt;

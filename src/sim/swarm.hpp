@@ -27,6 +27,7 @@
 #include "core/model.hpp"
 #include "core/state.hpp"
 #include "rand/rng.hpp"
+#include "sim/backend.hpp"
 #include "sim/policy.hpp"
 #include "sim/stats.hpp"
 
@@ -84,7 +85,7 @@ struct SwarmSimOptions {
   std::uint64_t rng_seed = 1;
 };
 
-class SwarmSim {
+class SwarmSim final : public SwarmBackend {
  public:
   SwarmSim(SwarmParams params, std::unique_ptr<PieceSelectionPolicy> policy,
            SwarmSimOptions options = {});
@@ -96,13 +97,13 @@ class SwarmSim {
   /// one-club flash crowd). Peers injected this way are classified as if
   /// they arrived with their current pieces (so a one-club injection is
   /// "one-club", not "gifted").
-  void inject_peers(PieceSet type, std::int64_t count);
+  void inject_peers(PieceSet type, std::int64_t count) override;
 
-  double now() const { return now_; }
-  std::int64_t total_peers() const {
+  double now() const override { return occupancy_.now(); }
+  std::int64_t total_peers() const override {
     return static_cast<std::int64_t>(peers_.size());
   }
-  std::int64_t peer_seeds() const {
+  std::int64_t peer_seeds() const override {
     return static_cast<std::int64_t>(seed_indices_.size());
   }
   const GroupCounts& groups() const { return groups_; }
@@ -112,34 +113,40 @@ class SwarmSim {
   const PieceSelectionPolicy& policy() const { return *policy_; }
 
   /// Aggregate state vector (for cross-validation with the CTMC); K <= 16.
-  TypeCountState type_counts() const;
+  TypeCountState type_counts() const override;
 
   /// Advances one event (possibly silent). Returns false iff total rate 0.
-  bool step();
-  void run_until(double t_end);
+  bool step() override;
+  void run_until(double t_end) override;
   /// Samples `fn(t)` every `dt` of simulated time up to t_end.
   void run_sampled(double t_end, double dt,
                    const std::function<void(double)>& fn);
 
   // --- Counting processes (Section VI) ---
+  const SwarmCounters& counters() const override { return counters_; }
   /// A_t: cumulative arrivals without the tracked piece.
-  std::int64_t arrivals_without_tracked() const { return a_count_; }
+  std::int64_t arrivals_without_tracked() const {
+    return counters_.arrivals_without_tracked;
+  }
   /// D_t: cumulative downloads of the tracked piece.
-  std::int64_t downloads_of_tracked() const { return d_count_; }
-  std::int64_t total_arrivals() const { return arrivals_; }
-  std::int64_t total_departures() const { return departures_; }
-  std::int64_t total_downloads() const { return downloads_; }
-  std::int64_t silent_contacts() const { return silent_; }
+  std::int64_t downloads_of_tracked() const {
+    return counters_.downloads_of_tracked;
+  }
+  std::int64_t total_arrivals() const { return counters_.arrivals; }
+  std::int64_t total_departures() const { return counters_.departures; }
+  std::int64_t total_downloads() const { return counters_.downloads; }
+  std::int64_t silent_contacts() const { return counters_.silent_contacts; }
 
   /// Sojourn times of departed peers (arrival to departure).
-  const OnlineStats& sojourn_stats() const { return sojourn_; }
+  const OnlineStats& sojourn_stats() const override { return sojourn_; }
 
   /// Exact time average of the peer population over [0, now()]:
   /// (1/t) integral of N_s ds, accumulated event-by-event (no sampling
   /// error). 0 before any simulated time has passed.
-  double time_averaged_peers() const {
-    return now_ > 0 ? occupancy_integral_ / now_ : 0.0;
+  double time_averaged_peers() const override {
+    return occupancy_.time_average();
   }
+  double occupancy_integral() const override { return occupancy_.integral(); }
 
  private:
   struct Peer {
@@ -205,7 +212,6 @@ class SwarmSim {
   std::unique_ptr<PieceSelectionPolicy> policy_;
   SwarmSimOptions options_;
   Rng rng_;
-  double now_ = 0;
 
   std::vector<Peer> peers_;
   std::vector<std::uint32_t> seed_indices_;
@@ -220,13 +226,8 @@ class SwarmSim {
   double max_clock_weight_ = 1;
   bool seed_boosted_ = false;
 
-  std::int64_t arrivals_ = 0;
-  std::int64_t departures_ = 0;
-  std::int64_t downloads_ = 0;
-  std::int64_t silent_ = 0;
-  std::int64_t a_count_ = 0;
-  std::int64_t d_count_ = 0;
-  double occupancy_integral_ = 0;
+  SwarmCounters counters_;
+  OccupancyIntegral occupancy_;
   OnlineStats sojourn_;
 };
 

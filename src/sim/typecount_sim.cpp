@@ -1,0 +1,272 @@
+#include "sim/typecount_sim.hpp"
+
+#include "ctmc/event_rates.hpp"
+
+namespace p2p {
+
+namespace {
+/// n^2 and x_a * (n - sup(a)) terms below must stay exact in int64:
+/// n <= 2e9 keeps n^2 <= 4e18 < 2^63.
+constexpr std::int64_t kMaxPopulation = 2'000'000'000;
+}  // namespace
+
+TypeCountSim::TypeCountSim(SwarmParams params, TypeCountSimOptions options)
+    : params_(std::move(params)),
+      options_(options),
+      rng_(options.rng_seed),
+      full_mask_((std::uint64_t{1} << params_.num_pieces()) - 1),
+      state_(params_.num_pieces()),
+      peers_by_type_(std::size_t{1} << params_.num_pieces()),
+      sub_(std::size_t{1} << params_.num_pieces(), 0),
+      sup_(std::size_t{1} << params_.num_pieces(), 0),
+      arrival_times_(std::size_t{1} << params_.num_pieces()) {
+  P2P_ASSERT(options_.tracked_piece >= 0 &&
+             options_.tracked_piece < params_.num_pieces());
+  arrival_weights_.reserve(params_.arrivals().size());
+  for (const auto& a : params_.arrivals()) {
+    arrival_weights_.push_back(a.rate);
+    lambda_total_ += a.rate;
+  }
+}
+
+void TypeCountSim::bump(std::uint64_t mask, std::int64_t delta) {
+  if (delta == 0) return;
+  // Pair-sum first: the identity uses the *old* subset/superset sums.
+  pair_sum_s_ += delta * (sub_[mask] + sup_[mask]) + delta * delta;
+  // Every a subseteq mask gains delta supersets-weighted peers...
+  std::uint64_t a = mask;
+  while (true) {
+    sup_[a] += delta;
+    if (a == 0) break;
+    a = (a - 1) & mask;
+  }
+  // ...and every b superseteq mask gains delta subset-weighted peers.
+  const std::uint64_t comp = full_mask_ & ~mask;
+  std::uint64_t extra = 0;
+  do {
+    sub_[mask | extra] += delta;
+    extra = (extra - comp) & comp;
+  } while (extra != 0);
+  state_.add(PieceSet(mask), delta);
+  peers_by_type_.update(static_cast<std::size_t>(mask), delta);
+  P2P_ASSERT_MSG(state_.total_peers() <= kMaxPopulation,
+                 "TypeCountSim supports at most 2e9 concurrent peers");
+}
+
+double TypeCountSim::take_arrival_time(std::uint64_t mask) {
+  std::vector<double>& times = arrival_times_[mask];
+  P2P_ASSERT(!times.empty());
+  const auto idx = static_cast<std::size_t>(
+      rng_.uniform_int(static_cast<std::uint64_t>(times.size())));
+  const double t = times[idx];
+  times[idx] = times.back();
+  times.pop_back();
+  return t;
+}
+
+void TypeCountSim::inject_peers(PieceSet type, std::int64_t count) {
+  P2P_ASSERT(count >= 0);
+  if (count == 0) return;
+  if (params_.immediate_departure() && type.mask() == full_mask_) {
+    // Complete peers depart the instant they enter (matching
+    // SwarmSim::add_peer): they never join the population.
+    counters_.departures += count;
+    return;
+  }
+  bump(type.mask(), count);
+  arrival_times_[type.mask()].insert(arrival_times_[type.mask()].end(),
+                                     static_cast<std::size_t>(count),
+                                     occupancy_.now());
+}
+
+void TypeCountSim::complete_download(std::uint64_t c_mask, PieceSet useful) {
+  P2P_ASSERT(!useful.empty());
+  const int piece = useful.nth(static_cast<int>(
+      rng_.uniform_int(static_cast<std::uint64_t>(useful.size()))));
+  const std::uint64_t next = c_mask | (std::uint64_t{1} << piece);
+  ++counters_.downloads;
+  if (piece == options_.tracked_piece) ++counters_.downloads_of_tracked;
+  const double arrived = take_arrival_time(c_mask);
+  bump(c_mask, -1);
+  if (params_.immediate_departure() && next == full_mask_) {
+    ++counters_.departures;
+    sojourn_.add(occupancy_.now() - arrived);
+    return;
+  }
+  bump(next, +1);
+  arrival_times_[next].push_back(arrived);
+}
+
+void TypeCountSim::do_arrival() {
+  const std::size_t idx = rng_.discrete(arrival_weights_);
+  const PieceSet type = params_.arrivals()[idx].type;
+  ++counters_.arrivals;
+  if (!type.contains(options_.tracked_piece)) {
+    ++counters_.arrivals_without_tracked;
+  }
+  if (params_.immediate_departure() && type.mask() == full_mask_) {
+    ++counters_.departures;  // unreachable while lambda_F = 0; parity
+    return;
+  }
+  bump(type.mask(), +1);
+  arrival_times_[type.mask()].push_back(occupancy_.now());
+}
+
+void TypeCountSim::do_seed_tick() {
+  // Conditioned on non-silent, the target is uniform among non-seed
+  // peers. Slot F is the tree's last index, so a dart below n - x_F
+  // cannot land on it.
+  const std::int64_t eligible = state_.total_peers() - state_.seeds();
+  P2P_ASSERT(eligible >= 1);
+  const auto c_mask = static_cast<std::uint64_t>(peers_by_type_.find(
+      static_cast<std::int64_t>(
+          rng_.uniform_int(static_cast<std::uint64_t>(eligible)))));
+  const PieceSet needed =
+      PieceSet(c_mask).complement(params_.num_pieces());
+  complete_download(c_mask, needed);
+}
+
+void TypeCountSim::do_peer_tick() {
+  const std::int64_t n = state_.total_peers();
+  const std::int64_t nonsilent = n * n - pair_sum_s_;
+  P2P_ASSERT(nonsilent >= 1);
+  std::uint64_t a_mask = 0;
+  std::uint64_t b_mask = 0;
+  if (2 * nonsilent >= n * n) {
+    // Acceptance >= 1/2: rejection against the unconditioned pair law
+    // (independent uniform peers; i = j allowed and silent, matching the
+    // per-peer model's independent uploader/target draws).
+    while (true) {
+      a_mask = static_cast<std::uint64_t>(peers_by_type_.sample(rng_));
+      b_mask = static_cast<std::uint64_t>(peers_by_type_.sample(rng_));
+      if ((a_mask & ~b_mask) != 0) break;
+    }
+  } else {
+    // Exact inversion over types: uploader type a with weight
+    // x_a * (n - sup(a)) (its non-silent targets), then a uniform
+    // non-superset target. O(2^K), but this branch runs exactly when
+    // non-silent events are rare.
+    auto r = static_cast<std::int64_t>(
+        rng_.uniform_int(static_cast<std::uint64_t>(nonsilent)));
+    bool found = false;
+    for (std::uint64_t m = 0; m <= full_mask_; ++m) {
+      const std::int64_t xa = state_.count(m);
+      if (xa == 0) continue;
+      const std::int64_t w = xa * (n - sup_[m]);
+      if (r < w) {
+        a_mask = m;
+        found = true;
+        break;
+      }
+      r -= w;
+    }
+    P2P_ASSERT(found);
+    auto r2 = static_cast<std::int64_t>(rng_.uniform_int(
+        static_cast<std::uint64_t>(n - sup_[a_mask])));
+    found = false;
+    for (std::uint64_t m = 0; m <= full_mask_; ++m) {
+      if ((m & a_mask) == a_mask) continue;  // b superseteq a: silent
+      const std::int64_t xb = state_.count(m);
+      if (r2 < xb) {
+        b_mask = m;
+        found = true;
+        break;
+      }
+      r2 -= xb;
+    }
+    P2P_ASSERT(found);
+  }
+  const PieceSet useful = PieceSet(a_mask).minus(PieceSet(b_mask));
+  complete_download(b_mask, useful);
+}
+
+void TypeCountSim::do_seed_departure() {
+  P2P_ASSERT(state_.seeds() >= 1);
+  const double arrived = take_arrival_time(full_mask_);
+  bump(full_mask_, -1);
+  ++counters_.departures;
+  sojourn_.add(occupancy_.now() - arrived);
+}
+
+TypeCountSim::EffectiveRates TypeCountSim::effective_rates() const {
+  const std::int64_t n = state_.total_peers();
+  const std::int64_t seeds = state_.seeds();
+  const AggregateRates base =
+      aggregate_event_rates(params_.view(), n, seeds);
+  EffectiveRates rates;
+  rates.arrival = base.arrival;
+  rates.depart = base.depart;
+  if (n >= 1) {
+    rates.seed = params_.seed_rate() * static_cast<double>(n - seeds) /
+                 static_cast<double>(n);
+    rates.peer = params_.contact_rate() *
+                 static_cast<double>(n * n - pair_sum_s_) /
+                 static_cast<double>(n);
+  }
+  rates.nominal_total = base.total();
+  return rates;
+}
+
+void TypeCountSim::dispatch(const EffectiveRates& rates) {
+  const double weights[4] = {rates.arrival, rates.seed, rates.peer,
+                             rates.depart};
+  switch (rng_.discrete(weights)) {
+    case 0:
+      do_arrival();
+      break;
+    case 1:
+      do_seed_tick();
+      break;
+    case 2:
+      do_peer_tick();
+      break;
+    case 3:
+      do_seed_departure();
+      break;
+  }
+}
+
+bool TypeCountSim::step() {
+  const EffectiveRates rates = effective_rates();
+  const double total = rates.total();
+  if (total <= 0) return false;
+  occupancy_.advance(occupancy_.now() + rng_.exponential(total),
+                     state_.total_peers());
+  nominal_events_ += rates.nominal_total / total;
+  ++effective_steps_;
+  dispatch(rates);
+  return true;
+}
+
+void TypeCountSim::run_until(double t_end) {
+  while (occupancy_.now() < t_end) {
+    if (!step()) break;
+  }
+}
+
+void TypeCountSim::run_sampled(double t_end, double dt,
+                               const std::function<void(double)>& fn) {
+  // Pre-event sampling: the holding time is drawn first, samples falling
+  // strictly before the event are emitted, then the event is applied.
+  double next_sample = occupancy_.now() + dt;
+  while (occupancy_.now() < t_end) {
+    const EffectiveRates rates = effective_rates();
+    const double total = rates.total();
+    if (total <= 0) break;
+    const double event_time = occupancy_.now() + rng_.exponential(total);
+    while (next_sample <= t_end && next_sample < event_time) {
+      fn(next_sample);
+      next_sample += dt;
+    }
+    occupancy_.advance(event_time, state_.total_peers());
+    nominal_events_ += rates.nominal_total / total;
+    ++effective_steps_;
+    dispatch(rates);
+  }
+  while (next_sample <= t_end) {
+    fn(next_sample);
+    next_sample += dt;
+  }
+}
+
+}  // namespace p2p

@@ -26,14 +26,18 @@ class PieceSet {
   /// A set from a raw bitmask (bit i <=> piece i present).
   constexpr explicit PieceSet(std::uint64_t mask) : mask_(mask) {}
 
-  /// The full collection {0, ..., k-1}.
+  /// The full collection {0, ..., k-1}. Requires 0 <= k <= kMaxPieces.
   static constexpr PieceSet full(int k) {
+    P2P_ASSERT_MSG(k >= 0 && k <= kMaxPieces,
+                   "PieceSet::full requires 0 <= k <= 64");
     return PieceSet(k >= 64 ? ~std::uint64_t{0}
                             : ((std::uint64_t{1} << k) - 1));
   }
 
-  /// The singleton {piece}.
+  /// The singleton {piece}. Requires 0 <= piece < kMaxPieces.
   static constexpr PieceSet single(int piece) {
+    P2P_ASSERT_MSG(piece >= 0 && piece < kMaxPieces,
+                   "PieceSet::single requires 0 <= piece < 64");
     return PieceSet(std::uint64_t{1} << piece);
   }
 

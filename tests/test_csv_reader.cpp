@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 #include <cstdint>
@@ -291,6 +292,38 @@ TEST(ValidateReportSchema, AcceptsBothWriterHeaders) {
   EXPECT_TRUE(frontier.has_scenario);
 }
 
+TEST(ValidateReportSchema, BackendColumnIsOptionalAndTrailing) {
+  // Simulating writers append sim_backend after the fixed tail; the
+  // reader flags it. Grid and frontier both carry it.
+  SweepOptions simulating;
+  const ReportSchema grid = validate_report_schema(sweep_columns(simulating));
+  EXPECT_TRUE(grid.has_backend);
+  const ReportSchema frontier =
+      validate_report_schema(frontier_columns(simulating));
+  EXPECT_TRUE(frontier.has_backend);
+
+  // Theory-only grids never ran a simulator, so the column is absent —
+  // which also keeps every pre-backend archive (the same header shape)
+  // validating.
+  SweepOptions theory;
+  theory.theory_only = true;
+  const std::vector<std::string> cols = sweep_columns(theory);
+  const ReportSchema bare = validate_report_schema(cols);
+  EXPECT_FALSE(bare.has_backend);
+  EXPECT_EQ(std::count(cols.begin(), cols.end(),
+                       std::string(kSimBackendColumn)),
+            0);
+}
+
+TEST(ValidateReportSchemaDeath, MisplacedBackendColumnAborts) {
+  // sim_backend is only legal as the final column, after the full tail.
+  SweepOptions options;
+  std::vector<std::string> cols = sweep_columns(options);
+  cols.pop_back();
+  cols.insert(cols.begin() + 1, kSimBackendColumn);
+  EXPECT_DEATH(validate_report_schema(cols), "mismatch at column 1");
+}
+
 TEST(ValidateReportSchemaDeath, ReorderedHeaderAborts) {
   SweepOptions options;
   std::vector<std::string> cols = sweep_columns(options);
@@ -301,7 +334,8 @@ TEST(ValidateReportSchemaDeath, ReorderedHeaderAborts) {
 TEST(ValidateReportSchemaDeath, TruncatedHeaderAborts) {
   SweepOptions options;
   std::vector<std::string> cols = sweep_columns(options);
-  cols.pop_back();
+  cols.pop_back();  // sim_backend is optional — dropping it alone is legal
+  cols.pop_back();  // ...but losing ctmc_mean_peers truncates the tail
   EXPECT_DEATH(validate_report_schema(cols), "end of the header");
 }
 

@@ -148,11 +148,12 @@ TEST(RefineFrontier, TableSchemaIsStable) {
   refine.tol = 0.1;
   const Table table =
       refine_frontier(grid, options, refine).to_table();
-  ASSERT_EQ(table.num_columns(), 21u);
+  ASSERT_EQ(table.num_columns(), 22u);
   EXPECT_EQ(table.columns().front(), "row");
   EXPECT_EQ(table.columns()[14], "mix");
   EXPECT_EQ(table.columns()[15], "hetero");
-  EXPECT_EQ(table.columns().back(), "sim_mean_peers_hi");
+  EXPECT_EQ(table.columns()[20], "sim_mean_peers_hi");
+  EXPECT_EQ(table.columns().back(), "sim_backend");
   ASSERT_EQ(table.num_rows(), 1u);
   EXPECT_EQ(table.row(0)[1], "lambda");
 }

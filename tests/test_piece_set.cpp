@@ -125,5 +125,24 @@ TEST_P(SubsetCountTest, PowerSetSizeIsTwoToTheK) {
 INSTANTIATE_TEST_SUITE_P(Sizes, SubsetCountTest,
                          ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 10, 12));
 
+// single(64) used to be an undefined-behaviour shift and full(65) silently
+// saturated to the 64-piece collection; both must abort instead.
+TEST(PieceSetDeathTest, SingleRejectsOutOfRangePiece) {
+  EXPECT_DEATH(PieceSet::single(64), "0 <= piece < 64");
+  EXPECT_DEATH(PieceSet::single(-1), "0 <= piece < 64");
+}
+
+TEST(PieceSetDeathTest, FullRejectsOutOfRangeCount) {
+  EXPECT_DEATH(PieceSet::full(65), "0 <= k <= 64");
+  EXPECT_DEATH(PieceSet::full(-1), "0 <= k <= 64");
+}
+
+TEST(PieceSet, FullAndSingleAcceptBoundaryArguments) {
+  EXPECT_EQ(PieceSet::full(0).size(), 0);
+  EXPECT_EQ(PieceSet::full(64).size(), 64);
+  EXPECT_EQ(PieceSet::single(0).lowest(), 0);
+  EXPECT_EQ(PieceSet::single(63).lowest(), 63);
+}
+
 }  // namespace
 }  // namespace p2p

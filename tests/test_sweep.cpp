@@ -199,9 +199,10 @@ TEST(RunSweep, CtmcColumnGatedByPieceCount) {
   EXPECT_GT(result.cells[0].ctmc_mean_peers, 0.0);
   EXPECT_TRUE(std::isnan(result.cells[1].ctmc_mean_peers));  // K = 4
   // A skipped solve must read as "nan" in the table, never as 0 — the
-  // column is documented "NaN unless the CTMC solve ran".
+  // column is documented "NaN unless the CTMC solve ran". It sits just
+  // before the trailing sim_backend column.
   const Table table = result.to_table();
-  EXPECT_EQ(table.row(1).back(), "nan");
+  EXPECT_EQ(table.row(1)[table.num_columns() - 2], "nan");
 }
 
 TEST(RunSweep, CtmcColumnGatedByStateBudget) {
@@ -232,11 +233,12 @@ TEST(RunSweep, TableSchemaIsStable) {
   SweepOptions options;
   options.horizon = 10;
   const Table table = run_sweep(grid, options).to_table();
-  ASSERT_EQ(table.num_columns(), 21u);
+  ASSERT_EQ(table.num_columns(), 22u);
   EXPECT_EQ(table.columns().front(), "cell");
   EXPECT_EQ(table.columns()[8], "mix");
   EXPECT_EQ(table.columns()[9], "hetero");
-  EXPECT_EQ(table.columns().back(), "ctmc_mean_peers");
+  EXPECT_EQ(table.columns()[20], "ctmc_mean_peers");
+  EXPECT_EQ(table.columns().back(), "sim_backend");
   EXPECT_EQ(table.num_rows(), 1u);
 }
 

@@ -25,12 +25,12 @@ constexpr const char* kGridHeader =
     "cell,lambda,us,mu,gamma,k,eta,flash,mix,hetero,verdict,margin,"
     "critical_piece,replicas,sim_final_peers,sim_mean_peers,"
     "sim_mean_sojourn,sim_mean_peers_sem,sim_mean_peers_lo,"
-    "sim_mean_peers_hi,ctmc_mean_peers";
+    "sim_mean_peers_hi,ctmc_mean_peers,sim_backend";
 
 constexpr const char* kFrontierHeader =
     "row,axis,bracketed,value,value_lo,value_hi,margin,lambda,us,mu,gamma,"
     "k,eta,flash,mix,hetero,replicas,sim_mean_peers,sim_mean_peers_sem,"
-    "sim_mean_peers_lo,sim_mean_peers_hi";
+    "sim_mean_peers_lo,sim_mean_peers_hi,sim_backend";
 
 TEST(SweepGolden, GridCsvHeaderIsTheArchivedSchema) {
   SweepGrid grid = parse_grid("lambda=1;us=1;k=1");
@@ -57,7 +57,7 @@ TEST(SweepGolden, ScenarioCsvHeaderInsertsPerTypeRateColumns) {
             "lambda_empty,lambda_t1.2,lambda_t3.4,verdict,margin,"
             "critical_piece,replicas,sim_final_peers,sim_mean_peers,"
             "sim_mean_sojourn,sim_mean_peers_sem,sim_mean_peers_lo,"
-            "sim_mean_peers_hi,ctmc_mean_peers");
+            "sim_mean_peers_hi,ctmc_mean_peers,sim_backend");
   // The rate columns carry the interpolated composition.
   ASSERT_EQ(table.num_rows(), 1u);
   EXPECT_EQ(table.row(0)[10], "0");    // lambda_empty at mix=1
@@ -95,7 +95,7 @@ TEST(SweepGolden, ScenarioFrontierCsvRecordsTheComposition) {
             "row,axis,bracketed,value,value_lo,value_hi,margin,lambda,us,"
             "mu,gamma,k,eta,flash,mix,hetero,lambda_empty,lambda_t1.2,"
             "lambda_t3.4,replicas,sim_mean_peers,sim_mean_peers_sem,"
-            "sim_mean_peers_lo,sim_mean_peers_hi");
+            "sim_mean_peers_lo,sim_mean_peers_hi,sim_backend");
   ASSERT_EQ(table.num_rows(), 1u);
   // lambda_t1.2 + lambda_t3.4 + lambda_empty = lambda at the frontier.
   const double empty = std::strtod(table.row(0)[16].c_str(), nullptr);

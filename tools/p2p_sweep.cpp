@@ -102,6 +102,11 @@ int main(int argc, char** argv) {
       "refine", "",
       "axis:tol — per row, bisect the Theorem-1 verdict flip along axis "
       "to within tol and emit a frontier table instead of the grid");
+  const std::string backend_spec = flags.get_string(
+      "sim-backend", "auto",
+      "simulation backend: auto (type-count where its law applies — "
+      "eta=1, hetero=0, k<=16 — per-peer otherwise) | perpeer | "
+      "typecount; recorded per cell in the sim_backend column");
   const std::string format =
       flags.get_string("format", "csv", "output format: csv | json");
   const std::string out =
@@ -178,6 +183,37 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: --chunk must be nonnegative (0 = auto)\n");
     return 2;
   }
+  SimBackend sim_backend = SimBackend::kAuto;
+  if (backend_spec == "perpeer") {
+    sim_backend = SimBackend::kPerPeer;
+  } else if (backend_spec == "typecount") {
+    sim_backend = SimBackend::kTypeCount;
+  } else if (backend_spec != "auto") {
+    std::fprintf(stderr,
+                 "error: --sim-backend must be auto, perpeer or typecount "
+                 "(got \"%s\")\n",
+                 backend_spec.c_str());
+    return 2;
+  }
+  if (sim_backend != SimBackend::kAuto && theory_only) {
+    // No simulator runs under --theory-only; accepting a forced backend
+    // would look like the choice took effect.
+    std::fprintf(stderr,
+                 "error: --sim-backend applies to simulating sweeps, not "
+                 "--theory-only\n");
+    return 2;
+  }
+  if (sim_backend == SimBackend::kTypeCount) {
+    // Same domain rule the engine enforces, surfaced as a flag error
+    // naming the offending axis instead of an abort mid-run. A forced
+    // backend never silently changes the law; --sim-backend=auto falls
+    // back to the per-peer simulator on such cells instead.
+    const std::string violation = typecount_domain_violation(grid);
+    if (!violation.empty()) {
+      std::fprintf(stderr, "error: %s\n", violation.c_str());
+      return 2;
+    }
+  }
   options.horizon = horizon;
   options.warmup = warmup;
   options.base_seed = static_cast<std::uint64_t>(seed);
@@ -185,6 +221,7 @@ int main(int argc, char** argv) {
   options.confidence = confidence;
   options.chunk = static_cast<std::size_t>(chunk_flag);
   options.theory_only = theory_only;
+  options.sim_backend = sim_backend;
   options.ctmc_max_peers = static_cast<std::int64_t>(ctmc_cap);
   options.threads = threads_flag > 0
                         ? threads_flag
