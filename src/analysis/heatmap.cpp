@@ -362,4 +362,208 @@ std::string render_svg(const PhaseGrid& grid,
   return out;
 }
 
+namespace {
+
+/// Two ingested grids are diffable only over identical axes and axis
+/// values — both come verbatim from corpora, so exact equality is the
+/// right notion of "the same grid point".
+void validate_diff_pair(const PhaseGrid& baseline, const PhaseGrid& variant,
+                        const RenderOptions& options) {
+  validate(baseline, options);
+  validate(variant, options);
+  P2P_ASSERT_MSG(baseline.x_axis == variant.x_axis &&
+                     baseline.y_axis == variant.y_axis,
+                 "cannot diff grids over different axes (" + baseline.y_axis +
+                     " vs " + baseline.x_axis + " against " + variant.y_axis +
+                     " vs " + variant.x_axis + ")");
+  P2P_ASSERT_MSG(baseline.x_values == variant.x_values &&
+                     baseline.y_values == variant.y_values,
+                 "cannot diff grids over different axis values (the two "
+                 "corpora were swept over different " +
+                     baseline.x_axis + " / " + baseline.y_axis + " points)");
+}
+
+/// variant minus baseline simulated occupancy per cell; NaN when either
+/// side lacks simulation data there.
+std::vector<double> occupancy_diffs(const PhaseGrid& baseline,
+                                    const PhaseGrid& variant) {
+  std::vector<double> diffs(baseline.cells.size(), std::nan(""));
+  for (std::size_t i = 0; i < diffs.size(); ++i) {
+    const PhaseCell& b = baseline.cells[i];
+    const PhaseCell& v = variant.cells[i];
+    if (b.replicas > 0 && v.replicas > 0 &&
+        std::isfinite(b.sim_mean_peers) && std::isfinite(v.sim_mean_peers)) {
+      diffs[i] = v.sim_mean_peers - b.sim_mean_peers;
+    }
+  }
+  return diffs;
+}
+
+/// Largest finite |difference|; 1 when none (flat ramp).
+double default_diff_scale(const std::vector<double>& diffs) {
+  double scale = 0;
+  for (const double d : diffs) {
+    if (std::isfinite(d)) scale = std::max(scale, std::abs(d));
+  }
+  return scale > 0 ? scale : 1;
+}
+
+Rgb diff_color(double d, double scale) {
+  if (!std::isfinite(d) || d == 0) return kMidpoint;
+  const double t = std::sqrt(std::min(1.0, std::abs(d) / scale));
+  return d > 0 ? lerp(kMidpoint, kTransientPole, t)
+               : lerp(kMidpoint, kStablePole, t);
+}
+
+std::string diff_title(const PhaseGrid& baseline, const PhaseGrid& variant,
+                       const RenderOptions& options) {
+  if (!options.title.empty()) return options.title;
+  const std::string who =
+      variant.policy.empty() ? "variant" : variant.policy;
+  return who + " minus baseline occupancy (" + baseline.y_axis + " vs " +
+         baseline.x_axis + ")";
+}
+
+}  // namespace
+
+std::string render_diff_ppm(const PhaseGrid& baseline,
+                            const PhaseGrid& variant,
+                            const RenderOptions& options) {
+  validate_diff_pair(baseline, variant, options);
+  const std::vector<double> diffs = occupancy_diffs(baseline, variant);
+  const double scale = std::isnan(options.margin_scale)
+                           ? default_diff_scale(diffs)
+                           : options.margin_scale;
+  P2P_ASSERT_MSG(scale > 0 && std::isfinite(scale),
+                 "margin_scale must be positive and finite");
+  const std::size_t px = static_cast<std::size_t>(options.cell_px);
+  const std::size_t nx = baseline.num_x();
+  const std::size_t ny = baseline.num_y();
+  const std::size_t width = nx * px;
+  const std::size_t height = ny * px;
+
+  std::string out = "P6\n" + std::to_string(width) + " " +
+                    std::to_string(height) + "\n255\n";
+  std::vector<Rgb> row_colors(nx);
+  for (std::size_t row = 0; row < height; ++row) {
+    const std::size_t yi = ny - 1 - row / px;
+    if (row % px == 0) {
+      for (std::size_t xi = 0; xi < nx; ++xi) {
+        row_colors[xi] = diff_color(diffs[yi * nx + xi], scale);
+      }
+    }
+    for (std::size_t col = 0; col < width; ++col) {
+      const Rgb c = row_colors[col / px];
+      out += static_cast<char>(c.r);
+      out += static_cast<char>(c.g);
+      out += static_cast<char>(c.b);
+    }
+  }
+  return out;
+}
+
+std::string render_diff_svg(const PhaseGrid& baseline,
+                            const PhaseGrid& variant,
+                            const RenderOptions& options) {
+  validate_diff_pair(baseline, variant, options);
+  const std::vector<double> diffs = occupancy_diffs(baseline, variant);
+  const double scale = std::isnan(options.margin_scale)
+                           ? default_diff_scale(diffs)
+                           : options.margin_scale;
+  P2P_ASSERT_MSG(scale > 0 && std::isfinite(scale),
+                 "margin_scale must be positive and finite");
+  const int px = options.cell_px;
+  const std::size_t nx = baseline.num_x();
+  const std::size_t ny = baseline.num_y();
+
+  const int left = 64, top = 52, bottom = 40, right = 16;
+  const int plot_w = static_cast<int>(nx) * px;
+  const int plot_h = static_cast<int>(ny) * px;
+  const int width = std::max(left + plot_w + right, left + 240);
+  const int height = top + plot_h + bottom;
+
+  const auto rgb = [](Rgb c) {
+    return "rgb(" + std::to_string(c.r) + "," + std::to_string(c.g) + "," +
+           std::to_string(c.b) + ")";
+  };
+  const auto xml_escape = [](const std::string& s) {
+    std::string out;
+    for (const char c : s) {
+      if (c == '&') {
+        out += "&amp;";
+      } else if (c == '<') {
+        out += "&lt;";
+      } else if (c == '>') {
+        out += "&gt;";
+      } else {
+        out += c;
+      }
+    }
+    return out;
+  };
+  std::string out;
+  const auto text = [&](double x, double y, const char* anchor,
+                        const char* fill, int size, const std::string& s) {
+    out += "  <text x=\"";
+    fmt_into(out, x);
+    out += "\" y=\"";
+    fmt_into(out, y);
+    out += "\" text-anchor=\"";
+    out += anchor;
+    out += "\" fill=\"";
+    out += fill;
+    out += "\" font-family=\"system-ui, sans-serif\" font-size=\"" +
+           std::to_string(size) + "\">" + xml_escape(s) + "</text>\n";
+  };
+  out += "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" +
+         std::to_string(width) + "\" height=\"" + std::to_string(height) +
+         "\" viewBox=\"0 0 " + std::to_string(width) + " " +
+         std::to_string(height) + "\">\n";
+  out += "  <rect width=\"" + std::to_string(width) + "\" height=\"" +
+         std::to_string(height) + "\" fill=\"" + kSurface + "\"/>\n";
+  text(left, 18, "start", kTextPrimary, 13,
+       diff_title(baseline, variant, options));
+
+  // Legend: the two difference arms (labels carry the meaning, the
+  // swatches sit at mid-ramp like the verdict legend's).
+  const int legend_y = 30;
+  out += "  <rect x=\"" + std::to_string(left) + "\" y=\"" +
+         std::to_string(legend_y) + "\" width=\"10\" height=\"10\" fill=\"" +
+         rgb(lerp(kMidpoint, kStablePole, 0.6)) + "\"/>\n";
+  text(left + 14, legend_y + 9, "start", kTextSecondary, 11,
+       "fewer peers");
+  out += "  <rect x=\"" + std::to_string(left + 90) + "\" y=\"" +
+         std::to_string(legend_y) + "\" width=\"10\" height=\"10\" fill=\"" +
+         rgb(lerp(kMidpoint, kTransientPole, 0.6)) + "\"/>\n";
+  text(left + 104, legend_y + 9, "start", kTextSecondary, 11,
+       "more peers");
+
+  for (std::size_t yi = 0; yi < ny; ++yi) {
+    const int y = top + static_cast<int>(ny - 1 - yi) * px;
+    for (std::size_t xi = 0; xi < nx; ++xi) {
+      out += "  <rect x=\"" +
+             std::to_string(left + static_cast<int>(xi) * px) + "\" y=\"" +
+             std::to_string(y) + "\" width=\"" + std::to_string(px) +
+             "\" height=\"" + std::to_string(px) + "\" fill=\"" +
+             rgb(diff_color(diffs[yi * nx + xi], scale)) + "\"/>\n";
+    }
+  }
+
+  const int axis_y = top + plot_h;
+  text(left, axis_y + 16, "start", kTextSecondary, 11,
+       fmt(baseline.x_values.front()));
+  text(left + plot_w, axis_y + 16, "end", kTextSecondary, 11,
+       fmt(baseline.x_values.back()));
+  text(left + plot_w / 2.0, axis_y + 32, "middle", kTextPrimary, 12,
+       baseline.x_axis);
+  text(left - 6, axis_y - plot_h + 12, "end", kTextSecondary, 11,
+       fmt(baseline.y_values.back()));
+  text(left - 6, axis_y - 2, "end", kTextSecondary, 11,
+       fmt(baseline.y_values.front()));
+  text(left - 6, axis_y - plot_h / 2.0, "end", kTextPrimary, 12,
+       baseline.y_axis);
+  out += "</svg>\n";
+  return out;
+}
+
 }  // namespace p2p::analysis

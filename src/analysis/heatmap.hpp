@@ -59,4 +59,27 @@ std::string render_svg(const PhaseGrid& grid,
                        const std::vector<PhaseFrontierPoint>& frontier,
                        const RenderOptions& options = {});
 
+/// Policy-vs-baseline difference diagram: per cell, the simulated
+/// occupancy of `variant` minus `baseline` on the same diverging
+/// palette — blue arm where the variant holds FEWER peers than the
+/// baseline, red arm where more, neutral midpoint where either side
+/// lacks simulation data (or the difference is exactly zero). Shade is
+/// the sqrt ramp over |difference|, saturating at margin_scale (NaN =
+/// the largest finite |difference|, deterministic). Theorem 14 says
+/// work-conserving policies share one stability region, so a
+/// frontier-straddling red/blue band is the signal worth looking at.
+/// Aborts when the grids disagree on axes or axis values (a diff of
+/// unaligned grids would be silently meaningless). overlay_frontier is
+/// ignored: verdict frontiers belong to the per-grid renderers.
+std::string render_diff_ppm(const PhaseGrid& baseline,
+                            const PhaseGrid& variant,
+                            const RenderOptions& options = {});
+
+/// The SVG face of the same difference diagram: identical cell colors
+/// and orientation, fewer/more-peers legend swatches, axis labels as in
+/// render_svg. The default title names the variant's policy token.
+std::string render_diff_svg(const PhaseGrid& baseline,
+                            const PhaseGrid& variant,
+                            const RenderOptions& options = {});
+
 }  // namespace p2p::analysis

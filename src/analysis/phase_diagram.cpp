@@ -128,6 +128,15 @@ PhaseGrid build_phase_grid_rows(
   const std::size_t tail = schema.tail_start;
   const std::size_t block = engine::sweep_schema_head().size();
   const std::size_t block_width = schema.mix_types.size() + 1;
+  // Optional trailing columns sit after the fixed tail, in the order
+  // the writer appends them: sim_backend, policy, fluid_verdict. Their
+  // positions depend on which are present, so derive them from the
+  // schema flags instead of fixed offsets.
+  std::size_t opt = tail + engine::sweep_schema_tail().size();
+  if (schema.has_backend) ++opt;
+  const std::size_t policy_col = schema.has_policy ? opt++ : 0;
+  const std::size_t fluid_col = schema.has_fluid ? opt : 0;
+  std::string policy;
   // Row-major per-type block copies (lambda_empty first), when present.
   std::vector<double> type_cols;
   std::vector<std::string> row;
@@ -183,6 +192,28 @@ PhaseGrid build_phase_grid_rows(
                    "replicas must be a nonnegative integer (" + ctx + ")");
     c.sim_mean_peers = num(tail + 5);
     c.ctmc_mean_peers = num(tail + 10);
+    if (schema.has_policy) {
+      // The policy is a sweep-level constant, so every row must repeat
+      // one token — and it must be a token the writer can emit.
+      const std::string& tok = row[policy_col];
+      if (r == 0) {
+        bool known = false;
+        for (const PolicyKind kind :
+             {PolicyKind::kRandomUseful, PolicyKind::kRarestFirst,
+              PolicyKind::kMostCommonFirst, PolicyKind::kSequential}) {
+          if (tok == to_string(kind)) known = true;
+        }
+        P2P_ASSERT_MSG(known,
+                       "unknown policy \"" + tok + "\" in " + ctx);
+        policy = tok;
+      } else {
+        P2P_ASSERT_MSG(tok == policy,
+                       "the policy column must be constant over the grid "
+                       "(" + ctx + " has \"" + tok + "\", row 0 had \"" +
+                           policy + "\")");
+      }
+    }
+    if (schema.has_fluid) c.fluid = parse_verdict(row[fluid_col], ctx);
 
     if (schema.has_scenario) {
       for (std::size_t i = 0; i < block_width; ++i) {
@@ -204,6 +235,8 @@ PhaseGrid build_phase_grid_rows(
   }
 
   PhaseGrid grid;
+  grid.policy = policy;
+  grid.has_fluid = schema.has_fluid;
   std::size_t xi_axis = kNumAxes, yi_axis = kNumAxes;
   if (x_req.empty() && y_req.empty()) {
     P2P_ASSERT_MSG(!varying.empty(),
@@ -442,6 +475,21 @@ VerdictAgreement verdict_agreement(const PhaseGrid& grid, double threshold,
   P2P_ASSERT_MSG(resamples >= 10, "bootstrap resamples must be >= 10");
 
   VerdictAgreement out;
+  out.has_fluid = grid.has_fluid;
+  if (grid.has_fluid) {
+    // Both verdicts are closed-form, so the theory-vs-fluid matrix
+    // covers every cell — no simulation gate.
+    for (const PhaseCell& c : grid.cells) {
+      const int t = static_cast<int>(c.verdict);
+      const int f = static_cast<int>(c.fluid);
+      out.fluid_counts[t][f] += 1;
+      if (c.verdict != Stability::kBorderline &&
+          c.fluid != Stability::kBorderline) {
+        ++out.fluid_compared;
+        if (c.verdict == c.fluid) ++out.fluid_agreeing;
+      }
+    }
+  }
   std::vector<const PhaseCell*> sim_cells;
   for (const PhaseCell& c : grid.cells) {
     if (c.replicas > 0 && std::isfinite(c.sim_mean_peers)) {
@@ -470,6 +518,10 @@ VerdictAgreement verdict_agreement(const PhaseGrid& grid, double threshold,
   for (const PhaseCell* c : sim_cells) {
     const bool busy = c->sim_mean_peers > threshold;
     out.counts[static_cast<int>(c->verdict)][busy ? 1 : 0] += 1;
+    if (grid.has_fluid) {
+      out.counts3[static_cast<int>(c->verdict)][static_cast<int>(c->fluid)]
+                 [busy ? 1 : 0] += 1;
+    }
     if (c->verdict == Stability::kBorderline) continue;
     const bool agree = (c->verdict == Stability::kTransient) == busy;
     indicators.push_back(agree ? 1.0 : 0.0);

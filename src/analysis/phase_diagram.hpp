@@ -54,6 +54,8 @@ struct PhaseCell {
   int replicas = 0;
   double sim_mean_peers = std::nan("");
   double ctmc_mean_peers = std::nan("");
+  /// Fluid-limit verdict; meaningful only when PhaseGrid::has_fluid.
+  Stability fluid = Stability::kBorderline;
 };
 
 /// A rectangular phase-diagram view of an ingested grid report.
@@ -68,6 +70,13 @@ struct PhaseGrid {
   /// everywhere — the weights are unrecoverable from an all-zero
   /// block, and unneeded: every such cell is the homogeneous cell).
   engine::ScenarioSpec scenario;
+  /// Piece-selection policy token recorded by the corpus ("rarest-first",
+  /// ...); empty for baseline corpora without a policy column. The
+  /// column is sweep-constant, so one string covers the grid.
+  std::string policy;
+  /// True when the corpus carried a fluid_verdict column (every cell's
+  /// `fluid` field is then meaningful).
+  bool has_fluid = false;
   /// Row-major [y][x].
   std::vector<PhaseCell> cells;
 
@@ -133,7 +142,10 @@ std::vector<PhaseFrontierPoint> extract_frontier(const PhaseGrid& grid,
                                                  double tol = 1e-3,
                                                  int threads = 1);
 
-/// Theory-vs-simulation verdict agreement over a grid's cells.
+/// Theory-vs-simulation verdict agreement over a grid's cells; when the
+/// grid carries a fluid_verdict column, additionally the three-way
+/// theory/fluid/sim confusion tensor and the closed-form theory-vs-fluid
+/// matrix over every cell.
 struct VerdictAgreement {
   /// Occupancy threshold that splits simulated cells into
   /// "transient-looking" (mean peers above) and "stable-looking".
@@ -152,6 +164,20 @@ struct VerdictAgreement {
   /// cell qualifies.
   double agreement = std::nan("");
   double agreement_lo = std::nan(""), agreement_hi = std::nan("");
+  /// True when the ingested grid carried a fluid_verdict column; the
+  /// fields below are only meaningful then.
+  bool has_fluid = false;
+  /// counts3[theory][fluid][sim busy ? 1 : 0] over cells with
+  /// simulation data — the three-way confusion tensor (verdict indexing
+  /// as in `counts`).
+  std::size_t counts3[3][3][2] = {};
+  /// fluid_counts[theory][fluid] over EVERY grid cell: both verdicts
+  /// are closed-form, so no simulation gate applies.
+  std::size_t fluid_counts[3][3] = {};
+  /// Cells where both closed-form verdicts are non-borderline, and how
+  /// many of those agree.
+  std::size_t fluid_compared = 0;
+  std::size_t fluid_agreeing = 0;
 };
 
 /// Classifies every simulated cell against `threshold` (NaN = use the

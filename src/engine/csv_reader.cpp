@@ -718,10 +718,25 @@ ReportSchema validate_report_schema(const std::vector<std::string>& columns) {
   }
   schema.tail_start = i;
   for (const char* c : tail) expect(i++, c);
-  // The sim_backend column (engine/sweep.hpp) trails the fixed tail and
-  // is optional: theory-only grids and pre-backend corpora lack it.
+  // The sim_backend, policy and fluid_verdict columns (engine/sweep.hpp)
+  // trail the fixed tail in that order, each optional: theory-only
+  // grids, pre-backend corpora, baseline-policy sweeps and fluid-less
+  // runs all lack some suffix of them.
   if (i < columns.size() && columns[i] == kSimBackendColumn) {
     schema.has_backend = true;
+    ++i;
+  }
+  if (i < columns.size() && columns[i] == kPolicyColumn) {
+    P2P_ASSERT_MSG(schema.has_backend,
+                   "the policy column requires a sim_backend column before "
+                   "it (no simulator ran without one)");
+    schema.has_policy = true;
+    ++i;
+  }
+  if (i < columns.size() && columns[i] == kFluidVerdictColumn) {
+    P2P_ASSERT_MSG(schema.kind == ReportKind::kGrid,
+                   "the fluid_verdict column belongs to grid reports only");
+    schema.has_fluid = true;
     ++i;
   }
   P2P_ASSERT_MSG(i == columns.size(),

@@ -133,6 +133,12 @@ struct ReportSchema {
   /// simulator ran; earlier corpora (and theory-only grids) do not, and
   /// both generations must keep validating.
   bool has_backend = false;
+  /// True when the trailing "policy" column (after sim_backend) is
+  /// present: the report simulated a non-RandomUseful selection policy.
+  bool has_policy = false;
+  /// True when the trailing "fluid_verdict" column (last) is present:
+  /// the sweep ran the fluid-limit classifier next to theory and sim.
+  bool has_fluid = false;
 };
 
 /// Inverse of mix_column_name: "lambda_t1.2" -> {0, 1}. Aborts on

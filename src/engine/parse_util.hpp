@@ -14,11 +14,25 @@
 
 namespace p2p::engine {
 
+/// True iff `token` has the shape of a plain decimal number: an optional
+/// leading '-', then a digit. This gates strtod's looser grammar — the
+/// "nan"/"inf"/"infinity" word spellings (any case), hex floats ("0x1p3"
+/// starts with a digit, so 'x'/'X' is rejected separately), and leading
+/// whitespace all fail the gate instead of silently parsing.
+inline bool plain_decimal_shape(const std::string& token) {
+  const std::size_t first = token.size() > 1 && token[0] == '-' ? 1 : 0;
+  if (token.size() <= first || token[first] < '0' || token[first] > '9') {
+    return false;
+  }
+  return token.find_first_of("xX") == std::string::npos;
+}
+
 /// Parses one number token. `spec` is the enclosing CLI spec, echoed
 /// verbatim on failure so the user sees which argument is bad. When
-/// `allow_inf`, the token "inf" parses to +infinity; otherwise only
-/// finite decimal spellings are accepted (strtod must consume the whole
-/// token — "1x", "", " 2" all abort).
+/// `allow_inf`, the literal token "inf" (exactly that spelling) parses to
+/// +infinity; every other spelling must be a finite plain decimal that
+/// strtod consumes whole — "1x", "", " 2", "nan", "infinity", "INF",
+/// "0x1p3" and overflowing decimals all abort.
 inline double parse_number(const std::string& token, const std::string& spec,
                            bool allow_inf, const char* what) {
   if (allow_inf && token == "inf") {
@@ -26,8 +40,8 @@ inline double parse_number(const std::string& token, const std::string& spec,
   }
   char* end = nullptr;
   const double v = std::strtod(token.c_str(), &end);
-  P2P_ASSERT_MSG(!token.empty() && end == token.c_str() + token.size() &&
-                     (allow_inf || std::isfinite(v)),
+  P2P_ASSERT_MSG(plain_decimal_shape(token) &&
+                     end == token.c_str() + token.size() && std::isfinite(v),
                  std::string(what) + " (got \"" + spec + "\")");
   return v;
 }

@@ -90,6 +90,18 @@ ScenarioSpec parse_scenario(const std::string& spec) {
   return scenario;
 }
 
+PolicyKind parse_policy(const std::string& spec) {
+  if (spec == "random") return PolicyKind::kRandomUseful;
+  if (spec == "rarest") return PolicyKind::kRarestFirst;
+  if (spec == "mostcommon") return PolicyKind::kMostCommonFirst;
+  if (spec == "sequential") return PolicyKind::kSequential;
+  P2P_ASSERT_MSG(false,
+                 "unknown policy (valid: random, rarest, mostcommon, "
+                 "sequential; got \"" +
+                     spec + "\")");
+  return PolicyKind::kRandomUseful;
+}
+
 void expand_arrivals(const ScenarioSpec& scenario, const CellParams& p,
                      std::vector<ArrivalSpec>& out) {
   P2P_ASSERT_MSG(p.mix >= 0 && p.mix <= 1,
@@ -128,6 +140,7 @@ ExpandedCell expand(const ScenarioSpec& scenario, const CellParams& p) {
   cell.sim.retry_boost = p.eta;
   cell.sim.rate_classes =
       two_class_spread(p.hetero, scenario.slow_weight, scenario.fast_weight);
+  cell.sim.policy = p.policy;
   return cell;
 }
 

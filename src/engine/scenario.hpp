@@ -55,6 +55,11 @@ struct ScenarioSpec {
   /// axis (sim/swarm.hpp two_class_spread).
   double slow_weight = 1;
   double fast_weight = 1;
+  /// Useful-piece selection the simulated peers run (Theorem 14's class
+  /// H). Orthogonal to the arrival mix: a scenario may set a policy with
+  /// or without a typed mix, so empty() is unaffected. Theory columns
+  /// ignore it — Theorem 14 says the stability region does not move.
+  PolicyKind policy = PolicyKind::kRandomUseful;
 
   bool empty() const { return mix.empty(); }
 };
@@ -70,6 +75,11 @@ struct ScenarioSpec {
 /// specs, echoing the offending spec verbatim.
 ScenarioSpec parse_scenario(const std::string& spec);
 
+/// Parses a `--policy` token: "random" (the Theorem-1 baseline),
+/// "rarest", "mostcommon", or "sequential". Aborts on unknown tokens,
+/// echoing the offending spec verbatim.
+PolicyKind parse_policy(const std::string& spec);
+
 /// The model-parameter tuple a single grid point denotes (engine/sweep.hpp
 /// fills it from the axis values).
 struct CellParams {
@@ -77,6 +87,10 @@ struct CellParams {
   double mix = 0, hetero = 0;
   int k = 0;
   std::int64_t flash = 0;
+  /// Copied from the scenario (no policy axis exists): part of the cell
+  /// so backend-domain checks (engine/sweep.hpp typecount_in_domain) see
+  /// the full simulator configuration one tuple describes.
+  PolicyKind policy = PolicyKind::kRandomUseful;
 };
 
 /// One materialized grid cell: the model the theory/CTMC layers classify

@@ -11,6 +11,7 @@
 #include <span>
 
 #include "analysis/confidence.hpp"
+#include "core/fluid.hpp"
 #include "core/model.hpp"
 #include "ctmc/stationary.hpp"
 #include "engine/parse_util.hpp"
@@ -185,7 +186,8 @@ class CellCursor {
 /// extract_params without the name lookups and integrality asserts —
 /// validate_effective_axes already vetted every grid value once up
 /// front, so the per-cell path only rounds.
-CellParams cell_params(const AxisSlots& s, const std::vector<double>& v) {
+CellParams cell_params(const AxisSlots& s, const std::vector<double>& v,
+                       PolicyKind policy) {
   CellParams p;
   p.lambda = v[s.lambda];
   p.us = v[s.us];
@@ -196,6 +198,7 @@ CellParams cell_params(const AxisSlots& s, const std::vector<double>& v) {
   p.hetero = v[s.hetero];
   p.k = static_cast<int>(std::lround(v[s.k]));
   p.flash = std::llround(v[s.flash]);
+  p.policy = policy;
   return p;
 }
 
@@ -338,6 +341,13 @@ void validate_effective_axes(const SweepGrid& effective,
         P2P_ASSERT_MSG(v >= 1 && std::abs(v - std::lround(v)) < 1e-9,
                        "axis k must take positive integer values");
         P2P_ASSERT_MSG(
+            !options.fluid || v <= SweepOptions::kFluidMaxPieces,
+            "the fluid verdict integrates a dense 2^k-state ODE per cell "
+            "(k <= " +
+                std::to_string(SweepOptions::kFluidMaxPieces) +
+                "), but axis k takes the value " + format_number(v) +
+                "; shrink k or drop --fluid");
+        P2P_ASSERT_MSG(
             options.scenario.empty() ||
                 std::lround(v) == options.scenario.num_pieces,
             "axis k must equal the scenario's piece count (mix \"" +
@@ -399,6 +409,43 @@ SweepGrid effective_grid(const SweepGrid& grid) {
   return effective;
 }
 
+/// Fluid-limit verdict of one cell: integrate the mean-field ODE
+/// (core/fluid.hpp) from a large one-club point mass and sign the growth
+/// of the club coordinate over the later half of the horizon. The fluid
+/// one-club growth rate converges to Delta_S — the quantity Theorem 1
+/// signs (bench/bench_fluid_limit.cpp pins the agreement numerically) —
+/// so a swelling club is the transience signature and a shrinking or
+/// drained club is positive recurrence. Unlike the closed form, the
+/// integration needs no mu < gamma restriction, so the verdict covers
+/// the altruistic branch too. Deterministic: no RNG, so the report stays
+/// byte-identical for any (threads, chunk).
+Stability fluid_cell_verdict(const CellParams& p, const SweepOptions& options,
+                             const std::vector<ArrivalSpec>& arrivals) {
+  constexpr double kClubMass = 5000.0;
+  constexpr double kGrowthTol = 1e-3;
+  const FluidModel model(SwarmParams(p.k, p.us, p.mu, p.gamma, arrivals));
+  const PieceSet club = PieceSet::full(p.k).without(0);
+  // Scale the RK4 step with the fastest rate so stiff cells (large mu or
+  // gamma) stay inside the stability region of the integrator; the
+  // verdict is a sign, not a trajectory, so accuracy beyond that is
+  // wasted.
+  const double rate_scale =
+      std::max({1.0, p.mu, p.us, std::isfinite(p.gamma) ? p.gamma : 1.0});
+  const double dt = 0.05 / rate_scale;
+  const double half = 0.5 * options.horizon;
+  const FluidState mid = model.integrate(model.point_mass(club, kClubMass),
+                                         half, dt);
+  const FluidState late = model.integrate(mid, half, dt);
+  const double growth = (late[club.mask()] - mid[club.mask()]) / half;
+  if (growth > kGrowthTol) return Stability::kTransient;
+  if (growth < -kGrowthTol) return Stability::kPositiveRecurrent;
+  // A strongly stable cell drains the whole club before the first window
+  // closes, leaving zero late growth; an (almost) empty club is
+  // recurrence, not a borderline call.
+  return late[club.mask()] < 0.01 * kClubMass ? Stability::kPositiveRecurrent
+                                              : Stability::kBorderline;
+}
+
 /// Fills the non-sim fields of one cell — everything the cell's first
 /// work item computes besides its own simulation. Resets the struct
 /// first: the streaming pipeline recycles ring slots, and a stale CTMC
@@ -414,6 +461,7 @@ void fill_cell(CellResult& r, std::size_t cell, const CellParams& p,
   // (or the chunk path's reused local) must see them reset.
   r.sim = SimAggregate{};
   r.ctmc_mean_peers = std::nan("");
+  r.fluid = Stability::kBorderline;
   r.backend = resolve_sim_backend(options.sim_backend, p);
   r.index = cell;
   r.lambda = p.lambda;
@@ -428,12 +476,17 @@ void fill_cell(CellResult& r, std::size_t cell, const CellParams& p,
   expand_arrivals(options.scenario, p, arrival_scratch);
   r.theory = classify(SwarmParamsView{p.k, p.us, p.mu, p.gamma,
                                       arrival_scratch});
-  // The truncated chain is the *homogeneous* law: under a retry boost or
-  // a rate spread its stationary mean is not the answer the simulator
-  // approaches, so the column stays NaN rather than posing as an exact
-  // cross-check. Typed mixes are fine — the chain is typed by nature.
+  if (options.fluid) {
+    r.fluid = fluid_cell_verdict(p, options, arrival_scratch);
+  }
+  // The truncated chain is the *homogeneous RandomUseful* law: under a
+  // retry boost, a rate spread or a non-baseline selection policy its
+  // stationary mean is not the answer the simulator approaches, so the
+  // column stays NaN rather than posing as an exact cross-check. Typed
+  // mixes are fine — the chain is typed by nature.
   if (options.ctmc_max_peers > 0 && p.k <= SweepOptions::kCtmcMaxPieces &&
       p.eta == 1 && p.hetero == 0 &&
+      p.policy == PolicyKind::kRandomUseful &&
       ctmc_tractable(p.k, options.ctmc_max_peers)) {
     r.ctmc_mean_peers =
         solve_truncated_swarm(
@@ -479,6 +532,13 @@ struct GridRenderPlan {
   std::string backend_tokens[2];
   std::string const_tail;
   std::size_t const_tail_cells = 0;
+  /// Full policy cell (present only when simulating off the RandomUseful
+  /// baseline): the policy is sweep-constant, so one cached cell serves
+  /// every row.
+  std::string policy_token;
+  /// Full trailing fluid_verdict cells (present only under
+  /// SweepOptions::fluid), indexed by the Stability enum value.
+  std::string fluid_tokens[3];
 };
 
 /// backend_tokens index of a resolved backend.
@@ -498,7 +558,9 @@ GridRenderPlan make_grid_render_plan(const SweepGrid& effective,
                       {},
                       {},
                       {},
-                      0};
+                      0,
+                      {},
+                      {}};
   plan.axis_tokens.resize(effective.axes.size());
   int max_k = 1;
   for (std::size_t i = 0; i < effective.axes.size(); ++i) {
@@ -552,16 +614,40 @@ GridRenderPlan make_grid_render_plan(const SweepGrid& effective,
         cache_cells(verdict_column + 2, 1,
                     [&](RowRenderer::Row& row) { row.number(piece); }));
   }
+  // The optional policy and fluid_verdict columns trail sim_backend, so
+  // every end-anchored column position below backs off by however many
+  // of them this sweep emits.
+  const std::size_t fluid_cells = options.fluid ? 1 : 0;
+  const bool with_policy =
+      !options.theory_only &&
+      options.scenario.policy != PolicyKind::kRandomUseful;
+  const std::size_t policy_cells = with_policy ? 1 : 0;
   if (!options.theory_only) {
     for (const SimBackend b : {SimBackend::kPerPeer, SimBackend::kTypeCount}) {
       plan.backend_tokens[backend_token_slot(b)] = cache_cells(
-          num_columns - 1, 1,
+          num_columns - 1 - policy_cells - fluid_cells, 1,
           [&](RowRenderer::Row& row) { row.text(to_string(b)); });
     }
   }
+  if (with_policy) {
+    plan.policy_token =
+        cache_cells(num_columns - 1 - fluid_cells, 1,
+                    [&](RowRenderer::Row& row) {
+                      row.text(to_string(options.scenario.policy));
+                    });
+  }
+  if (options.fluid) {
+    for (const Stability v : {Stability::kPositiveRecurrent,
+                              Stability::kTransient,
+                              Stability::kBorderline}) {
+      plan.fluid_tokens[static_cast<int>(v)] = cache_cells(
+          num_columns - 1, 1,
+          [&](RowRenderer::Row& row) { row.text(to_string(v)); });
+    }
+  }
   if (options.theory_only && options.ctmc_max_peers <= 0) {
-    plan.const_tail =
-        cache_cells(num_columns - 8, 8, [&](RowRenderer::Row& row) {
+    plan.const_tail = cache_cells(
+        num_columns - 8 - fluid_cells, 8, [&](RowRenderer::Row& row) {
           row.number(0);  // replicas
           for (int c = 0; c < 7; ++c) row.number(std::nan(""));
         });
@@ -658,6 +744,12 @@ void render_grid_row(const GridRenderPlan& plan, const SweepOptions& options,
       row.cells_verbatim(plan.backend_tokens[backend_token_slot(c.backend)],
                          1);
     }
+  }
+  if (!plan.policy_token.empty()) {
+    row.cells_verbatim(plan.policy_token, 1);
+  }
+  if (options.fluid) {
+    row.cells_verbatim(plan.fluid_tokens[static_cast<int>(c.fluid)], 1);
   }
   row.end();
 }
@@ -758,7 +850,8 @@ SweepSummary sweep_cells_ordered(const SweepGrid& grid,
     // A forced backend must never silently change the law: abort up
     // front, naming the offending axis, instead of running out-of-domain
     // cells on the wrong simulator (kAuto falls back per cell instead).
-    const std::string violation = typecount_domain_violation(effective);
+    const std::string violation =
+        typecount_domain_violation(effective, options.scenario);
     P2P_ASSERT_MSG(violation.empty(), violation);
   }
 
@@ -838,7 +931,8 @@ SweepSummary sweep_cells_ordered(const SweepGrid& grid,
           cslot.stable = cslot.transient = cslot.borderline = 0;
           CellResult result;
           for (std::size_t cell = begin; cell < end; ++cell) {
-            const CellParams p = cell_params(axis_slots, cursor.values());
+            const CellParams p = cell_params(axis_slots, cursor.values(),
+                                             options.scenario.policy);
             fill_cell(result, cell, p, options, arrival_scratch);
             if (!options.theory_only) {
               const ReplicaSample sample = simulate_replica(
@@ -876,7 +970,8 @@ SweepSummary sweep_cells_ordered(const SweepGrid& grid,
           const std::size_t cell_end =
               single ? item + 1 : std::min(end, (cell + 1) * replicas);
           CellSlot& slot = slots[cell & slot_mask];
-          const CellParams p = cell_params(axis_slots, cursor.values());
+          const CellParams p = cell_params(axis_slots, cursor.values(),
+                                           options.scenario.policy);
           if (single || item % replicas == 0) {
             fill_cell(slot.result, cell, p, options, arrival_scratch);
           }
@@ -1129,14 +1224,16 @@ constexpr const char* kFrontierTail[] = {
     "replicas", "sim_mean_peers", "sim_mean_peers_sem", "sim_mean_peers_lo",
     "sim_mean_peers_hi"};
 
-/// head + [per-type block] + tail + [sim_backend], the shape of both
-/// report tables. The backend column trails the fixed tail so archived
-/// pre-backend corpora remain a prefix of the new schema (the reader
-/// treats it as optional).
+/// head + [per-type block] + tail + [sim_backend] + [policy] +
+/// [fluid_verdict], the shape of both report tables. The optional
+/// columns trail the fixed tail in that order so every archived corpus
+/// remains a prefix of the new schema (the reader treats each as
+/// optional).
 std::vector<std::string> schema_columns(std::span<const char* const> head,
                                         std::span<const char* const> tail,
                                         const ScenarioSpec& scenario,
-                                        bool with_backend) {
+                                        bool with_backend, bool with_policy,
+                                        bool with_fluid) {
   std::vector<std::string> cols(head.begin(), head.end());
   if (!scenario.empty()) {
     // Per-type arrival-rate columns: the composition the mix axis
@@ -1146,6 +1243,8 @@ std::vector<std::string> schema_columns(std::span<const char* const> head,
   }
   cols.insert(cols.end(), tail.begin(), tail.end());
   if (with_backend) cols.push_back(kSimBackendColumn);
+  if (with_policy) cols.push_back(kPolicyColumn);
+  if (with_fluid) cols.push_back(kFluidVerdictColumn);
   return cols;
 }
 
@@ -1168,10 +1267,15 @@ std::string mix_column_name(PieceSet type) {
 }
 
 std::vector<std::string> sweep_columns(const SweepOptions& options) {
-  // Theory-only grids carry no backend column: no simulator ran, and
-  // archived closed-form corpora must keep reproducing byte-identically.
-  return schema_columns(sweep_schema_head(), sweep_schema_tail(),
-                        options.scenario, !options.theory_only);
+  // Theory-only grids carry no backend or policy column: no simulator
+  // ran, and archived closed-form corpora must keep reproducing
+  // byte-identically. The policy column likewise stays absent on the
+  // RandomUseful baseline, so pre-policy sim archives keep their bytes.
+  const bool sim = !options.theory_only;
+  return schema_columns(
+      sweep_schema_head(), sweep_schema_tail(), options.scenario, sim,
+      sim && options.scenario.policy != PolicyKind::kRandomUseful,
+      options.fluid);
 }
 
 const char* to_string(SimBackend backend) {
@@ -1189,11 +1293,13 @@ const char* to_string(SimBackend backend) {
 
 bool typecount_in_domain(const CellParams& p) {
   // eta != 1 is per-peer state (the retry boost tracks each peer's last
-  // contact), hetero != 0 draws per-peer rate classes, and the dense
-  // type-count state caps K at 16 — outside any of these, only the
-  // per-peer simulator realizes the cell's law. The engine's piece
-  // selection is always RandomUseful, the domain's third leg.
-  return p.eta == 1.0 && p.hetero == 0.0 && p.k <= 16;
+  // contact), hetero != 0 draws per-peer rate classes, the dense
+  // type-count state caps K at 16, and any policy besides RandomUseful
+  // makes the transfer law depend on which concrete peer is contacted —
+  // outside any of these, only the per-peer simulator realizes the
+  // cell's law.
+  return p.policy == PolicyKind::kRandomUseful && p.eta == 1.0 &&
+         p.hetero == 0.0 && p.k <= 16;
 }
 
 SimBackend resolve_sim_backend(SimBackend requested, const CellParams& p) {
@@ -1202,7 +1308,19 @@ SimBackend resolve_sim_backend(SimBackend requested, const CellParams& p) {
                                 : SimBackend::kPerPeer;
 }
 
-std::string typecount_domain_violation(const SweepGrid& grid) {
+std::string typecount_domain_violation(const SweepGrid& grid,
+                                       const ScenarioSpec& scenario) {
+  if (scenario.policy != PolicyKind::kRandomUseful) {
+    // The policy is a scenario dimension, not a grid axis, but the
+    // message keeps the named-axis shape of the other domain legs so
+    // every violation reads the same way.
+    return std::string("the typecount backend requires policy = "
+                       "random-useful (the exchangeable type-count state "
+                       "assumes the Theorem-1 selection law), but axis "
+                       "policy takes the value ") +
+           to_string(scenario.policy) +
+           "; drop the axis or use the perpeer/auto backend";
+  }
   const SweepGrid effective = effective_grid(grid);
   const auto offends = [](const std::string& name, double v) {
     if (name == "eta") return v != 1.0;
@@ -1231,6 +1349,10 @@ std::string typecount_domain_violation(const SweepGrid& grid) {
     }
   }
   return {};
+}
+
+std::string typecount_domain_violation(const SweepGrid& grid) {
+  return typecount_domain_violation(grid, ScenarioSpec{});
 }
 
 std::vector<std::string> sweep_row(const CellResult& c,
@@ -1263,6 +1385,11 @@ std::vector<std::string> sweep_row(const CellResult& c,
     row.push_back(std::move(cell));
   }
   if (!options.theory_only) row.push_back(to_string(c.backend));
+  if (!options.theory_only &&
+      options.scenario.policy != PolicyKind::kRandomUseful) {
+    row.push_back(to_string(options.scenario.policy));
+  }
+  if (options.fluid) row.push_back(to_string(c.fluid));
   return row;
 }
 
@@ -1311,7 +1438,9 @@ FrontierPoint bisect_row(const SweepGrid& rows, std::size_t row,
   values.push_back(0);
   const auto params_at = [&](double v) {
     values.back() = v;
-    return extract_params(axes, values);
+    CellParams p = extract_params(axes, values);
+    p.policy = scenario.policy;
+    return p;
   };
   const auto verdict_at = [&](double v) {
     return classify(expand(scenario, params_at(v)).params).verdict;
@@ -1407,6 +1536,9 @@ void render_frontier_row(const RowRenderer& renderer,
   // a domain axis (eta/hetero/k), so the resolution is well defined
   // even for unbracketed rows.
   row.text(to_string(resolve_sim_backend(options.sim_backend, pt.params)));
+  if (options.scenario.policy != PolicyKind::kRandomUseful) {
+    row.text(to_string(options.scenario.policy));
+  }
   row.end();
 }
 
@@ -1439,7 +1571,8 @@ FrontierSummary frontier_points_ordered(
   if (options.sim_backend == SimBackend::kTypeCount) {
     // Same forced-backend guard as the grid pipeline: frontier points
     // always simulate, so an out-of-domain row axis must abort up front.
-    const std::string violation = typecount_domain_violation(effective);
+    const std::string violation =
+        typecount_domain_violation(effective, options.scenario);
     P2P_ASSERT_MSG(violation.empty(), violation);
   }
   if (effective_out != nullptr) *effective_out = effective;
@@ -1583,8 +1716,11 @@ std::vector<std::string> frontier_columns(const SweepOptions& options) {
   // The per-type block records the composition each localized point ran
   // (NaN when the row never bracketed a flip) — the mix weights are not
   // recoverable from the generic axis columns alone.
-  return schema_columns(frontier_schema_head(), frontier_schema_tail(),
-                        options.scenario, /*with_backend=*/true);
+  return schema_columns(
+      frontier_schema_head(), frontier_schema_tail(), options.scenario,
+      /*with_backend=*/true,
+      options.scenario.policy != PolicyKind::kRandomUseful,
+      /*with_fluid=*/false);
 }
 
 std::vector<std::string> frontier_row(const FrontierPoint& pt,
@@ -1615,6 +1751,9 @@ std::vector<std::string> frontier_row(const FrontierPoint& pt,
     row.push_back(std::move(cell));
   }
   row.push_back(to_string(resolve_sim_backend(options.sim_backend, pt.params)));
+  if (options.scenario.policy != PolicyKind::kRandomUseful) {
+    row.push_back(to_string(options.scenario.policy));
+  }
   return row;
 }
 

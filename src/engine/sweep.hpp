@@ -109,9 +109,9 @@ enum class SimBackend { kAuto, kPerPeer, kTypeCount };
 const char* to_string(SimBackend backend);
 
 /// True when the type-count backend realizes the cell's law: eta = 1,
-/// hetero = 0 and k <= 16 (TypeCountState's dense-type limit). The
-/// engine's piece selection is always RandomUseful, the third leg of
-/// the domain.
+/// hetero = 0, k <= 16 (TypeCountState's dense-type limit) and the
+/// RandomUseful policy — any other selection breaks the exchangeability
+/// of identical-type peers the collapsed state relies on.
 bool typecount_in_domain(const CellParams& p);
 
 /// Resolves kAuto by the documented rule; forced choices pass through.
@@ -123,6 +123,17 @@ SimBackend resolve_sim_backend(SimBackend requested, const CellParams& p);
 /// every frontier table); absent from theory-only grids, so archived
 /// closed-form corpora reproduce byte-identically.
 inline constexpr const char* kSimBackendColumn = "sim_backend";
+
+/// Trailing report column naming the piece-selection policy the cell's
+/// replicas ran (after sim_backend). Present exactly when the table
+/// carries simulation columns and the scenario's policy is not the
+/// RandomUseful baseline — baseline sweeps keep their historical bytes.
+inline constexpr const char* kPolicyColumn = "policy";
+
+/// Trailing report column with the fluid-limit verdict (after the
+/// policy column). Present exactly when SweepOptions::fluid is set;
+/// archived corpora without it reproduce byte-identically.
+inline constexpr const char* kFluidVerdictColumn = "fluid_verdict";
 
 /// One sweep axis: a parameter name and the grid values it takes.
 /// Valid names: "lambda" (total arrival rate), "us", "mu", "gamma"
@@ -163,11 +174,13 @@ struct SweepGrid {
 SweepGrid parse_grid(const std::string& spec);
 
 /// Empty when every cell of `grid` (missing axes filled from the
-/// default region grid, like run_sweep does) lies in the type-count
-/// backend's domain; otherwise a message naming the offending axis and
-/// value. Shared by the engine's forced-typecount validation and
-/// p2p_sweep's friendly pre-flight error, so the two never disagree on
-/// the domain.
+/// default region grid, like run_sweep does) under `scenario` lies in
+/// the type-count backend's domain; otherwise a message naming the
+/// offending axis and value. Shared by the engine's forced-typecount
+/// validation and p2p_sweep's friendly pre-flight error, so the two
+/// never disagree on the domain.
+std::string typecount_domain_violation(const SweepGrid& grid,
+                                       const ScenarioSpec& scenario);
 std::string typecount_domain_violation(const SweepGrid& grid);
 
 /// The standard Theorem-1 region grid: lambda 0.5:3.0:16 crossed with
@@ -224,11 +237,22 @@ struct SweepOptions {
   SimBackend sim_backend = SimBackend::kAuto;
 
   /// Typed-arrival scenario the mix/hetero axes act on; default empty
-  /// (the mix axis must then be 0 everywhere).
+  /// (the mix axis must then be 0 everywhere). Its policy field selects
+  /// the simulated peers' piece-selection rule for every cell.
   ScenarioSpec scenario;
+
+  /// Additionally classify every cell by the fluid (mean-field) limit:
+  /// integrate the dense ODE of core/fluid.hpp from a large one-club
+  /// point mass over the horizon and sign the late-window growth of the
+  /// club coordinate — the numerical analogue of Delta_S (the fluid
+  /// one-club drift), and the third verdict next to theory and sim.
+  /// Adds the fluid_verdict column. The ODE is dense over 2^k piece
+  /// sets, so the k axis must stay <= kFluidMaxPieces.
+  bool fluid = false;
 
   static constexpr int kCtmcMaxPieces = 3;
   static constexpr double kCtmcMaxStates = 2e6;
+  static constexpr int kFluidMaxPieces = 8;
 };
 
 /// Replica-aggregated simulation statistics for one parameter point.
@@ -271,6 +295,10 @@ struct CellResult {
   /// Resolved backend the cell's replicas ran on (never kAuto).
   /// Meaningless — and the report column absent — under theory_only.
   SimBackend backend = SimBackend::kPerPeer;
+  /// Fluid-limit verdict (meaningful only when SweepOptions::fluid):
+  /// transient when the one-club point mass grows along the mean-field
+  /// flow, positive-recurrent when it drains, borderline in between.
+  Stability fluid = Stability::kBorderline;
 };
 
 struct SweepResult {
@@ -285,7 +313,8 @@ struct SweepResult {
   /// critical_piece, replicas, sim_final_peers, sim_mean_peers,
   /// sim_mean_sojourn, sim_mean_peers_sem, sim_mean_peers_lo,
   /// sim_mean_peers_hi, ctmc_mean_peers[, sim_backend unless
-  /// theory_only].
+  /// theory_only][, policy when simulating off the RandomUseful
+  /// baseline][, fluid_verdict when options.fluid].
   Table to_table() const;
 };
 
@@ -387,7 +416,8 @@ struct FrontierResult {
   /// mix, hetero, [the same per-type arrival-rate columns as the grid
   /// table when the scenario is non-empty], replicas, sim_mean_peers,
   /// sim_mean_peers_sem, sim_mean_peers_lo, sim_mean_peers_hi,
-  /// sim_backend.
+  /// sim_backend[, policy when the scenario's policy is not the
+  /// RandomUseful baseline].
   Table to_table() const;
 };
 

@@ -42,11 +42,22 @@ class WeightedIndex {
     P2P_ASSERT(size >= 1);
   }
 
-  /// Slots initialised from `weights`.
+  /// Slots initialised from `weights`: O(n) bulk build — leaves first,
+  /// then one pass folding each node into its parent — instead of n
+  /// O(log n) Fenwick walks. Produces the exact tree the incremental
+  /// update() path builds (pinned in test_weighted_index.cpp).
   explicit WeightedIndex(std::span<const Weight> weights)
       : WeightedIndex(weights.size()) {
     for (std::size_t i = 0; i < weights.size(); ++i) {
-      update(i, weights[i]);
+      P2P_ASSERT_MSG(weights[i] >= Weight{0},
+                     "WeightedIndex weights must stay nonnegative");
+      weight_[i] = weights[i];
+      tree_[i + 1] = weights[i];
+      total_ += weights[i];
+    }
+    for (std::size_t j = 1; j <= round_; ++j) {
+      const std::size_t parent = j + (j & (~j + 1));
+      if (parent <= round_) tree_[parent] += tree_[j];
     }
   }
 

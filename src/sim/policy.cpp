@@ -56,4 +56,23 @@ std::unique_ptr<PieceSelectionPolicy> make_policy(const std::string& name) {
   return nullptr;
 }
 
+const char* to_string(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kRandomUseful:
+      return "random-useful";
+    case PolicyKind::kRarestFirst:
+      return "rarest-first";
+    case PolicyKind::kMostCommonFirst:
+      return "most-common-first";
+    case PolicyKind::kSequential:
+      return "sequential";
+  }
+  P2P_ASSERT_MSG(false, "unknown piece selection policy");
+  return nullptr;
+}
+
+std::unique_ptr<PieceSelectionPolicy> make_policy(PolicyKind kind) {
+  return make_policy(std::string(to_string(kind)));
+}
+
 }  // namespace p2p

@@ -81,4 +81,19 @@ class SequentialPolicy final : public PieceSelectionPolicy {
 /// "sequential". Aborts on unknown names.
 std::unique_ptr<PieceSelectionPolicy> make_policy(const std::string& name);
 
+/// The built-in policies as a value type, so option structs and sweep
+/// scenarios can carry a selection policy without owning a polymorphic
+/// object. Order matches the factory-name listing above.
+enum class PolicyKind {
+  kRandomUseful,
+  kRarestFirst,
+  kMostCommonFirst,
+  kSequential,
+};
+
+/// The factory/report name of a kind ("random-useful", ...): to_string
+/// and make_policy round-trip.
+const char* to_string(PolicyKind kind);
+std::unique_ptr<PieceSelectionPolicy> make_policy(PolicyKind kind);
+
 }  // namespace p2p

@@ -31,8 +31,7 @@ SwarmSim::SwarmSim(SwarmParams params,
 }
 
 SwarmSim::SwarmSim(SwarmParams params, SwarmSimOptions options)
-    : SwarmSim(std::move(params), std::make_unique<RandomUsefulPolicy>(),
-               options) {}
+    : SwarmSim(std::move(params), make_policy(options.policy), options) {}
 
 SwarmSim::Group SwarmSim::classify(const Peer& peer) const {
   const PieceSet full = PieceSet::full(params_.num_pieces());

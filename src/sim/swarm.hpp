@@ -82,6 +82,10 @@ struct SwarmSimOptions {
   /// or injected peer is assigned a class with probability proportional
   /// to weight.
   std::vector<RateClass> rate_classes;
+  /// Useful-piece selection used by the policy-less constructor. The
+  /// default is the Theorem-1 baseline, so existing call sites keep their
+  /// exact event stream.
+  PolicyKind policy = PolicyKind::kRandomUseful;
   std::uint64_t rng_seed = 1;
 };
 
@@ -90,7 +94,8 @@ class SwarmSim final : public SwarmBackend {
   SwarmSim(SwarmParams params, std::unique_ptr<PieceSelectionPolicy> policy,
            SwarmSimOptions options = {});
 
-  /// Convenience: RandomUsefulPolicy.
+  /// Convenience: the policy selected by options.policy (the Theorem-1
+  /// RandomUsefulPolicy unless overridden).
   SwarmSim(SwarmParams params, SwarmSimOptions options = {});
 
   /// Adds `count` peers of the given type at the current instant (e.g. a

@@ -44,10 +44,20 @@ class Flags {
     const auto it = values_.find(name);
     if (it == values_.end()) return fallback;
     consumed_.insert(name);
+    const std::string& token = it->second;
+    // Shape-gate before strtod: its grammar also accepts "nan",
+    // "inf"/"infinity" (any case), hex floats and leading whitespace —
+    // spellings that would silently run a different experiment than the
+    // flag suggests. Only plain finite decimals pass.
+    const std::size_t first = token.size() > 1 && token[0] == '-' ? 1 : 0;
+    const bool decimal_shape =
+        token.size() > first && token[first] >= '0' && token[first] <= '9' &&
+        token.find_first_of("xX") == std::string::npos;
     char* end = nullptr;
-    const double v = std::strtod(it->second.c_str(), &end);
-    if (end == it->second.c_str() || *end != '\0') {
-      fail("flag --" + name + " expects a number, got '" + it->second + "'");
+    const double v = std::strtod(token.c_str(), &end);
+    if (!decimal_shape || *end != '\0' || !std::isfinite(v)) {
+      fail("flag --" + name + " expects a number (finite decimal), got '" +
+           token + "'");
     }
     return v;
   }

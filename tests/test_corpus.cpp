@@ -248,6 +248,34 @@ TEST(Corpus, ArchivedReportsRegenerateByteIdentically) {
     }
   }
   {
+    // p2p_sweep --grid "k=2;gamma=1.25;lambda=0.75:4.75:9;us=0.2:1.0:5"
+    //   --replicas 4 --warmup 100 --horizon 400 --fluid [--policy rarest]
+    const SweepGrid grid =
+        parse_grid("k=2;gamma=1.25;lambda=0.75:4.75:9;us=0.2:1.0:5");
+    SweepOptions options;
+    options.replicas = 4;
+    options.warmup = 100;
+    options.horizon = 400;
+    options.fluid = true;
+    for (const bool rarest : {false, true}) {
+      options.scenario.policy =
+          rarest ? PolicyKind::kRarestFirst : PolicyKind::kRandomUseful;
+      const std::string archived = file_bytes(
+          dir + (rarest ? "/policy_rarest_region.csv"
+                        : "/policy_baseline_region.csv"));
+      for (const int threads : {1, 4}) {
+        options.threads = threads;
+        std::string out;
+        ReportWriter writer(&out, ReportFormat::kCsv,
+                            sweep_columns(options));
+        run_sweep_stream(grid, options, writer);
+        writer.finish();
+        EXPECT_EQ(out, archived)
+            << (rarest ? "rarest" : "baseline") << " threads " << threads;
+      }
+    }
+  }
+  {
     // p2p_sweep --mix example2:3,1
     //   --grid "us=1;mu=1;gamma=inf;mix=0:1:5;lambda=0.6:3.0:9"
     //   --replicas 4 --warmup 100 --horizon 400

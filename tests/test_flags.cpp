@@ -115,6 +115,31 @@ TEST(FlagsDeath, NonNumericValueAborts) {
       "expects a number");
 }
 
+TEST(FlagsDeath, StrtodLeniencyHolesStayClosed) {
+  // Same hole as the engine spec grammar: strtod also accepts "nan",
+  // any-case "inf"/"infinity", hex floats and leading whitespace. A
+  // numeric flag takes finite plain decimals only; each rejected
+  // spelling is echoed back so the user sees what was actually parsed.
+  for (const char* bad : {"--rate=nan", "--rate=inf", "--rate=INFINITY",
+                          "--rate=-inf", "--rate=0x1p3", "--rate= 2",
+                          "--rate=1e999"}) {
+    EXPECT_DEATH(
+        {
+          Flags f = make({bad});
+          f.get_double("rate", 0.0, "");
+        },
+        "expects a number")
+        << bad;
+  }
+  // The echoed value names the offending spelling verbatim.
+  EXPECT_DEATH(
+      {
+        Flags f = make({"--rate=nan"});
+        f.get_double("rate", 0.0, "");
+      },
+      "got 'nan'");
+}
+
 TEST(FlagsDeath, PositionalArgumentAborts) {
   EXPECT_DEATH(make({"positional"}), "positional");
 }

@@ -59,6 +59,29 @@ TEST(ParseAxisDeath, MessagesEchoTheOffendingSpecVerbatim) {
   EXPECT_DEATH(parse_refine("lambda:-1"), "got \"lambda:-1\"");
 }
 
+TEST(ParseAxisDeath, StrtodLeniencyHolesStayClosed) {
+  // strtod's grammar is looser than the spec grammar: it accepts "nan",
+  // any-case "inf"/"infinity", hex floats, and leading whitespace. Only
+  // the literal "inf" spelling is a valid axis value (and only on gamma,
+  // checked downstream); every other strtod-ism must abort echoing the
+  // offending spec — even on the axis where infinity is legal.
+  EXPECT_DEATH(parse_axis("gamma=nan"), "got \"gamma=nan\"");
+  EXPECT_DEATH(parse_axis("gamma=NaN"), "got \"gamma=NaN\"");
+  EXPECT_DEATH(parse_axis("gamma=infinity"), "got \"gamma=infinity\"");
+  EXPECT_DEATH(parse_axis("gamma=INF"), "got \"gamma=INF\"");
+  EXPECT_DEATH(parse_axis("gamma=Inf"), "got \"gamma=Inf\"");
+  EXPECT_DEATH(parse_axis("gamma=-inf"), "got \"gamma=-inf\"");
+  EXPECT_DEATH(parse_axis("gamma=0x1p3"), "got \"gamma=0x1p3\"");
+  EXPECT_DEATH(parse_axis("gamma=0X2"), "got \"gamma=0X2\"");
+  EXPECT_DEATH(parse_axis("gamma= 2"), "got \"gamma= 2\"");
+  // A decimal overflowing to infinity is an infinity the user did not
+  // spell; it must not sneak past the finite check either.
+  EXPECT_DEATH(parse_axis("gamma=1e999"), "got \"gamma=1e999\"");
+  // Plain decimals (including exponents) still parse.
+  EXPECT_EQ(parse_axis("gamma=1e-3").values, std::vector<double>({1e-3}));
+  EXPECT_EQ(parse_axis("lambda=-2.5").values, std::vector<double>({-2.5}));
+}
+
 TEST(SweepGrid, CartesianExpansionLastAxisFastest) {
   SweepGrid grid = parse_grid("us=1,2;lambda=10,20,30");
   ASSERT_EQ(grid.num_cells(), 6u);

@@ -155,6 +155,44 @@ TEST(WeightedIndex, IncrementalUpdatesMatchRebuiltTree) {
   }
 }
 
+// The O(n) bulk build (span constructor) must produce exactly the tree
+// the incremental path builds: same totals, same weights, and — the part
+// that sees the internal Fenwick nodes — identical find() over every
+// cumulative position, across sizes on both sides of the power-of-two
+// rounding (round_ = bit_ceil(size)).
+TEST(WeightedIndex, BulkBuildEqualsIncrementalBuild) {
+  Rng weight_rng(0xB01DFACE);
+  for (const std::size_t size : {1u, 2u, 3u, 5u, 7u, 8u, 9u, 13u, 16u, 33u,
+                                 100u}) {
+    std::vector<std::int64_t> weights(size);
+    for (auto& w : weights) w = static_cast<std::int64_t>(
+        weight_rng.uniform_int(6));  // zeros included
+    if (weights[0] == 0) weights[0] = 2;  // keep total positive
+    const WeightedIndex<std::int64_t> bulk{
+        std::span<const std::int64_t>(weights)};
+    WeightedIndex<std::int64_t> incremental(size);
+    for (std::size_t i = 0; i < size; ++i) {
+      incremental.update(i, weights[i]);
+    }
+    ASSERT_EQ(bulk.total(), incremental.total()) << "size " << size;
+    for (std::size_t i = 0; i < size; ++i) {
+      ASSERT_EQ(bulk.weight(i), incremental.weight(i))
+          << "size " << size << " slot " << i;
+    }
+    for (std::int64_t r = 0; r < bulk.total(); ++r) {
+      ASSERT_EQ(bulk.find(r), incremental.find(r))
+          << "size " << size << " r=" << r;
+    }
+  }
+}
+
+TEST(WeightedIndexDeathTest, BulkBuildRejectsNegativeWeights) {
+  const std::vector<std::int64_t> weights = {1, -2, 3};
+  EXPECT_DEATH(WeightedIndex<std::int64_t>{
+                   std::span<const std::int64_t>(weights)},
+               "nonnegative");
+}
+
 // Golden stream: the integral sampler's draw sequence is part of the
 // simulator's determinism contract (report bytes depend on it), so freeze
 // the first draws for a fixed seed and weight vector.

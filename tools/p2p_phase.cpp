@@ -18,6 +18,12 @@
 //   $ ./p2p_sweep --grid "lambda=0.5:3.0:64;us=0.2:1.7:64" \
 //       --theory-only | ./p2p_phase --in - --ppm region.ppm
 //
+//   # Theorem-14 policy comparison: render where a rarest-first sweep
+//   # holds more (red) or fewer (blue) peers than its baseline:
+//   $ ./p2p_phase --in experiments/policy_rarest_region.csv \
+//       --diff experiments/policy_baseline_region.csv \
+//       --diff-ppm diff.ppm --diff-svg diff.svg
+//
 // Everything derived here is a pure function of the input bytes and
 // the flags: no wall clock, caller-seeded bootstrap, per-row
 // parallelism that cannot reorder results — so diagrams and summary
@@ -95,6 +101,11 @@ std::string summary_json(const std::string& source, const PhaseGrid& grid,
            "\"";
   }
   out += "],\n";
+  if (!grid.policy.empty()) {
+    // Only non-baseline corpora carry the column, so baseline summary
+    // bytes are untouched.
+    out += "  \"policy\": " + json_str(grid.policy) + ",\n";
+  }
   out += "  \"verdicts\": {\"positive-recurrent\": " +
          std::to_string(verdict_counts[0]) +
          ", \"transient\": " + std::to_string(verdict_counts[1]) +
@@ -136,7 +147,35 @@ std::string summary_json(const std::string& source, const PhaseGrid& grid,
            std::to_string(agreement.counts[v][0]) + ", " +
            std::to_string(agreement.counts[v][1]) + "]";
   }
-  out += "}}\n}\n";
+  out += "}}";
+  if (agreement.has_fluid) {
+    // The three-way digest only exists for corpora with a fluid_verdict
+    // column, so pre-fluid summaries keep their bytes.
+    out += ",\n  \"fluid\": {\"compared\": " +
+           std::to_string(agreement.fluid_compared) +
+           ", \"agreeing\": " + std::to_string(agreement.fluid_agreeing) +
+           ", \"theory_vs_fluid\": {";
+    for (int t = 0; t < 3; ++t) {
+      if (t > 0) out += ", ";
+      out += std::string("\"") + verdict_names[t] + "\": [" +
+             std::to_string(agreement.fluid_counts[t][0]) + ", " +
+             std::to_string(agreement.fluid_counts[t][1]) + ", " +
+             std::to_string(agreement.fluid_counts[t][2]) + "]";
+    }
+    out += "}, \"three_way\": {";
+    for (int t = 0; t < 3; ++t) {
+      if (t > 0) out += ", ";
+      out += std::string("\"") + verdict_names[t] + "\": [";
+      for (int f = 0; f < 3; ++f) {
+        if (f > 0) out += ", ";
+        out += "[" + std::to_string(agreement.counts3[t][f][0]) + ", " +
+               std::to_string(agreement.counts3[t][f][1]) + "]";
+      }
+      out += "]";
+    }
+    out += "}}";
+  }
+  out += "\n}\n";
   return out;
 }
 
@@ -202,7 +241,28 @@ int main(int argc, char** argv) {
       "summary", "",
       "write the summary JSON here ('-' = stdout; default stdout when no "
       "other output is requested)");
+  const std::string diff_in = flags.get_string(
+      "diff", "",
+      "baseline grid report to diff --in against (same axes and values); "
+      "renders the per-cell occupancy difference");
+  const std::string diff_ppm_out = flags.get_string(
+      "diff-ppm", "", "write the occupancy-difference diagram as PPM here");
+  const std::string diff_svg_out = flags.get_string(
+      "diff-svg", "", "write the occupancy-difference diagram as SVG here");
   flags.finish();
+
+  if (!diff_in.empty() && diff_ppm_out.empty() && diff_svg_out.empty()) {
+    std::fprintf(stderr,
+                 "error: --diff needs --diff-ppm and/or --diff-svg to "
+                 "render into\n");
+    return 2;
+  }
+  if (diff_in.empty() && (!diff_ppm_out.empty() || !diff_svg_out.empty())) {
+    std::fprintf(stderr,
+                 "error: --diff-ppm/--diff-svg need --diff to name the "
+                 "baseline report\n");
+    return 2;
+  }
 
   const int threads =
       threads_flag > 0
@@ -243,6 +303,23 @@ int main(int argc, char** argv) {
   }
   if (!frontier_out.empty()) {
     write_text(frontier_out, frontier_table(grid, frontier).to_csv());
+  }
+  if (!diff_in.empty()) {
+    // The diff reads --in as the variant and --diff as the baseline:
+    // red cells mean the variant holds MORE peers than the baseline.
+    const PhaseGrid baseline = [&] {
+      if (report_is_json(diff_in)) {
+        return build_phase_grid(read_json_file(diff_in), x_axis, y_axis);
+      }
+      CsvReader reader(diff_in);
+      return build_phase_grid(reader, x_axis, y_axis);
+    }();
+    if (!diff_ppm_out.empty()) {
+      write_text(diff_ppm_out, render_diff_ppm(baseline, grid, render));
+    }
+    if (!diff_svg_out.empty()) {
+      write_text(diff_svg_out, render_diff_svg(baseline, grid, render));
+    }
   }
   const std::string summary = summary_json(basename_of(in), grid, frontier,
                                            agreement, tol);

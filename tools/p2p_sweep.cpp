@@ -35,6 +35,11 @@
 //   $ ./p2p_sweep --grid "lambda=0.5:3.0:1000;us=0.2:1.7:1000" \
 //       --theory-only --threads 8 --out region_1e6.csv
 //
+//   # Theorem-14 policy check: sweep the same grid under rarest-first
+//   # selection with the fluid-limit verdict column alongside:
+//   $ ./p2p_sweep --grid "k=2;lambda=0.5:2.5:9" --policy rarest --fluid \
+//       --replicas 4 --out rarest.csv
+//
 // Unspecified axes keep the default region grid's values (lambda and Us
 // 16-point linspaces, mu = 1, gamma = 1.25, K = 3, eta = 1, flash = 0,
 // mix = 0, hetero = 0); naming an axis in --grid replaces just that
@@ -102,6 +107,14 @@ int main(int argc, char** argv) {
       "refine", "",
       "axis:tol — per row, bisect the Theorem-1 verdict flip along axis "
       "to within tol and emit a frontier table instead of the grid");
+  const std::string policy_spec = flags.get_string(
+      "policy", "random",
+      "piece-selection policy the simulator runs: random | rarest | "
+      "mostcommon | sequential; non-random policies add a policy column");
+  const bool fluid = flags.get_bool(
+      "fluid", false,
+      "integrate the fluid-limit ODE per cell and emit a fluid_verdict "
+      "column next to the Theorem-1 verdict (k <= 8)");
   const std::string backend_spec = flags.get_string(
       "sim-backend", "auto",
       "simulation backend: auto (type-count where its law applies — "
@@ -150,7 +163,26 @@ int main(int argc, char** argv) {
     grid.set_axis(Axis{"hetero", {hetero}});
   }
 
+  if (policy_spec != "random" && policy_spec != "rarest" &&
+      policy_spec != "mostcommon" && policy_spec != "sequential") {
+    std::fprintf(stderr,
+                 "error: --policy must be random, rarest, mostcommon or "
+                 "sequential (got \"%s\")\n",
+                 policy_spec.c_str());
+    return 2;
+  }
+  const PolicyKind policy = parse_policy(policy_spec);
+  if (policy != PolicyKind::kRandomUseful && theory_only) {
+    // No simulator runs under --theory-only, so the policy could not
+    // take effect; accepting it would look like it did.
+    std::fprintf(stderr,
+                 "error: --policy applies to simulating sweeps, not "
+                 "--theory-only\n");
+    return 2;
+  }
+
   SweepOptions options;
+  options.fluid = fluid;
   if (!mix_spec.empty()) {
     options.scenario = parse_scenario(mix_spec);
     // Asking for a named mix means running it: pin the k axis to the
@@ -179,6 +211,7 @@ int main(int argc, char** argv) {
       }
     }
   }
+  options.scenario.policy = policy;
   if (chunk_flag < 0) {
     std::fprintf(stderr, "error: --chunk must be nonnegative (0 = auto)\n");
     return 2;
@@ -208,7 +241,8 @@ int main(int argc, char** argv) {
     // naming the offending axis instead of an abort mid-run. A forced
     // backend never silently changes the law; --sim-backend=auto falls
     // back to the per-peer simulator on such cells instead.
-    const std::string violation = typecount_domain_violation(grid);
+    const std::string violation =
+        typecount_domain_violation(grid, options.scenario);
     if (!violation.empty()) {
       std::fprintf(stderr, "error: %s\n", violation.c_str());
       return 2;
@@ -248,6 +282,14 @@ int main(int argc, char** argv) {
       // accepting the flag would emit replica columns that never ran.
       std::fprintf(stderr,
                    "error: --theory-only applies to grid mode only, not "
+                   "--refine\n");
+      return 2;
+    }
+    if (fluid) {
+      // The frontier table carries no fluid_verdict column; accepting
+      // the flag would look like the classifier ran.
+      std::fprintf(stderr,
+                   "error: --fluid applies to grid mode only, not "
                    "--refine\n");
       return 2;
     }
