@@ -155,13 +155,23 @@ int main(int argc, char** argv) {
   // The speedup headline is only meaningful relative to the cores the
   // box actually has: on a 1-core host the 8-thread run measures
   // oversubscription, not scaling, so consumers (the CI gate) must
-  // read hardware_concurrency before judging speedup_8_over_1.
+  // read hardware_concurrency before judging speedup_8_over_1. The
+  // JSON carries the verdict explicitly (gate_skipped_reason, empty
+  // when the gate is armed) so a skipped gate is recorded, not silent.
   const unsigned hw = std::thread::hardware_concurrency();
   const double speedup_8_over_1 = threads_curve.back().cells_per_sec /
                                   threads_curve.front().cells_per_sec;
   std::printf("8-thread over 1-thread speedup: %.2fx (on %u hardware "
               "threads)\n",
               speedup_8_over_1, hw);
+  const std::string gate_skipped_reason =
+      hw >= 8 ? ""
+              : "only " + std::to_string(hw) +
+                    " hardware threads (< 8): speedup_8_over_1 measures "
+                    "oversubscription, not scaling";
+  if (!gate_skipped_reason.empty()) {
+    std::printf("speedup gate UNARMED: %s\n", gate_skipped_reason.c_str());
+  }
 
   std::string json = "{\n";
   json += "  \"cells\": " + std::to_string(grid.num_cells()) + ",\n";
@@ -172,6 +182,9 @@ int main(int argc, char** argv) {
           format_number(threads_curve.front().cells_per_sec) + ",\n";
   json += "  \"speedup_8_over_1\": " + format_number(speedup_8_over_1) +
           ",\n";
+  json += "  \"gate_skipped_reason\": ";
+  append_json_string(json, gate_skipped_reason);
+  json += ",\n";
   json += "  \"auto_chunk_over_chunk1_8threads\": " +
           format_number(auto_over_chunk1) + ",\n";
   json += "  \"threads_curve\": [\n";

@@ -566,4 +566,219 @@ std::string render_diff_svg(const PhaseGrid& baseline,
   return out;
 }
 
+namespace {
+
+/// Largest finite |margin| over the leaves; 1 when none (flat ramp).
+double default_box_margin_scale(const BoxGrid& grid) {
+  double scale = 0;
+  for (const PhaseBox& b : grid.boxes) {
+    if (std::isfinite(b.margin)) scale = std::max(scale, std::abs(b.margin));
+  }
+  return scale > 0 ? scale : 1;
+}
+
+Rgb box_color(const PhaseBox& box, double scale, bool overlay) {
+  // Non-uniform leaves are the frontier cover: the subdivision stopped
+  // (depth or tolerance cap) while their corners still disagreed, so
+  // they play the role the dense renderers' ink overlay plays.
+  if (overlay && !box.uniform) return kInk;
+  const double m = std::isfinite(box.margin) ? std::abs(box.margin) : 0;
+  const double t = std::sqrt(std::min(1.0, m / scale));
+  switch (box.verdict) {
+    case Stability::kPositiveRecurrent:
+      return lerp(kMidpoint, kStablePole, t);
+    case Stability::kTransient:
+      return lerp(kMidpoint, kTransientPole, t);
+    case Stability::kBorderline:
+      return kMidpoint;
+  }
+  P2P_ASSERT(false);
+  return kMidpoint;
+}
+
+struct BoxPlotGeometry {
+  std::size_t width = 0, height = 0;  // plot pixels
+  double scale = 0;                   // resolved margin scale
+};
+
+BoxPlotGeometry box_geometry(const BoxGrid& grid,
+                             const RenderOptions& options) {
+  P2P_ASSERT_MSG(options.cell_px >= 1 && options.cell_px <= 256,
+                 "cell_px must lie in [1, 256]");
+  P2P_ASSERT_MSG(!grid.boxes.empty(), "cannot render an empty box grid");
+  BoxPlotGeometry g;
+  // cell_px pixels per FINEST leaf: the raster resolves every box the
+  // archive resolved, nothing finer.
+  const double nx = (grid.x_max - grid.x_min) / grid.min_ext_x;
+  const double ny = (grid.y_max - grid.y_min) / grid.min_ext_y;
+  P2P_ASSERT_MSG(nx <= 8192 && ny <= 8192,
+                 "box grid spans more than 8192 finest-leaf widths; "
+                 "render with a larger tolerance archive");
+  g.width = static_cast<std::size_t>(std::lround(nx)) *
+            static_cast<std::size_t>(options.cell_px);
+  g.height = static_cast<std::size_t>(std::lround(ny)) *
+             static_cast<std::size_t>(options.cell_px);
+  g.scale = std::isnan(options.margin_scale)
+                ? default_box_margin_scale(grid)
+                : options.margin_scale;
+  P2P_ASSERT_MSG(g.scale > 0 && std::isfinite(g.scale),
+                 "margin_scale must be positive and finite");
+  return g;
+}
+
+}  // namespace
+
+std::string render_boxes_ppm(const BoxGrid& grid,
+                             const RenderOptions& options) {
+  const BoxPlotGeometry g = box_geometry(grid, options);
+
+  // Physical -> pixel, shared-edge safe: two boxes that share an edge
+  // coordinate snap it to the same pixel column, so the tiling leaves
+  // no seams and no bleed whatever the subdivision pattern.
+  const auto x_px = [&](double x) {
+    return std::lround((x - grid.x_min) / (grid.x_max - grid.x_min) *
+                       static_cast<double>(g.width));
+  };
+  const auto y_px = [&](double y) {
+    return std::lround((y - grid.y_min) / (grid.y_max - grid.y_min) *
+                       static_cast<double>(g.height));
+  };
+
+  std::vector<Rgb> image(g.width * g.height, kMidpoint);
+  for (const PhaseBox& b : grid.boxes) {
+    const Rgb c = box_color(b, g.scale, options.overlay_frontier);
+    const long px0 = std::clamp(x_px(b.x0), 0L, static_cast<long>(g.width));
+    const long px1 =
+        std::clamp(x_px(b.x0 + b.ext_x), 0L, static_cast<long>(g.width));
+    const long py0 = std::clamp(y_px(b.y0), 0L, static_cast<long>(g.height));
+    const long py1 =
+        std::clamp(y_px(b.y0 + b.ext_y), 0L, static_cast<long>(g.height));
+    for (long py = py0; py < py1; ++py) {
+      // Image row 0 is the TOP: y grows upward like a plot.
+      const std::size_t row = g.height - 1 - static_cast<std::size_t>(py);
+      for (long px = px0; px < px1; ++px) {
+        image[row * g.width + static_cast<std::size_t>(px)] = c;
+      }
+    }
+  }
+
+  std::string out = "P6\n" + std::to_string(g.width) + " " +
+                    std::to_string(g.height) + "\n255\n";
+  out.reserve(out.size() + image.size() * 3);
+  for (const Rgb& c : image) {
+    out += static_cast<char>(c.r);
+    out += static_cast<char>(c.g);
+    out += static_cast<char>(c.b);
+  }
+  return out;
+}
+
+std::string render_boxes_svg(const BoxGrid& grid,
+                             const RenderOptions& options) {
+  const BoxPlotGeometry g = box_geometry(grid, options);
+  const int left = 64, top = 52, bottom = 40, right = 16;
+  const int plot_w = static_cast<int>(g.width);
+  const int plot_h = static_cast<int>(g.height);
+  const int width = std::max(left + plot_w + right, left + 240);
+  const int height = top + plot_h + bottom;
+
+  const std::string title =
+      options.title.empty()
+          ? grid.y_axis + " vs " + grid.x_axis + " adaptive phase diagram"
+          : options.title;
+
+  const auto rgb = [](Rgb c) {
+    return "rgb(" + std::to_string(c.r) + "," + std::to_string(c.g) + "," +
+           std::to_string(c.b) + ")";
+  };
+  const auto xml_escape = [](const std::string& s) {
+    std::string out;
+    for (const char c : s) {
+      if (c == '&') {
+        out += "&amp;";
+      } else if (c == '<') {
+        out += "&lt;";
+      } else if (c == '>') {
+        out += "&gt;";
+      } else {
+        out += c;
+      }
+    }
+    return out;
+  };
+  std::string out;
+  const auto text = [&](double x, double y, const char* anchor,
+                        const char* fill, int size, const std::string& s) {
+    out += "  <text x=\"";
+    fmt_into(out, x);
+    out += "\" y=\"";
+    fmt_into(out, y);
+    out += "\" text-anchor=\"";
+    out += anchor;
+    out += "\" fill=\"";
+    out += fill;
+    out += "\" font-family=\"system-ui, sans-serif\" font-size=\"" +
+           std::to_string(size) + "\">" + xml_escape(s) + "</text>\n";
+  };
+  out += "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" +
+         std::to_string(width) + "\" height=\"" + std::to_string(height) +
+         "\" viewBox=\"0 0 " + std::to_string(width) + " " +
+         std::to_string(height) + "\">\n";
+  out += "  <rect width=\"" + std::to_string(width) + "\" height=\"" +
+         std::to_string(height) + "\" fill=\"" + kSurface + "\"/>\n";
+  text(left, 18, "start", kTextPrimary, 13, title);
+
+  // Verdict legend plus the frontier-cover swatch (a filled square, not
+  // a line: the cover is an area here, not a polyline).
+  const int legend_y = 30;
+  out += "  <rect x=\"" + std::to_string(left) + "\" y=\"" +
+         std::to_string(legend_y) + "\" width=\"10\" height=\"10\" fill=\"" +
+         rgb(lerp(kMidpoint, kStablePole, 0.6)) + "\"/>\n";
+  text(left + 14, legend_y + 9, "start", kTextSecondary, 11, "stable");
+  out += "  <rect x=\"" + std::to_string(left + 70) + "\" y=\"" +
+         std::to_string(legend_y) + "\" width=\"10\" height=\"10\" fill=\"" +
+         rgb(lerp(kMidpoint, kTransientPole, 0.6)) + "\"/>\n";
+  text(left + 84, legend_y + 9, "start", kTextSecondary, 11, "transient");
+  if (options.overlay_frontier) {
+    out += "  <rect x=\"" + std::to_string(left + 160) + "\" y=\"" +
+           std::to_string(legend_y) + "\" width=\"10\" height=\"10\" fill=\"" +
+           rgb(kInk) + "\"/>\n";
+    text(left + 174, legend_y + 9, "start", kTextSecondary, 11, "frontier");
+  }
+
+  // One rect per leaf at exact coordinates: shared edges are shared
+  // numbers, so the tiling is seamless at any zoom — the native
+  // variable-resolution rendering.
+  const double sx = static_cast<double>(plot_w) / (grid.x_max - grid.x_min);
+  const double sy = static_cast<double>(plot_h) / (grid.y_max - grid.y_min);
+  for (const PhaseBox& b : grid.boxes) {
+    const double x = left + (b.x0 - grid.x_min) * sx;
+    const double y = top + (grid.y_max - (b.y0 + b.ext_y)) * sy;
+    out += "  <rect x=\"";
+    fmt_into(out, x);
+    out += "\" y=\"";
+    fmt_into(out, y);
+    out += "\" width=\"";
+    fmt_into(out, b.ext_x * sx);
+    out += "\" height=\"";
+    fmt_into(out, b.ext_y * sy);
+    out += "\" fill=\"" +
+           rgb(box_color(b, g.scale, options.overlay_frontier)) + "\"/>\n";
+  }
+
+  const int axis_y = top + plot_h;
+  text(left, axis_y + 16, "start", kTextSecondary, 11, fmt(grid.x_min));
+  text(left + plot_w, axis_y + 16, "end", kTextSecondary, 11,
+       fmt(grid.x_max));
+  text(left + plot_w / 2.0, axis_y + 32, "middle", kTextPrimary, 12,
+       grid.x_axis);
+  text(left - 6, axis_y - plot_h + 12, "end", kTextSecondary, 11,
+       fmt(grid.y_max));
+  text(left - 6, axis_y - 2, "end", kTextSecondary, 11, fmt(grid.y_min));
+  text(left - 6, axis_y - plot_h / 2.0, "end", kTextPrimary, 12,
+       grid.y_axis);
+  out += "</svg>\n";
+  return out;
+}
+
 }  // namespace p2p::analysis

@@ -82,4 +82,23 @@ std::string render_diff_svg(const PhaseGrid& baseline,
                             const PhaseGrid& variant,
                             const RenderOptions& options = {});
 
+/// Multi-resolution diagram of an adaptive box grid: every leaf box is
+/// painted natively at its own physical size — one rect per leaf, no
+/// resampling onto a dense lattice — with the same diverging verdict
+/// palette and orientation as render_ppm. Non-uniform leaves (the boxes
+/// whose corner verdicts still disagreed at the depth/tolerance cap)
+/// ARE the frontier cover, so overlay_frontier paints them in the same
+/// near-black ink the dense frontier overlay uses. cell_px is the pixel
+/// width of the FINEST leaf; coarser leaves scale up proportionally.
+/// Box edges land on exact pixel boundaries for lattice-aligned
+/// archives, so adjacent boxes never bleed.
+std::string render_boxes_ppm(const BoxGrid& grid,
+                             const RenderOptions& options = {});
+
+/// The SVG face of the same multi-resolution diagram: one rect per leaf
+/// at exact (unrounded) coordinates, verdict + frontier legend, axis
+/// labels as in render_svg.
+std::string render_boxes_svg(const BoxGrid& grid,
+                             const RenderOptions& options = {});
+
 }  // namespace p2p::analysis

@@ -364,7 +364,148 @@ PhaseGrid build_phase_grid_rows(
   return grid;
 }
 
+/// Shared ingestion core behind both build_box_grid overloads: one pass
+/// over the rows, retaining O(boxes) typed state. Geometry comes from
+/// the trailing box block; the origin vertex's evaluation from the
+/// ordinary grid columns at the same offsets the cartesian builder uses.
+BoxGrid build_box_grid_rows(
+    const std::vector<std::string>& columns,
+    const std::function<bool(std::vector<std::string>*)>& next_row) {
+  const ReportSchema schema = engine::validate_report_schema(columns);
+  P2P_ASSERT_MSG(schema.kind == ReportKind::kGrid && schema.has_boxes,
+                 "box grids are built from adaptive grid reports (header "
+                 "carries the box_depth/box_uniform/box_ext_* block)");
+  P2P_ASSERT_MSG(schema.box_axes.size() == 2,
+                 "box-grid rendering needs exactly two box axes (got " +
+                     std::to_string(schema.box_axes.size()) +
+                     "; slice higher-D adaptive volumes before rendering)");
+
+  BoxGrid grid;
+  // Same orientation as the cartesian builder's default: the later axis
+  // in schema order is the fast one — natural x.
+  grid.y_axis = schema.box_axes[0];
+  grid.x_axis = schema.box_axes[1];
+  const std::size_t y_slot = axis_index(grid.y_axis);
+  const std::size_t x_slot = axis_index(grid.x_axis);
+  const std::size_t tail = schema.tail_start;
+
+  std::vector<std::string> row;
+  for (std::size_t r = 0; next_row(&row); ++r) {
+    const std::string ctx = "adaptive report row " + std::to_string(r);
+    const auto num = [&](std::size_t col) {
+      return engine::parse_report_number(row[col], ctx);
+    };
+    P2P_ASSERT_MSG(num(0) == static_cast<double>(r),
+                   "adaptive report cell indices must run 0..n-1 in row "
+                   "order (" + ctx + " has cell " + row[0] + ")");
+    PhaseBox b;
+    b.params.lambda = num(1);
+    b.params.us = num(2);
+    b.params.mu = num(3);
+    b.params.gamma = num(4);
+    b.params.k = static_cast<int>(std::lround(num(5)));
+    b.params.eta = num(6);
+    b.params.flash = std::llround(num(7));
+    b.params.mix = num(8);
+    b.params.hetero = num(9);
+    b.verdict = parse_verdict(row[tail], ctx);
+    b.margin = num(tail + 1);
+    const double replicas_raw = num(tail + 3);
+    b.replicas = static_cast<int>(std::lround(replicas_raw));
+    P2P_ASSERT_MSG(b.replicas >= 0 &&
+                       std::abs(replicas_raw - b.replicas) < 1e-9,
+                   "replicas must be a nonnegative integer (" + ctx + ")");
+    b.sim_mean_peers = num(tail + 5);
+
+    const double depth_raw = num(schema.box_start);
+    b.depth = static_cast<int>(std::lround(depth_raw));
+    P2P_ASSERT_MSG(b.depth >= 0 && std::abs(depth_raw - b.depth) < 1e-9,
+                   "box_depth must be a nonnegative integer (" + ctx + ")");
+    const double uniform_raw = num(schema.box_start + 1);
+    P2P_ASSERT_MSG(uniform_raw == 0 || uniform_raw == 1,
+                   "box_uniform must be 0 or 1 (" + ctx + ")");
+    b.uniform = uniform_raw == 1;
+    b.ext_y = num(schema.box_start + 2);
+    b.ext_x = num(schema.box_start + 3);
+    P2P_ASSERT_MSG(std::isfinite(b.ext_x) && b.ext_x > 0 &&
+                       std::isfinite(b.ext_y) && b.ext_y > 0,
+                   "box extents must be positive finite numbers (" + ctx +
+                       ")");
+    b.x0 = axis_value(b.params, x_slot);
+    b.y0 = axis_value(b.params, y_slot);
+    P2P_ASSERT_MSG(std::isfinite(b.x0) && std::isfinite(b.y0),
+                   "box origins must be finite (" + ctx + ")");
+    grid.boxes.push_back(b);
+  }
+  P2P_ASSERT_MSG(!grid.boxes.empty(), "adaptive report has no rows");
+
+  grid.x_min = grid.boxes[0].x0;
+  grid.x_max = grid.boxes[0].x0 + grid.boxes[0].ext_x;
+  grid.y_min = grid.boxes[0].y0;
+  grid.y_max = grid.boxes[0].y0 + grid.boxes[0].ext_y;
+  grid.min_ext_x = grid.boxes[0].ext_x;
+  grid.min_ext_y = grid.boxes[0].ext_y;
+  double measure = 0;
+  for (const PhaseBox& b : grid.boxes) {
+    grid.x_min = std::min(grid.x_min, b.x0);
+    grid.x_max = std::max(grid.x_max, b.x0 + b.ext_x);
+    grid.y_min = std::min(grid.y_min, b.y0);
+    grid.y_max = std::max(grid.y_max, b.y0 + b.ext_y);
+    grid.min_ext_x = std::min(grid.min_ext_x, b.ext_x);
+    grid.min_ext_y = std::min(grid.min_ext_y, b.ext_y);
+    grid.max_depth = std::max(grid.max_depth, b.depth);
+    measure += b.ext_x * b.ext_y;
+  }
+  // The leaves of a subdivision tile the window exactly once, so their
+  // total measure must equal the bounding window's — a cheap O(n) guard
+  // that catches dropped, duplicated or mis-extended rows (box_at then
+  // asserts pointwise uniqueness on every query).
+  const double window =
+      (grid.x_max - grid.x_min) * (grid.y_max - grid.y_min);
+  P2P_ASSERT_MSG(std::abs(measure - window) <= 1e-9 * window,
+                 "adaptive leaves do not tile their bounding window "
+                 "(total box measure " + engine::format_number(measure) +
+                     " vs window " + engine::format_number(window) + ")");
+  return grid;
+}
+
 }  // namespace
+
+const PhaseBox& BoxGrid::box_at(double x, double y) const {
+  const PhaseBox* found = nullptr;
+  for (const PhaseBox& b : boxes) {
+    const bool in_x = x >= b.x0 && (x < b.x0 + b.ext_x ||
+                                    (x == x_max && b.x0 + b.ext_x == x_max));
+    const bool in_y = y >= b.y0 && (y < b.y0 + b.ext_y ||
+                                    (y == y_max && b.y0 + b.ext_y == y_max));
+    if (!in_x || !in_y) continue;
+    P2P_ASSERT_MSG(found == nullptr,
+                   "adaptive leaves overlap at (" +
+                       engine::format_number(x) + ", " +
+                       engine::format_number(y) + ")");
+    found = &b;
+  }
+  P2P_ASSERT_MSG(found != nullptr,
+                 "no adaptive leaf contains (" + engine::format_number(x) +
+                     ", " + engine::format_number(y) + ")");
+  return *found;
+}
+
+BoxGrid build_box_grid(const Table& table) {
+  std::size_t r = 0;
+  return build_box_grid_rows(table.columns(),
+                             [&](std::vector<std::string>* cells) {
+                               if (r >= table.num_rows()) return false;
+                               *cells = table.row(r++);
+                               return true;
+                             });
+}
+
+BoxGrid build_box_grid(engine::CsvReader& reader) {
+  return build_box_grid_rows(
+      reader.columns(),
+      [&](std::vector<std::string>* cells) { return reader.next_row(cells); });
+}
 
 PhaseGrid build_phase_grid(const Table& table, const std::string& x_axis,
                            const std::string& y_axis) {

@@ -108,6 +108,59 @@ PhaseGrid build_phase_grid(engine::CsvReader& reader,
                            const std::string& x_axis = "",
                            const std::string& y_axis = "");
 
+/// One ingested leaf box of an adaptive multi-resolution report
+/// (engine/refine.hpp): the origin (lower-corner) vertex's evaluation
+/// plus the box geometry from the trailing block.
+struct PhaseBox {
+  engine::CellParams params;  // the origin vertex
+  Stability verdict = Stability::kBorderline;
+  double margin = std::nan("");
+  int replicas = 0;
+  double sim_mean_peers = std::nan("");
+  /// Subdivision depth (0 = a coarse box of the emitting lattice).
+  int depth = 0;
+  /// True when the box's corner/center verdicts all agreed at sweep
+  /// time; false leaves cover the phase boundary.
+  bool uniform = true;
+  /// Lower corner and physical widths along BoxGrid::x_axis / y_axis.
+  double x0 = std::nan(""), y0 = std::nan("");
+  double ext_x = std::nan(""), ext_y = std::nan("");
+};
+
+/// A 2-D multi-resolution view of an ingested adaptive report: leaf
+/// boxes tiling the [x_min, x_max] x [y_min, y_max] window, in emission
+/// order. The renderable field an adaptive archive reconstructs to.
+struct BoxGrid {
+  /// The two box axes: x is the later (faster) one in grid-schema
+  /// order, matching the cartesian builder's default orientation.
+  std::string x_axis, y_axis;
+  double x_min = 0, x_max = 0, y_min = 0, y_max = 0;
+  /// The finest leaf widths — the archive's effective resolution.
+  double min_ext_x = 0, min_ext_y = 0;
+  int max_depth = 0;
+  std::vector<PhaseBox> boxes;
+
+  /// The leaf containing (x, y): half-open [x0, x0 + ext) containment,
+  /// closed on the window's max edges. Aborts unless exactly one leaf
+  /// contains the point — overlapping or gappy tilings are corrupt.
+  const PhaseBox& box_at(double x, double y) const;
+  Stability verdict_at(double x, double y) const {
+    return box_at(x, y).verdict;
+  }
+};
+
+/// Builds the multi-resolution view from an ingested adaptive report
+/// (header carries the box block). Aborts — naming the offending row or
+/// column — when the report is not an adaptive grid report, the box
+/// block does not name exactly two axes (higher-D adaptive volumes are
+/// archives to slice, not diagrams), a geometry cell is malformed
+/// (negative depth, non-positive extent, uniform outside {0, 1}), or
+/// the leaves' total measure does not tile the bounding window.
+BoxGrid build_box_grid(const engine::Table& table);
+
+/// Streaming overload, like build_phase_grid's: O(boxes) typed state.
+BoxGrid build_box_grid(engine::CsvReader& reader);
+
 /// One extracted frontier point: the Theorem-1 verdict flip along x for
 /// one grid row.
 struct PhaseFrontierPoint {

@@ -7,6 +7,7 @@
 #include <string_view>
 
 #include "engine/parse_util.hpp"
+#include "engine/refine.hpp"
 #include "util/assert.hpp"
 
 namespace p2p::engine {
@@ -738,6 +739,36 @@ ReportSchema validate_report_schema(const std::vector<std::string>& columns) {
                    "the fluid_verdict column belongs to grid reports only");
     schema.has_fluid = true;
     ++i;
+  }
+  if (i < columns.size() && columns[i] == kBoxDepthColumn) {
+    // The multi-resolution box block closes an adaptive report's header:
+    // box_depth, box_uniform, then one box_ext_<axis> per adaptive axis.
+    P2P_ASSERT_MSG(schema.kind == ReportKind::kGrid,
+                   "the box_depth column belongs to grid reports only");
+    schema.has_boxes = true;
+    schema.box_start = i;
+    ++i;
+    expect(i++, kBoxUniformColumn);
+    const std::string_view ext_prefix = kBoxExtPrefix;
+    while (i < columns.size() &&
+           columns[i].compare(0, ext_prefix.size(), ext_prefix) == 0) {
+      const std::string axis = columns[i].substr(ext_prefix.size());
+      bool known = false;
+      for (const char* c : sweep_schema_head()) known = known || axis == c;
+      P2P_ASSERT_MSG(known && axis != sweep_schema_head()[0],
+                     "box extent column \"" + columns[i] +
+                         "\" does not name a model axis");
+      for (const std::string& seen : schema.box_axes) {
+        P2P_ASSERT_MSG(seen != axis, "box block repeats an extent column "
+                                     "(column \"" +
+                                         columns[i] + "\")");
+      }
+      schema.box_axes.push_back(axis);
+      ++i;
+    }
+    P2P_ASSERT_MSG(schema.box_axes.size() >= 2,
+                   "box block needs at least two box_ext_<axis> columns "
+                   "(adaptive refinement subdivides >= 2 axes)");
   }
   P2P_ASSERT_MSG(i == columns.size(),
                  "report header has trailing columns after \"" +

@@ -139,6 +139,15 @@ struct ReportSchema {
   /// True when the trailing "fluid_verdict" column (last) is present:
   /// the sweep ran the fluid-limit classifier next to theory and sim.
   bool has_fluid = false;
+  /// True when the multi-resolution box block (box_depth, box_uniform,
+  /// box_ext_<axis>...) closes the header: the report came from an
+  /// adaptive refinement and each row is a leaf box, not a lattice cell.
+  bool has_boxes = false;
+  /// Column index of box_depth; meaningful only when has_boxes.
+  std::size_t box_start = 0;
+  /// Axis names parsed from the box_ext_* columns, in column order
+  /// (>= 2, distinct model axes); empty when has_boxes is false.
+  std::vector<std::string> box_axes;
 };
 
 /// Inverse of mix_column_name: "lambda_t1.2" -> {0, 1}. Aborts on

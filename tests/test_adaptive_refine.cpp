@@ -1,0 +1,464 @@
+// The adaptive refinement loop's contract (engine/refine.hpp): leaf
+// verdicts agree with a dense sweep at matched resolution wherever a
+// leaf claims uniformity, the emitted bytes are invariant across the
+// threads x chunk matrix, depth 0 degenerates to the dense pipeline row
+// for row, and the multi-resolution schema round-trips through the
+// ingestion side (engine/csv_reader.hpp -> analysis::build_box_grid)
+// with corrupt archives dying loudly, naming the offending row.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <cstdio>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "analysis/phase_diagram.hpp"
+#include "engine/csv_reader.hpp"
+#include "engine/refine.hpp"
+#include "engine/report.hpp"
+#include "engine/sweep.hpp"
+
+namespace p2p::engine {
+namespace {
+
+struct AdaptiveRun {
+  std::string out;
+  AdaptiveSummary summary;
+};
+
+AdaptiveRun adaptive_report(const SweepGrid& grid, const SweepOptions& options,
+                            const AdaptiveOptions& adaptive,
+                            ReportFormat format = ReportFormat::kCsv) {
+  AdaptiveRun run;
+  ReportWriter writer(&run.out, format, adaptive_columns(grid, options));
+  run.summary = run_adaptive_stream(grid, options, adaptive, writer);
+  writer.finish();
+  return run;
+}
+
+/// The fine vertex lattice run_adaptive_stream subdivides `coarse` into
+/// at max_depth (scale = 2^max_depth), computed with the engine's exact
+/// interpolation expression so a dense sweep over these values evaluates
+/// bit-identical parameter points.
+std::vector<double> fine_lattice(const std::vector<double>& coarse,
+                                 int max_depth) {
+  const std::uint64_t scale = std::uint64_t{1} << max_depth;
+  std::vector<double> fine;
+  for (std::size_t ci = 0; ci + 1 < coarse.size(); ++ci) {
+    for (std::uint64_t f = 0; f < scale; ++f) {
+      fine.push_back(f == 0 ? coarse[ci]
+                            : coarse[ci] + (coarse[ci + 1] - coarse[ci]) *
+                                               (static_cast<double>(f) /
+                                                static_cast<double>(scale)));
+    }
+  }
+  fine.push_back(coarse.back());
+  return fine;
+}
+
+std::vector<double> linspace(double lo, double hi, int n) {
+  std::vector<double> values;
+  for (int i = 0; i < n; ++i) {
+    values.push_back(lo + (hi - lo) * i / (n - 1));
+  }
+  return values;
+}
+
+TEST(ParseAdaptive, DepthAloneAndDepthColonTol) {
+  const AdaptiveOptions plain = parse_adaptive("4");
+  EXPECT_EQ(plain.max_depth, 4);
+  EXPECT_EQ(plain.tol, 0.0);
+  const AdaptiveOptions with_tol = parse_adaptive("3:0.05");
+  EXPECT_EQ(with_tol.max_depth, 3);
+  EXPECT_EQ(with_tol.tol, 0.05);
+  EXPECT_EQ(parse_adaptive("0").max_depth, 0);
+}
+
+TEST(ParseAdaptiveDeath, MalformedSpecsDieEchoingTheSpec) {
+  EXPECT_DEATH(parse_adaptive("banana"), "banana");
+  EXPECT_DEATH(parse_adaptive("-1"), "-1");
+  EXPECT_DEATH(parse_adaptive("21"), "21");      // > kMaxAdaptiveDepth
+  EXPECT_DEATH(parse_adaptive("2.5"), "2\\.5");  // fractional depth
+  EXPECT_DEATH(parse_adaptive("4:-0.1"), "-0\\.1");
+  EXPECT_DEATH(parse_adaptive("4:inf"), "inf");
+}
+
+TEST(AdaptiveColumns, GridSchemaPlusTheBoxBlock) {
+  const SweepGrid grid = parse_grid("lambda=0.5:3.0:3;us=0.2:1.7:3;k=2");
+  SweepOptions options;
+  options.theory_only = true;
+  const std::vector<std::string> dense = sweep_columns(options);
+  const std::vector<std::string> cols = adaptive_columns(grid, options);
+  ASSERT_EQ(cols.size(), dense.size() + 4);
+  for (std::size_t i = 0; i < dense.size(); ++i) EXPECT_EQ(cols[i], dense[i]);
+  EXPECT_EQ(cols[dense.size()], kBoxDepthColumn);
+  EXPECT_EQ(cols[dense.size() + 1], kBoxUniformColumn);
+  EXPECT_EQ(cols[dense.size() + 2], std::string(kBoxExtPrefix) + "lambda");
+  EXPECT_EQ(cols[dense.size() + 3], std::string(kBoxExtPrefix) + "us");
+}
+
+TEST(RunAdaptiveStream, UniformLeavesAgreeWithTheDenseSweepAtMatchedResolution) {
+  // Random stable/unstable windows (seeded, so the test is one fixed
+  // set): for every vertex of the matched-resolution dense lattice, the
+  // adaptive leaf containing it either claims uniformity — then its
+  // verdict must equal the dense verdict at that vertex — or sits on the
+  // frontier cover at the finest width. Together: the adaptive report
+  // loses no verdict information at its claimed resolution.
+  // The window distributions keep the Theorem-1 flip inside every draw
+  // (for k = 2 the frontier sits near lambda ~ 5 us on this range, so a
+  // window reaching lambda >= 2.5 from <= 0.8 straddles it).
+  std::mt19937 rng(7);
+  std::uniform_real_distribution<double> lambda_lo(0.3, 0.8);
+  std::uniform_real_distribution<double> lambda_span(2.2, 3.0);
+  std::uniform_real_distribution<double> us_lo(0.2, 0.35);
+  std::uniform_real_distribution<double> us_span(0.5, 0.8);
+  const int max_depth = 2;
+  for (int window = 0; window < 3; ++window) {
+    SCOPED_TRACE("window " + std::to_string(window));
+    const double l0 = lambda_lo(rng), l1 = l0 + lambda_span(rng);
+    const double u0 = us_lo(rng), u1 = u0 + us_span(rng);
+
+    SweepGrid coarse;
+    coarse.set_axis(Axis{"lambda", linspace(l0, l1, 4)});
+    coarse.set_axis(Axis{"us", linspace(u0, u1, 4)});
+    coarse.set_axis(Axis{"k", {2}});
+    SweepOptions options;
+    options.theory_only = true;
+    AdaptiveOptions adaptive;
+    adaptive.max_depth = max_depth;
+    const AdaptiveRun run = adaptive_report(coarse, options, adaptive);
+    const analysis::BoxGrid boxes =
+        analysis::build_box_grid(read_csv(run.out));
+
+    SweepGrid dense;
+    dense.set_axis(Axis{
+        "lambda",
+        fine_lattice(coarse.find_axis("lambda")->values, max_depth)});
+    dense.set_axis(
+        Axis{"us", fine_lattice(coarse.find_axis("us")->values, max_depth)});
+    dense.set_axis(Axis{"k", {2}});
+    std::string dense_csv;
+    ReportWriter writer(&dense_csv, ReportFormat::kCsv,
+                        sweep_columns(options));
+    run_sweep_stream(dense, options, writer);
+    writer.finish();
+    const analysis::PhaseGrid grid =
+        analysis::build_phase_grid(read_csv(dense_csv));
+    ASSERT_EQ(grid.x_axis, "us");
+    ASSERT_EQ(grid.y_axis, "lambda");
+
+    std::size_t covered = 0;
+    for (std::size_t yi = 0; yi < grid.num_y(); ++yi) {
+      for (std::size_t xi = 0; xi < grid.num_x(); ++xi) {
+        const analysis::PhaseBox& box =
+            boxes.box_at(grid.x_values[xi], grid.y_values[yi]);
+        if (box.uniform) {
+          EXPECT_EQ(box.verdict, grid.at(yi, xi).verdict)
+              << "lambda " << grid.y_values[yi] << " us " << grid.x_values[xi];
+        } else {
+          // Frontier cover: the cap stopped a disagreeing box only at
+          // the finest width.
+          EXPECT_LE(box.ext_x, boxes.min_ext_x * 1.0000001);
+          EXPECT_LE(box.ext_y, boxes.min_ext_y * 1.0000001);
+          ++covered;
+        }
+      }
+    }
+    // A window whose frontier misses the box entirely would pass the
+    // loop vacuously — require the interesting case (the windows above
+    // all straddle the lambda* = 5 Us / E[piece need] frontier).
+    EXPECT_GE(covered, 1u);
+    EXPECT_LT(run.summary.evaluated, run.summary.dense_equivalent);
+  }
+}
+
+TEST(RunAdaptiveStream, ByteDeterminismAcrossTheThreadsChunkMatrix) {
+  // The whole adaptive loop — vertex claiming, generation barriers,
+  // escalation rounds, leaf emission — may not let scheduling touch the
+  // bytes: threads {1, 2, 4, 8} x chunk {1, 7, auto} must emit
+  // identical CSV and JSON, with simulation and CI escalation live.
+  const SweepGrid grid = parse_grid("lambda=0.5:3.0:3;us=0.5,1.5;k=2");
+  SweepOptions base;
+  base.horizon = 20;
+  base.replicas = 2;
+  base.threads = 1;
+  base.chunk = 1;
+  AdaptiveOptions adaptive;
+  adaptive.max_depth = 2;
+  adaptive.sim_threshold = 8;
+  adaptive.max_sim_rounds = 2;
+  const AdaptiveRun csv_ref = adaptive_report(grid, base, adaptive);
+  const AdaptiveRun json_ref =
+      adaptive_report(grid, base, adaptive, ReportFormat::kJson);
+  EXPECT_FALSE(csv_ref.out.empty());
+  for (const int threads : {1, 2, 4, 8}) {
+    for (const std::size_t chunk :
+         {std::size_t{1}, std::size_t{7}, std::size_t{0}}) {
+      SweepOptions options = base;
+      options.threads = threads;
+      options.chunk = chunk;
+      EXPECT_EQ(adaptive_report(grid, options, adaptive).out, csv_ref.out)
+          << "threads " << threads << " chunk " << chunk;
+      EXPECT_EQ(
+          adaptive_report(grid, options, adaptive, ReportFormat::kJson).out,
+          json_ref.out)
+          << "threads " << threads << " chunk " << chunk;
+    }
+  }
+}
+
+TEST(RunAdaptiveStream, DepthZeroDegeneratesToTheDensePipelineRowForRow) {
+  // At depth 0 the leaves are exactly the coarse boxes, each emitted as
+  // its origin (lower-corner) vertex — the dense sweep over the origin
+  // sub-lattice (all values but the last per adaptive axis). Every
+  // adaptive row must be the dense row's bytes plus the trailing box
+  // cells; nothing about the shared row rendering may drift.
+  SweepGrid coarse;
+  coarse.set_axis(Axis{"lambda", {0.5, 1.125, 1.75, 2.375, 3.0}});
+  coarse.set_axis(Axis{"us", {0.2, 0.575, 0.95, 1.325, 1.7}});
+  coarse.set_axis(Axis{"k", {3}});
+  SweepOptions options;
+  options.theory_only = true;
+  AdaptiveOptions depth0;
+  depth0.max_depth = 0;
+  const AdaptiveRun run = adaptive_report(coarse, options, depth0);
+  EXPECT_EQ(run.summary.boxes, 16u);
+  EXPECT_EQ(run.summary.evaluated, 25u);
+  EXPECT_EQ(run.summary.dense_equivalent, 25u);
+  EXPECT_EQ(run.summary.max_depth_reached, 0);
+
+  SweepGrid origins;
+  origins.set_axis(Axis{"lambda", {0.5, 1.125, 1.75, 2.375}});
+  origins.set_axis(Axis{"us", {0.2, 0.575, 0.95, 1.325}});
+  origins.set_axis(Axis{"k", {3}});
+  std::string dense_csv;
+  ReportWriter writer(&dense_csv, ReportFormat::kCsv, sweep_columns(options));
+  run_sweep_stream(origins, options, writer);
+  writer.finish();
+
+  const auto lines = [](const std::string& text) {
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    for (std::size_t i = 0; i < text.size(); ++i) {
+      if (text[i] == '\n') {
+        out.push_back(text.substr(start, i - start));
+        start = i + 1;
+      }
+    }
+    return out;
+  };
+  const std::vector<std::string> adaptive_lines = lines(run.out);
+  const std::vector<std::string> dense_lines = lines(dense_csv);
+  ASSERT_EQ(adaptive_lines.size(), dense_lines.size());
+  ASSERT_EQ(adaptive_lines.size(), 17u);
+  for (std::size_t i = 0; i < dense_lines.size(); ++i) {
+    SCOPED_TRACE("line " + std::to_string(i));
+    ASSERT_GT(adaptive_lines[i].size(), dense_lines[i].size());
+    EXPECT_EQ(adaptive_lines[i].substr(0, dense_lines[i].size()),
+              dense_lines[i]);
+    EXPECT_EQ(adaptive_lines[i][dense_lines[i].size()], ',');
+  }
+  // Depth-0 leaves are never subdivided, but their uniformity is still
+  // honest: rows straddling the frontier carry box_uniform = 0.
+  const Table table = read_csv(run.out);
+  const ReportSchema schema = validate_report_schema(table.columns());
+  ASSERT_TRUE(schema.has_boxes);
+  std::size_t nonuniform = 0;
+  for (std::size_t r = 0; r < table.num_rows(); ++r) {
+    EXPECT_EQ(table.row(r)[schema.box_start], "0");  // depth
+    nonuniform += table.row(r)[schema.box_start + 1] == "0";
+  }
+  EXPECT_GE(nonuniform, 1u);
+}
+
+TEST(RunAdaptiveStream, MultiResSchemaRoundTripsThroughIngestion) {
+  const SweepGrid grid = parse_grid("lambda=0.5:3.0:3;us=0.2:1.7:3;k=2");
+  SweepOptions options;
+  options.theory_only = true;
+  AdaptiveOptions adaptive;
+  adaptive.max_depth = 3;
+  const AdaptiveRun run = adaptive_report(grid, options, adaptive);
+
+  const Table table = read_csv(run.out);
+  const ReportSchema schema = validate_report_schema(table.columns());
+  EXPECT_TRUE(schema.has_boxes);
+  ASSERT_EQ(schema.box_axes.size(), 2u);
+  EXPECT_EQ(schema.box_axes[0], "lambda");
+  EXPECT_EQ(schema.box_axes[1], "us");
+  EXPECT_EQ(table.num_rows(), run.summary.boxes);
+
+  const analysis::BoxGrid boxes = analysis::build_box_grid(table);
+  EXPECT_EQ(boxes.boxes.size(), run.summary.boxes);
+  EXPECT_EQ(boxes.max_depth, run.summary.max_depth_reached);
+  EXPECT_EQ(boxes.x_axis, "us");
+  EXPECT_EQ(boxes.y_axis, "lambda");
+  EXPECT_DOUBLE_EQ(boxes.x_min, 0.2);
+  EXPECT_DOUBLE_EQ(boxes.x_max, 1.7);
+  EXPECT_DOUBLE_EQ(boxes.y_min, 0.5);
+  EXPECT_DOUBLE_EQ(boxes.y_max, 3.0);
+  std::size_t stable = 0, transient = 0, borderline = 0;
+  for (const analysis::PhaseBox& b : boxes.boxes) {
+    (b.verdict == Stability::kPositiveRecurrent
+         ? stable
+         : b.verdict == Stability::kTransient ? transient : borderline) += 1;
+  }
+  EXPECT_EQ(stable, run.summary.stable);
+  EXPECT_EQ(transient, run.summary.transient);
+  EXPECT_EQ(borderline, run.summary.borderline);
+  // The streaming reader sees the same grid as the in-memory table.
+  const std::string path = testing::TempDir() + "adaptive_roundtrip.csv";
+  write_text(path, run.out);
+  CsvReader reader(path);
+  const analysis::BoxGrid streamed = analysis::build_box_grid(reader);
+  EXPECT_EQ(streamed.boxes.size(), boxes.boxes.size());
+  EXPECT_EQ(streamed.max_depth, boxes.max_depth);
+  std::remove(path.c_str());
+}
+
+TEST(RunAdaptiveStream, TolStopsSubdivisionAtThePhysicalWidth) {
+  const SweepGrid grid = parse_grid("lambda=0.5:3.0:3;us=0.2:1.7:3;k=2");
+  SweepOptions options;
+  options.theory_only = true;
+  AdaptiveOptions capped;
+  capped.max_depth = 6;
+  capped.tol = 0.4;  // coarse boxes are 1.25 x 0.75 wide
+  const AdaptiveRun run = adaptive_report(grid, options, capped);
+  AdaptiveOptions uncapped = capped;
+  uncapped.tol = 0;
+  const AdaptiveRun full = adaptive_report(grid, options, uncapped);
+  // The tolerance must stop refinement early...
+  EXPECT_LT(run.summary.max_depth_reached, full.summary.max_depth_reached);
+  EXPECT_LT(run.summary.evaluated, full.summary.evaluated);
+  // ...exactly when every axis width is <= tol: widths halve from
+  // 1.25 / 0.75, so depth 2 (0.3125 x 0.1875) is the first within 0.4.
+  EXPECT_EQ(run.summary.max_depth_reached, 2);
+  const analysis::BoxGrid boxes = analysis::build_box_grid(read_csv(run.out));
+  for (const analysis::PhaseBox& b : boxes.boxes) {
+    if (b.uniform) continue;
+    EXPECT_LE(b.ext_x, capped.tol);
+    EXPECT_LE(b.ext_y, capped.tol);
+  }
+}
+
+TEST(RunAdaptiveStreamDeath, WriterWithDenseColumnsAborts) {
+  const SweepGrid grid = parse_grid("lambda=0.5:3.0:3;us=0.2:1.7:3;k=2");
+  SweepOptions options;
+  options.theory_only = true;
+  AdaptiveOptions adaptive;
+  std::string out;
+  ReportWriter writer(&out, ReportFormat::kCsv, sweep_columns(options));
+  EXPECT_DEATH(run_adaptive_stream(grid, options, adaptive, writer),
+               "adaptive_columns");
+  writer.finish();
+}
+
+TEST(RunAdaptiveStreamDeath, FewerThanTwoVaryingAxesAborts) {
+  const SweepGrid grid = parse_grid("lambda=0.5:3.0:5;us=1;k=2");
+  SweepOptions options;
+  options.theory_only = true;
+  AdaptiveOptions adaptive;
+  std::string out;
+  ReportWriter writer(&out, ReportFormat::kCsv,
+                      adaptive_columns(grid, options));
+  EXPECT_DEATH(run_adaptive_stream(grid, options, adaptive, writer),
+               "at least two");
+  writer.finish();
+}
+
+TEST(RunAdaptiveStreamDeath, NonRefinableVaryingAxisAborts) {
+  // k varies but is not refinable: midpoints of an integer axis are not
+  // model points, so the adaptive lattice refuses the grid up front.
+  const SweepGrid grid = parse_grid("lambda=0.5:3.0:3;k=1,3;us=1");
+  SweepOptions options;
+  options.theory_only = true;
+  AdaptiveOptions adaptive;
+  std::string out;
+  ReportWriter writer(&out, ReportFormat::kCsv,
+                      adaptive_columns(grid, options));
+  EXPECT_DEATH(run_adaptive_stream(grid, options, adaptive, writer), "k");
+  writer.finish();
+}
+
+// Corrupt-archive deaths: every abort names the offending row, so a
+// truncated or hand-edited archive is debuggable from the message.
+
+std::string adaptive_csv_3x3() {
+  const SweepGrid grid = parse_grid("lambda=0.5:3.0:3;us=0.2:1.7:3;k=2");
+  SweepOptions options;
+  options.theory_only = true;
+  AdaptiveOptions adaptive;
+  adaptive.max_depth = 1;
+  return adaptive_report(grid, options, adaptive).out;
+}
+
+/// Replaces data-row `row`'s cell in column `col` with `value`.
+std::string tamper(const std::string& csv, std::size_t row, std::size_t col,
+                   const std::string& value) {
+  Table table = read_csv(csv);
+  std::vector<std::string> cells = table.row(row);
+  cells[col] = value;
+  Table out(table.columns());
+  for (std::size_t r = 0; r < table.num_rows(); ++r) {
+    out.add_row(r == row ? cells : table.row(r));
+  }
+  return out.to_csv();
+}
+
+TEST(BuildBoxGridDeath, DenseReportsAreNotBoxGrids) {
+  const SweepGrid grid = parse_grid("lambda=0.5:3.0:3;us=0.2:1.7:3;k=2");
+  SweepOptions options;
+  options.theory_only = true;
+  std::string csv;
+  ReportWriter writer(&csv, ReportFormat::kCsv, sweep_columns(options));
+  run_sweep_stream(grid, options, writer);
+  writer.finish();
+  const Table table = read_csv(csv);
+  EXPECT_DEATH(analysis::build_box_grid(table), "adaptive grid reports");
+}
+
+TEST(BuildBoxGridDeath, CorruptGeometryCellsDieNamingTheRow) {
+  const std::string csv = adaptive_csv_3x3();
+  const Table table = read_csv(csv);
+  const ReportSchema schema = validate_report_schema(table.columns());
+  ASSERT_TRUE(schema.has_boxes);
+  const std::size_t depth_col = schema.box_start;
+  EXPECT_DEATH(
+      analysis::build_box_grid(read_csv(tamper(csv, 2, depth_col, "-1"))),
+      "box_depth.*row 2");
+  EXPECT_DEATH(
+      analysis::build_box_grid(read_csv(tamper(csv, 3, depth_col + 1, "2"))),
+      "box_uniform.*row 3");
+  EXPECT_DEATH(
+      analysis::build_box_grid(read_csv(tamper(csv, 1, depth_col + 2, "0"))),
+      "extents.*row 1");
+  // A wrong (but positive) extent breaks the measure tiling instead.
+  EXPECT_DEATH(
+      analysis::build_box_grid(read_csv(tamper(csv, 0, depth_col + 3, "9"))),
+      "tile");
+}
+
+TEST(ValidateReportSchemaDeath, BoxBlockHeadersAreChecked) {
+  SweepOptions options;
+  options.theory_only = true;
+  std::vector<std::string> cols = sweep_columns(options);
+  cols.push_back(kBoxDepthColumn);
+  cols.push_back(kBoxUniformColumn);
+  cols.push_back(std::string(kBoxExtPrefix) + "lambda");
+  {
+    std::vector<std::string> bogus = cols;
+    bogus.push_back(std::string(kBoxExtPrefix) + "banana");
+    EXPECT_DEATH(validate_report_schema(bogus), "banana");
+  }
+  {
+    std::vector<std::string> repeated = cols;
+    repeated.push_back(std::string(kBoxExtPrefix) + "lambda");
+    EXPECT_DEATH(validate_report_schema(repeated), "repeats");
+  }
+  // One extent column alone: adaptive refinement is >= 2-D.
+  EXPECT_DEATH(validate_report_schema(cols), "at least two");
+}
+
+}  // namespace
+}  // namespace p2p::engine

@@ -21,6 +21,7 @@
 #include "analysis/phase_diagram.hpp"
 #include "core/stability.hpp"
 #include "engine/csv_reader.hpp"
+#include "engine/refine.hpp"
 #include "engine/scenario.hpp"
 #include "engine/sweep.hpp"
 
@@ -146,7 +147,10 @@ TEST(Corpus, EveryJsonArchiveIsWellFormed) {
 TEST(Corpus, ArchivedGridsReclassifyFromTheirOwnBytes) {
   for (const auto& path : corpus_files(".csv")) {
     const Table table = read_csv_file(path.string());
-    if (validate_report_schema(table.columns()).kind != ReportKind::kGrid) {
+    const ReportSchema schema = validate_report_schema(table.columns());
+    // Adaptive archives are not cartesian tilings; they reclassify in
+    // ArchivedBoxReportsReclassifyFromTheirOwnBytes instead.
+    if (schema.kind != ReportKind::kGrid || schema.has_boxes) {
       continue;
     }
     SCOPED_TRACE(path.filename().string());
@@ -161,6 +165,127 @@ TEST(Corpus, ArchivedGridsReclassifyFromTheirOwnBytes) {
           classify(expand(grid.scenario, cell.params).params);
       EXPECT_NEAR(report.margin, cell.margin, 1e-9);
       EXPECT_EQ(report.verdict, cell.verdict);
+    }
+  }
+}
+
+std::string file_bytes(const std::string& path) {
+  std::string text;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr) << path;
+  if (f == nullptr) return text;
+  char buf[4096];
+  std::size_t got = 0;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, got);
+  std::fclose(f);
+  return text;
+}
+
+TEST(Corpus, ArchivedBoxReportsReclassifyFromTheirOwnBytes) {
+  // The adaptive counterpart of the grid reclassify test: every leaf
+  // row's origin vertex re-derives its Theorem-1 verdict and margin from
+  // the row's own parameter columns (per-type composition included, so
+  // the 4-D mix volume reconstructs its scenario too). 2-D archives
+  // additionally pass the full BoxGrid structural validation — the
+  // leaves tile their window.
+  std::size_t reports = 0, two_axis = 0;
+  for (const auto& path : corpus_files(".csv")) {
+    const Table table = read_csv_file(path.string());
+    const ReportSchema schema = validate_report_schema(table.columns());
+    if (!schema.has_boxes) continue;
+    SCOPED_TRACE(path.filename().string());
+    ++reports;
+    for (std::size_t r = 0; r < table.num_rows(); ++r) {
+      // frontier_model_at with the row's own lambda reconstructs the
+      // row's model unchanged.
+      const StabilityReport report = classify(frontier_model_at(
+          table, schema, r, "lambda", cell_number(table, r, "lambda")));
+      EXPECT_EQ(to_string(report.verdict), table.row(r)[schema.tail_start])
+          << "row " << r;
+      EXPECT_NEAR(report.margin, cell_number(table, r, "margin"), 1e-9)
+          << "row " << r;
+    }
+    if (schema.box_axes.size() == 2) {
+      const analysis::BoxGrid grid = analysis::build_box_grid(table);
+      EXPECT_EQ(grid.boxes.size(), table.num_rows());
+      ++two_axis;
+    }
+  }
+  // The corpus archives both an adaptive diagram and a >2-D volume.
+  EXPECT_GE(reports, 2u);
+  EXPECT_GE(two_axis, 1u);
+}
+
+TEST(Corpus, AdaptiveRegionReproducesTheDenseRegionVerdicts) {
+  // The acceptance anchor: on the committed 48 x 48 region_theory
+  // window, the adaptive archive must agree with every dense cell it
+  // claims uniformity over, cover every dense verdict flip with its
+  // frontier boxes at dense-refine tolerance, and have cost under a
+  // quarter of the dense sweep's 2304 cells.
+  const std::string dir = P2P_EXPERIMENTS_DIR;
+  const analysis::PhaseGrid dense =
+      analysis::build_phase_grid(read_csv_file(dir + "/region_theory.csv"));
+  const analysis::BoxGrid boxes =
+      analysis::build_box_grid(read_csv_file(dir + "/region_adaptive.csv"));
+  ASSERT_EQ(dense.x_axis, boxes.x_axis);
+  ASSERT_EQ(dense.y_axis, boxes.y_axis);
+
+  std::size_t frontier_cells = 0;
+  for (std::size_t yi = 0; yi < dense.num_y(); ++yi) {
+    const double y = dense.y_values[yi];
+    for (std::size_t xi = 0; xi < dense.num_x(); ++xi) {
+      const double x = dense.x_values[xi];
+      const analysis::PhaseBox& box = boxes.box_at(x, y);
+      if (box.uniform) {
+        EXPECT_EQ(box.verdict, dense.at(yi, xi).verdict)
+            << boxes.y_axis << " " << y << " " << boxes.x_axis << " " << x;
+      } else {
+        ++frontier_cells;
+      }
+    }
+    // Localization: every dense verdict flip along the row lies inside
+    // (or touching) some non-uniform leaf, and the frontier cover is at
+    // the refine tolerance the dense pipeline would use (0.05).
+    for (std::size_t xi = 0; xi + 1 < dense.num_x(); ++xi) {
+      if (dense.at(yi, xi).verdict == dense.at(yi, xi + 1).verdict) continue;
+      const double x_lo = dense.x_values[xi], x_hi = dense.x_values[xi + 1];
+      bool covered = false;
+      for (const analysis::PhaseBox& b : boxes.boxes) {
+        if (!b.uniform && y >= b.y0 && y <= b.y0 + b.ext_y &&
+            b.x0 <= x_hi && b.x0 + b.ext_x >= x_lo) {
+          covered = true;
+        }
+      }
+      EXPECT_TRUE(covered) << "flip at " << boxes.y_axis << " " << y
+                           << " between " << x_lo << " and " << x_hi;
+    }
+  }
+  EXPECT_GE(frontier_cells, 1u);
+  EXPECT_LE(boxes.min_ext_x, 0.05);
+  EXPECT_LE(boxes.min_ext_y, 0.05);
+
+  // Budget: regenerate the archive (byte-identically, across the
+  // scheduling matrix) and hold its vertex count under 25% of the dense
+  // region sweep's 48 * 48 = 2304 cells.
+  const SweepGrid coarse = parse_grid("lambda=0.5:3.0:5;us=0.2:1.7:5");
+  SweepOptions options;
+  options.theory_only = true;
+  AdaptiveOptions adaptive;
+  adaptive.max_depth = 4;
+  const std::string archived = file_bytes(dir + "/region_adaptive.csv");
+  for (const int threads : {1, 8}) {
+    for (const std::size_t chunk : {std::size_t{5}, std::size_t{0}}) {
+      options.threads = threads;
+      options.chunk = chunk;
+      std::string out;
+      ReportWriter writer(&out, ReportFormat::kCsv,
+                          adaptive_columns(coarse, options));
+      const AdaptiveSummary summary =
+          run_adaptive_stream(coarse, options, adaptive, writer);
+      writer.finish();
+      EXPECT_EQ(out, archived) << "threads " << threads << " chunk " << chunk;
+      EXPECT_LT(summary.evaluated, 2304u / 4);
+      EXPECT_EQ(summary.boxes, boxes.boxes.size());
     }
   }
 }
@@ -205,18 +330,6 @@ TEST(Corpus, ArchivedFrontierPointsRederiveFromTheirRows) {
     }
   }
   EXPECT_GE(checked, 10u);  // the two archived frontiers alone carry 10
-}
-
-std::string file_bytes(const std::string& path) {
-  std::string text;
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  EXPECT_NE(f, nullptr) << path;
-  if (f == nullptr) return text;
-  char buf[4096];
-  std::size_t got = 0;
-  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, got);
-  std::fclose(f);
-  return text;
 }
 
 TEST(Corpus, ArchivedReportsRegenerateByteIdentically) {
@@ -297,6 +410,31 @@ TEST(Corpus, ArchivedReportsRegenerateByteIdentically) {
       std::string out;
       ReportWriter writer(&out, ReportFormat::kCsv, sweep_columns(options));
       run_sweep_stream(grid, options, writer);
+      writer.finish();
+      EXPECT_EQ(out, archived) << "threads " << threads;
+    }
+  }
+  {
+    // p2p_sweep --mix example2:3,1
+    //   --grid "us=0.5:1.5:3;gamma=inf;lambda=0.6:3.0:4;mu=0.8:1.2:3;mix=0:1:3"
+    //   --adaptive 2 --theory-only
+    SweepGrid grid = parse_grid(
+        "us=0.5:1.5:3;gamma=inf;lambda=0.6:3.0:4;mu=0.8:1.2:3;mix=0:1:3");
+    SweepOptions options;
+    options.theory_only = true;
+    options.scenario = parse_scenario("example2:3,1");
+    grid.set_axis(
+        Axis{"k", {static_cast<double>(options.scenario.num_pieces)}});
+    AdaptiveOptions adaptive;
+    adaptive.max_depth = 2;
+    const std::string archived =
+        file_bytes(dir + "/mix_adaptive_volume.csv");
+    for (const int threads : {1, 4}) {
+      options.threads = threads;
+      std::string out;
+      ReportWriter writer(&out, ReportFormat::kCsv,
+                          adaptive_columns(grid, options));
+      run_adaptive_stream(grid, options, adaptive, writer);
       writer.finish();
       EXPECT_EQ(out, archived) << "threads " << threads;
     }

@@ -31,6 +31,7 @@
 // committed goldens.
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <thread>
 #include <vector>
@@ -179,6 +180,48 @@ std::string summary_json(const std::string& source, const PhaseGrid& grid,
   return out;
 }
 
+/// The multi-resolution summary JSON: the adaptive archive's digest —
+/// leaf counts, depths, finest resolution and the frontier-cover
+/// accounting. Key order and number spellings are deterministic.
+std::string box_summary_json(const std::string& source,
+                             const p2p::analysis::BoxGrid& grid) {
+  std::size_t verdict_counts[3] = {};
+  std::size_t cover = 0;
+  double cover_measure = 0;
+  for (const auto& b : grid.boxes) {
+    verdict_counts[static_cast<int>(b.verdict)] += 1;
+    if (!b.uniform) {
+      ++cover;
+      cover_measure += b.ext_x * b.ext_y;
+    }
+  }
+  const double window =
+      (grid.x_max - grid.x_min) * (grid.y_max - grid.y_min);
+  std::string out = "{\n";
+  out += "  \"source\": " + json_str(source) + ",\n";
+  out += "  \"mode\": \"adaptive\",\n";
+  out += "  \"x_axis\": " + json_str(grid.x_axis) + ",\n";
+  out += "  \"y_axis\": " + json_str(grid.y_axis) + ",\n";
+  out += "  \"boxes\": " + std::to_string(grid.boxes.size()) + ",\n";
+  out += "  \"max_depth\": " + std::to_string(grid.max_depth) + ",\n";
+  out += "  \"x_min\": " + json_num(grid.x_min) + ",\n";
+  out += "  \"x_max\": " + json_num(grid.x_max) + ",\n";
+  out += "  \"y_min\": " + json_num(grid.y_min) + ",\n";
+  out += "  \"y_max\": " + json_num(grid.y_max) + ",\n";
+  out += "  \"min_ext_x\": " + json_num(grid.min_ext_x) + ",\n";
+  out += "  \"min_ext_y\": " + json_num(grid.min_ext_y) + ",\n";
+  out += "  \"verdicts\": {\"positive-recurrent\": " +
+         std::to_string(verdict_counts[0]) +
+         ", \"transient\": " + std::to_string(verdict_counts[1]) +
+         ", \"borderline\": " + std::to_string(verdict_counts[2]) + "},\n";
+  out += "  \"frontier_cover\": {\"boxes\": " + std::to_string(cover) +
+         ", \"measure\": " + json_num(cover_measure) +
+         ", \"window_fraction\": " + json_num(cover_measure / window) +
+         "}\n";
+  out += "}\n";
+  return out;
+}
+
 /// The extracted-frontier table (CSV/JSON via the shared report
 /// emitter): one row per grid row, both localizations side by side.
 p2p::engine::Table frontier_table(
@@ -274,16 +317,68 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Adaptive (multi-resolution) reports route to the native box
+  // renderers; the header's box block is the dispatch. Everything a
+  // cartesian grid offers that a box archive cannot answers with a flag
+  // error, not silence.
+  const auto run_box_mode = [&](const BoxGrid& boxes) -> int {
+    if (!frontier_out.empty() || !diff_in.empty()) {
+      std::fprintf(stderr,
+                   "error: --frontier/--diff apply to cartesian grid "
+                   "reports; an adaptive report's frontier is its "
+                   "non-uniform leaves\n");
+      return 2;
+    }
+    if (!x_axis.empty() || !y_axis.empty()) {
+      std::fprintf(stderr,
+                   "error: --x/--y apply to cartesian grid reports; box "
+                   "axes come from the box_ext_* columns\n");
+      return 2;
+    }
+    RenderOptions render;
+    render.cell_px = cell_px;
+    render.overlay_frontier = !no_overlay;
+    if (!ppm_out.empty()) {
+      write_text(ppm_out, render_boxes_ppm(boxes, render));
+    }
+    if (!svg_out.empty()) {
+      write_text(svg_out, render_boxes_svg(boxes, render));
+    }
+    const std::string summary = box_summary_json(basename_of(in), boxes);
+    if (!summary_out.empty()) {
+      write_text(summary_out, summary);
+    } else if (ppm_out.empty() && svg_out.empty()) {
+      write_text("-", summary);
+    }
+    std::size_t cover = 0;
+    for (const auto& b : boxes.boxes) cover += b.uniform ? 0 : 1;
+    std::fprintf(stderr,
+                 "p2p_phase: %zu leaf boxes (%s vs %s), depth <= %d, %zu "
+                 "frontier-cover, finest %s x %s\n",
+                 boxes.boxes.size(), boxes.x_axis.c_str(),
+                 boxes.y_axis.c_str(), boxes.max_depth, cover,
+                 format_number(boxes.min_ext_x).c_str(),
+                 format_number(boxes.min_ext_y).c_str());
+    return 0;
+  };
+
   // CSV corpora — named files and piped sweeps alike — stream through
   // CsvReader in O(cells) typed state, never holding the document;
   // only JSON (which the parser needs whole) slurps. report_is_json is
   // the tree's one format sniff, and on stdin it leaves the document
   // readable from its first non-whitespace byte.
-  const PhaseGrid grid = [&] {
+  const PhaseGrid grid = [&]() -> PhaseGrid {
     if (report_is_json(in)) {
-      return build_phase_grid(read_json_file(in), x_axis, y_axis);
+      const Table table = read_json_file(in);
+      if (validate_report_schema(table.columns()).has_boxes) {
+        std::exit(run_box_mode(build_box_grid(table)));
+      }
+      return build_phase_grid(table, x_axis, y_axis);
     }
     CsvReader reader(in);
+    if (validate_report_schema(reader.columns()).has_boxes) {
+      std::exit(run_box_mode(build_box_grid(reader)));
+    }
     return build_phase_grid(reader, x_axis, y_axis);
   }();
   const std::vector<PhaseFrontierPoint> frontier =

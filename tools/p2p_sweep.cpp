@@ -35,6 +35,13 @@
 //   $ ./p2p_sweep --grid "lambda=0.5:3.0:1000;us=0.2:1.7:1000" \
 //       --theory-only --threads 8 --out region_1e6.csv
 //
+//   # Adaptive multi-resolution refinement: start from a coarse vertex
+//   # lattice, subdivide only boxes whose corner verdicts disagree, down
+//   # to 2^4 times the coarse resolution — frontier-area cost instead of
+//   # volume cost, with a savings digest in the summary JSON:
+//   $ ./p2p_sweep --grid "lambda=0.5:3.0:5;us=0.2:1.7:5" --adaptive 4 \
+//       --theory-only --out region_adaptive.csv --summary adaptive.json
+//
 //   # Theorem-14 policy check: sweep the same grid under rarest-first
 //   # selection with the fluid-limit verdict column alongside:
 //   $ ./p2p_sweep --grid "k=2;lambda=0.5:2.5:9" --policy rarest --fluid \
@@ -50,14 +57,62 @@
 // byte-identical for any --threads/--chunk combination.
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <string>
 #include <thread>
 
 #include "core/stability.hpp"
+#include "engine/refine.hpp"
 #include "engine/report.hpp"
 #include "engine/sweep.hpp"
 #include "util/flags.hpp"
+
+namespace {
+
+/// The adaptive run's machine-readable digest: the savings accounting
+/// (vertices evaluated vs the dense-equivalent fine lattice) CI diffs
+/// against a committed golden. Key order and number spellings are
+/// deterministic; json_num maps non-finite values to null like the
+/// report emitter does.
+std::string adaptive_summary_json(
+    const p2p::engine::AdaptiveSummary& summary,
+    const p2p::engine::AdaptiveOptions& adaptive, int replicas) {
+  using p2p::engine::format_number;
+  const auto json_num = [](double v) {
+    const std::string s = format_number(v);
+    return (s == "nan" || s == "inf" || s == "-inf") ? std::string("null")
+                                                     : s;
+  };
+  std::string out = "{\n";
+  out += "  \"mode\": \"adaptive\",\n";
+  out += "  \"max_depth\": " + std::to_string(adaptive.max_depth) + ",\n";
+  out += "  \"tol\": " + json_num(adaptive.tol) + ",\n";
+  out += "  \"sim_threshold\": " + json_num(adaptive.sim_threshold) + ",\n";
+  out += "  \"max_sim_rounds\": " + std::to_string(adaptive.max_sim_rounds) +
+         ",\n";
+  out += "  \"replicas\": " + std::to_string(replicas) + ",\n";
+  out += "  \"boxes\": " + std::to_string(summary.boxes) + ",\n";
+  out += "  \"evaluated\": " + std::to_string(summary.evaluated) + ",\n";
+  out += "  \"simulated\": " + std::to_string(summary.simulated) + ",\n";
+  out += "  \"escalated\": " + std::to_string(summary.escalated) + ",\n";
+  out += "  \"max_depth_reached\": " +
+         std::to_string(summary.max_depth_reached) + ",\n";
+  out += "  \"dense_equivalent\": " +
+         std::to_string(summary.dense_equivalent) + ",\n";
+  out += "  \"evaluated_fraction\": " +
+         json_num(static_cast<double>(summary.evaluated) /
+                  static_cast<double>(summary.dense_equivalent)) +
+         ",\n";
+  out += "  \"verdicts\": {\"positive-recurrent\": " +
+         std::to_string(summary.stable) +
+         ", \"transient\": " + std::to_string(summary.transient) +
+         ", \"borderline\": " + std::to_string(summary.borderline) + "}\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace p2p;
@@ -107,6 +162,25 @@ int main(int argc, char** argv) {
       "refine", "",
       "axis:tol — per row, bisect the Theorem-1 verdict flip along axis "
       "to within tol and emit a frontier table instead of the grid");
+  const std::string adaptive_spec = flags.get_string(
+      "adaptive", "",
+      "depth[:tol] — adaptive multi-resolution mode: treat the grid as a "
+      "coarse vertex lattice and subdivide only boxes whose corner "
+      "verdicts disagree, down to 2^depth times the coarse resolution "
+      "(or until every axis width <= tol); emits one row per leaf box "
+      "with trailing box_depth/box_uniform/box_ext_* columns");
+  const double sim_threshold = flags.get_double(
+      "sim-threshold", std::nan(""),
+      "adaptive mode: occupancy threshold of the theory/sim decision; "
+      "vertices whose bootstrap CI straddles it escalate their replica "
+      "budget round by round until the CI clears");
+  const int sim_rounds = flags.get_int(
+      "sim-rounds", 4,
+      "adaptive mode: max replica rounds a CI-straddling vertex may "
+      "consume (each round adds --replicas runs)");
+  const std::string summary_out = flags.get_string(
+      "summary", "",
+      "adaptive mode: write the savings digest JSON here ('-' = stdout)");
   const std::string policy_spec = flags.get_string(
       "policy", "random",
       "piece-selection policy the simulator runs: random | rarest | "
@@ -262,11 +336,93 @@ int main(int argc, char** argv) {
                         : static_cast<int>(std::max(
                               1u, std::thread::hardware_concurrency()));
 
+  if (adaptive_spec.empty()) {
+    // The escalation/summary knobs only act in adaptive mode; silently
+    // accepting them would look like they took effect.
+    if (std::isfinite(sim_threshold)) {
+      std::fprintf(stderr,
+                   "error: --sim-threshold applies to --adaptive runs "
+                   "only\n");
+      return 2;
+    }
+    if (sim_rounds != 4) {
+      std::fprintf(stderr,
+                   "error: --sim-rounds applies to --adaptive runs only\n");
+      return 2;
+    }
+    if (!summary_out.empty()) {
+      std::fprintf(stderr,
+                   "error: --summary applies to --adaptive runs only\n");
+      return 2;
+    }
+  }
+
   const std::string scenario_note =
       options.scenario.empty()
           ? std::string()
           : " [mix " + options.scenario.name + "]";
   const auto t0 = std::chrono::steady_clock::now();
+
+  if (!adaptive_spec.empty()) {
+    if (!refine_spec.empty()) {
+      // Two different frontier localizers cannot drive one run.
+      std::fprintf(stderr,
+                   "error: give either --adaptive or --refine, not both\n");
+      return 2;
+    }
+    if (sim_rounds < 1) {
+      std::fprintf(stderr, "error: --sim-rounds must be >= 1\n");
+      return 2;
+    }
+    if (std::isfinite(sim_threshold) && theory_only) {
+      // No simulator runs under --theory-only, so no CI exists to
+      // straddle the threshold.
+      std::fprintf(stderr,
+                   "error: --sim-threshold applies to simulating runs, "
+                   "not --theory-only\n");
+      return 2;
+    }
+    if (std::isfinite(sim_threshold) && replicas < 2) {
+      // A single replica has no bootstrap CI; escalation could never
+      // trigger, which would look like the boundary was certain.
+      std::fprintf(stderr,
+                   "error: --sim-threshold needs --replicas >= 2 for a "
+                   "bootstrap CI\n");
+      return 2;
+    }
+    AdaptiveOptions adaptive = parse_adaptive(adaptive_spec);
+    adaptive.sim_threshold = sim_threshold;
+    adaptive.max_sim_rounds = sim_rounds;
+    ReportWriter writer(
+        out, format == "json" ? ReportFormat::kJson : ReportFormat::kCsv,
+        adaptive_columns(grid, options));
+    const AdaptiveSummary summary =
+        run_adaptive_stream(grid, options, adaptive, writer);
+    writer.finish();
+    if (!summary_out.empty()) {
+      write_text(summary_out,
+                 adaptive_summary_json(summary, adaptive, options.replicas));
+    }
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+
+    // The savings line: what the run cost against what a dense sweep of
+    // the same fine lattice would have.
+    std::fprintf(stderr,
+                 "p2p_sweep: adaptive depth<=%d (tol %g)%s: %zu leaf boxes "
+                 "(%zu stable / %zu transient / %zu borderline), %zu of %zu "
+                 "dense-equivalent vertices evaluated (%.1f%%), %zu "
+                 "escalated, in %.2fs on %d threads\n",
+                 adaptive.max_depth, adaptive.tol, scenario_note.c_str(),
+                 summary.boxes, summary.stable, summary.transient,
+                 summary.borderline, summary.evaluated,
+                 summary.dense_equivalent,
+                 100.0 * static_cast<double>(summary.evaluated) /
+                     static_cast<double>(summary.dense_equivalent),
+                 summary.escalated, elapsed, options.threads);
+    return 0;
+  }
 
   if (!refine_spec.empty()) {
     if (ctmc_cap > 0) {
