@@ -5,9 +5,13 @@
 // peers to linger? The paper's answer: dwelling long enough to upload a
 // single extra piece (mean dwell 1/mu) removes the requirement entirely.
 //
+// The closed forms live in analysis/provisioning.hpp (the same API the
+// live monitor's advisories call); this example just prints the tables.
+//
 //   $ ./seed_provisioning
 #include <cstdio>
 
+#include "analysis/provisioning.hpp"
 #include "analysis/stability_probe.hpp"
 #include "core/model.hpp"
 #include "core/stability.hpp"
@@ -20,16 +24,16 @@ int main() {
   std::printf("capacity plan for a K = %d piece swarm, mu = %.1f\n\n", k, mu);
 
   // 1. Seed capacity needed vs load, for a few dwell policies.
+  const analysis::CapacityPlan plan_table = analysis::seed_capacity_plan(
+      k, mu, {0.5, 1.0, 2.0, 5.0, 10.0, 50.0}, {0.0, 0.25, 0.5, 1.0});
   std::printf("minimum fixed-seed rate Us* by arrival rate and dwell "
               "policy:\n");
   std::printf("%10s | %12s %12s %12s %12s\n", "lambda", "no dwell",
               "dwell 0.25", "dwell 0.5", "dwell 1.0");
-  for (const double lambda : {0.5, 1.0, 2.0, 5.0, 10.0, 50.0}) {
-    std::printf("%10.1f |", lambda);
-    for (const double dwell : {0.0, 0.25, 0.5, 1.0}) {
-      const double gamma = dwell == 0.0 ? kInfiniteRate : 1.0 / dwell;
-      const SwarmParams params(k, 0.0, mu, gamma, {{PieceSet{}, lambda}});
-      std::printf(" %12.3f", min_stabilizing_seed_rate(params));
+  for (std::size_t i = 0; i < plan_table.loads.size(); ++i) {
+    std::printf("%10.1f |", plan_table.loads[i]);
+    for (std::size_t j = 0; j < plan_table.dwells.size(); ++j) {
+      std::printf(" %12.3f", plan_table.at(i, j));
     }
     std::printf("\n");
   }
@@ -37,15 +41,16 @@ int main() {
               "at any load — the corollary)\n\n");
 
   // 2. The dual question: given a seed, what dwell must we ask for?
+  const std::vector<double> loads = {0.4, 1.0, 2.0, 5.0, 20.0};
+  const std::vector<double> dwells =
+      analysis::min_dwell_by_load(k, 0.5, mu, loads);
   std::printf("minimum mean dwell 1/gamma* by load, with Us = 0.5:\n");
   std::printf("%10s %14s\n", "lambda", "min dwell");
-  for (const double lambda : {0.4, 1.0, 2.0, 5.0, 20.0}) {
-    const SwarmParams params(k, 0.5, mu, 2.0, {{PieceSet{}, lambda}});
-    const double gamma_star = max_stabilizing_seed_depart_rate(params);
-    if (gamma_star == kInfiniteRate) {
-      std::printf("%10.1f %14s\n", lambda, "none needed");
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    if (dwells[i] == 0.0) {
+      std::printf("%10.1f %14s\n", loads[i], "none needed");
     } else {
-      std::printf("%10.1f %14.3f\n", lambda, 1.0 / gamma_star);
+      std::printf("%10.1f %14.3f\n", loads[i], dwells[i]);
     }
   }
 
@@ -53,7 +58,7 @@ int main() {
   std::printf("\nspot check (lambda = 5, dwell 0.5, Us = Us* * 1.3 vs "
               "* 0.7):\n");
   const SwarmParams plan(k, 0.0, mu, 2.0, {{PieceSet{}, 5.0}});
-  const double us_star = min_stabilizing_seed_rate(plan);
+  const double us_star = analysis::seed_advice(plan).us_required;
   ProbeOptions options;
   options.horizon = 2000;
   options.replicas = 3;

@@ -1,0 +1,70 @@
+#include "analysis/provisioning.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/stability.hpp"
+
+namespace p2p::analysis {
+
+double dwell_to_depart_rate(double mean_dwell) {
+  P2P_ASSERT_MSG(mean_dwell >= 0 && std::isfinite(mean_dwell),
+                 "mean dwell must be finite and nonnegative");
+  return mean_dwell == 0 ? kInfiniteRate : 1.0 / mean_dwell;
+}
+
+double depart_rate_to_dwell(double gamma) {
+  P2P_ASSERT_MSG(gamma > 0, "gamma must be positive");
+  return gamma == kInfiniteRate ? 0.0 : 1.0 / gamma;
+}
+
+SeedAdvice seed_advice(const SwarmParamsView& params) {
+  SeedAdvice advice;
+  advice.us_required = min_stabilizing_seed_rate(params);
+  advice.us_margin = params.seed_rate - advice.us_required;
+  advice.us_gap = std::max(0.0, -advice.us_margin);
+  return advice;
+}
+
+SeedAdvice seed_advice(const SwarmParams& params) {
+  return seed_advice(params.view());
+}
+
+double min_stabilizing_dwell(const SwarmParams& params) {
+  return depart_rate_to_dwell(max_stabilizing_seed_depart_rate(params));
+}
+
+CapacityPlan seed_capacity_plan(int num_pieces, double mu,
+                                std::vector<double> loads,
+                                std::vector<double> dwells) {
+  CapacityPlan plan;
+  plan.loads = std::move(loads);
+  plan.dwells = std::move(dwells);
+  plan.us_required.reserve(plan.loads.size() * plan.dwells.size());
+  for (const double lambda : plan.loads) {
+    for (const double dwell : plan.dwells) {
+      const SwarmParams params(num_pieces, 0.0, mu,
+                               dwell_to_depart_rate(dwell),
+                               {{PieceSet{}, lambda}});
+      plan.us_required.push_back(min_stabilizing_seed_rate(params));
+    }
+  }
+  return plan;
+}
+
+std::vector<double> min_dwell_by_load(int num_pieces, double us, double mu,
+                                      const std::vector<double>& loads) {
+  std::vector<double> dwells;
+  dwells.reserve(loads.size());
+  for (const double lambda : loads) {
+    // The solver only reads (arrivals, Us, mu); the gamma the params
+    // carry is a placeholder above mu so construction stays in the
+    // mu < gamma regime the question is about.
+    const SwarmParams params(num_pieces, us, mu, 2.0 * mu,
+                             {{PieceSet{}, lambda}});
+    dwells.push_back(min_stabilizing_dwell(params));
+  }
+  return dwells;
+}
+
+}  // namespace p2p::analysis

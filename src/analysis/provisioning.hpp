@@ -1,0 +1,82 @@
+// Seed-capacity planning: the closed-form inversions of Theorem 1's
+// boundary packaged as a provisioning API.
+//
+// Extracted from examples/seed_provisioning.cpp so the formulas the
+// capacity planner prints — and the live monitor's "how much seed buys
+// the swarm back into the stable region" advisory — are library code
+// with unit tests, not demo code. The solvers themselves live in
+// core/stability.hpp (min_stabilizing_seed_rate and friends); this layer
+// adds the operator-facing derived quantities: dwell <-> departure-rate
+// conversion, the required-vs-configured seed gap, and whole plan tables
+// over load/dwell lattices.
+#pragma once
+
+#include <vector>
+
+#include "core/model.hpp"
+
+namespace p2p::analysis {
+
+/// Mean peer-seed dwell 1/gamma -> departure rate gamma. Dwell 0 means
+/// "depart the instant the download completes" (gamma = infinity).
+/// Requires a finite, nonnegative dwell.
+double dwell_to_depart_rate(double mean_dwell);
+
+/// Inverse of dwell_to_depart_rate. Requires gamma > 0 (infinity maps
+/// to dwell 0).
+double depart_rate_to_dwell(double gamma);
+
+/// The monitor's per-tick advisory: the smallest stabilizing fixed-seed
+/// rate for the (arrivals, mu, gamma) in `params`, compared against the
+/// Us the tuple currently carries.
+struct SeedAdvice {
+  /// Smallest Us making the system strictly stable (0 when stable
+  /// unseeded; the paper's corollary makes it 0 whenever gamma <= mu
+  /// and every piece can enter).
+  double us_required = 0;
+  /// params.seed_rate - us_required: positive = headroom, negative =
+  /// deficit.
+  double us_margin = 0;
+  /// max(0, us_required - params.seed_rate): the capacity to add to
+  /// re-enter the stable region (0 when already inside).
+  double us_gap = 0;
+};
+
+/// Allocation-free (the view may borrow a scratch arrival buffer); the
+/// live monitor calls this once per advisory tick.
+SeedAdvice seed_advice(const SwarmParamsView& params);
+SeedAdvice seed_advice(const SwarmParams& params);
+
+/// Smallest mean dwell 1/gamma* keeping the system stable holding
+/// everything else fixed; 0 when stable even with immediate departure.
+/// (The dual planning question: given a seed, what lingering must we ask
+/// of completed peers?)
+double min_stabilizing_dwell(const SwarmParams& params);
+
+/// The capacity-plan table of examples/seed_provisioning.cpp: minimum
+/// fixed-seed rate Us* over a load x dwell lattice of empty-arrival
+/// swarms (every peer arrives holding nothing).
+struct CapacityPlan {
+  std::vector<double> loads;   // lambda values (rows)
+  std::vector<double> dwells;  // mean-dwell values (columns)
+  /// Row-major loads x dwells: us_required[i * dwells.size() + j].
+  std::vector<double> us_required;
+
+  double at(std::size_t load, std::size_t dwell) const {
+    return us_required[load * dwells.size() + dwell];
+  }
+};
+
+/// Builds the plan for a K-piece swarm at contact rate mu. Requires
+/// positive loads and valid dwells (dwell_to_depart_rate's domain).
+CapacityPlan seed_capacity_plan(int num_pieces, double mu,
+                                std::vector<double> loads,
+                                std::vector<double> dwells);
+
+/// The dual table: minimum mean dwell by load for an empty-arrival
+/// K-piece swarm with fixed-seed rate us (0 entries = stable with
+/// immediate departure).
+std::vector<double> min_dwell_by_load(int num_pieces, double us, double mu,
+                                      const std::vector<double>& loads);
+
+}  // namespace p2p::analysis

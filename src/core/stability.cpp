@@ -124,10 +124,10 @@ StabilityReport classify(const SwarmParams& params) {
   return classify(params.view());
 }
 
-double min_stabilizing_seed_rate(const SwarmParams& params) {
-  const int k = params.num_pieces();
+double min_stabilizing_seed_rate(const SwarmParamsView& params) {
+  const int k = params.num_pieces;
   const double g = params.mu_over_gamma();
-  if (params.seed_depart_rate() <= params.contact_rate()) {
+  if (params.seed_depart_rate <= params.contact_rate) {
     // Altruistic branch: Us > 0 suffices (and Us = 0 works if arrivals
     // already cover every piece).
     return params.all_pieces_can_enter() ? 0.0
@@ -137,7 +137,7 @@ double min_stabilizing_seed_rate(const SwarmParams& params) {
   double needed = 0;
   for (int piece = 0; piece < k; ++piece) {
     double contributed = 0;
-    for (const auto& a : params.arrivals()) {
+    for (const auto& a : params.arrivals) {
       if (a.type.contains(piece)) {
         contributed += a.rate * (k + 1 - a.type.size());
       }
@@ -145,6 +145,10 @@ double min_stabilizing_seed_rate(const SwarmParams& params) {
     needed = std::max(needed, lambda_total * (1.0 - g) - contributed);
   }
   return std::max(0.0, needed);
+}
+
+double min_stabilizing_seed_rate(const SwarmParams& params) {
+  return min_stabilizing_seed_rate(params.view());
 }
 
 double max_stabilizing_seed_depart_rate(const SwarmParams& params) {

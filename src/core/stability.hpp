@@ -75,7 +75,10 @@ StabilityReport classify(const SwarmParams& params);
 
 /// Smallest fixed-seed rate Us making the system (strictly) stable with
 /// the given arrivals, mu, gamma; 0 if stable already at Us = 0. Requires
-/// mu < gamma (for gamma <= mu any Us works once pieces can enter).
+/// mu < gamma (for gamma <= mu any Us works once pieces can enter). The
+/// view overload is the allocation-free form the live monitor's advisory
+/// loop calls once per tick (analysis/provisioning.hpp wraps it).
+double min_stabilizing_seed_rate(const SwarmParamsView& params);
 double min_stabilizing_seed_rate(const SwarmParams& params);
 
 /// Largest gamma (smallest mean dwell 1/gamma) keeping the system stable,

@@ -1,0 +1,400 @@
+#include "service/monitor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "analysis/provisioning.hpp"
+#include "engine/report.hpp"
+#include "util/assert.hpp"
+
+namespace p2p::service {
+
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+/// The monitor's consistency failures use the event-log parser's message
+/// shape: line number first, offending line echoed verbatim.
+[[noreturn]] void monitor_fail(const std::string& reason,
+                               const std::string& line,
+                               std::size_t line_number) {
+  std::string msg =
+      "event log line " + std::to_string(line_number) + ": " + reason;
+  if (!line.empty()) msg += " (got \"" + line + "\")";
+  detail::assert_fail("event stream consistent with replayed state",
+                      __FILE__, __LINE__, msg);
+}
+
+/// format_number with the report convention: non-finite renders as null.
+void append_json_number(std::string& out, double value) {
+  if (!std::isfinite(value)) {
+    out += "null";
+    return;
+  }
+  engine::format_number_into(out, value);
+}
+
+}  // namespace
+
+const char* to_string(MonitorVerdict verdict) {
+  switch (verdict) {
+    case MonitorVerdict::kEstimating:
+      return "estimating";
+    case MonitorVerdict::kStable:
+      return "stable";
+    case MonitorVerdict::kUnstable:
+      return "unstable";
+  }
+  return "?";
+}
+
+bool MonitorEstimates::complete() const {
+  if (!(std::isfinite(lambda) && lambda > 0)) return false;
+  if (!(std::isfinite(mu) && mu > 0)) return false;
+  if (!(std::isfinite(us) && us >= 0)) return false;
+  if (std::isnan(gamma) || gamma <= 0) return false;
+  if (gamma == kInfiniteRate) {
+    // classify() would (rightly) abort on lambda_F > 0 with immediate
+    // departure; a window showing that mix is not classifiable.
+    const PieceSet full = PieceSet::full(num_pieces);
+    for (const ArrivalSpec& a : arrivals) {
+      if (a.type == full && a.rate > 0) return false;
+    }
+  }
+  return true;
+}
+
+std::string advisory_json_line(const Advisory& advisory) {
+  const MonitorEstimates& est = advisory.estimates;
+  std::string out = "{\"t\": ";
+  append_json_number(out, advisory.t);
+  out += ", \"status\": ";
+  engine::append_json_string(out, to_string(advisory.verdict));
+  out += ", \"raw\": ";
+  if (advisory.classified) {
+    engine::append_json_string(out, to_string(advisory.raw_verdict));
+  } else {
+    out += "null";
+  }
+  out += ", \"margin\": ";
+  append_json_number(out, advisory.classified ? advisory.margin : kNaN);
+  out += ", \"flips\": ";
+  out += std::to_string(advisory.flips);
+  out += ", \"events\": ";
+  out += std::to_string(advisory.events);
+  out += ", \"n\": ";
+  out += std::to_string(est.peers);
+  out += ", \"seeds\": ";
+  out += std::to_string(est.seeds);
+  out += ", \"coverage\": ";
+  append_json_number(out, est.coverage);
+  out += ", \"mean_n\": ";
+  append_json_number(out, est.mean_peers);
+  out += ", \"lambda\": ";
+  append_json_number(out, est.lambda);
+  out += ", \"mix\": {";
+  bool first = true;
+  for (const ArrivalSpec& a : est.arrivals) {
+    if (!first) out += ", ";
+    first = false;
+    engine::append_json_string(out, std::to_string(a.type.mask()));
+    out += ": ";
+    append_json_number(out, est.lambda > 0 ? a.rate / est.lambda : kNaN);
+  }
+  out += "}, \"us\": ";
+  append_json_number(out, est.us);
+  out += ", \"mu\": ";
+  append_json_number(out, est.mu);
+  out += ", \"gamma\": ";
+  append_json_number(out, est.gamma);  // infinity renders null; see dwell
+  out += ", \"dwell\": ";
+  append_json_number(out, est.gamma > 0
+                              ? analysis::depart_rate_to_dwell(est.gamma)
+                              : kNaN);
+  out += ", \"us_required\": ";
+  append_json_number(out, advisory.classified ? advisory.us_required : kNaN);
+  out += ", \"us_gap\": ";
+  append_json_number(out, advisory.classified ? advisory.us_gap : kNaN);
+  out += "}\n";
+  return out;
+}
+
+void StabilityMonitor::Bucket::reset(std::int64_t new_epoch) {
+  epoch = new_epoch;
+  duration = 0;
+  arrivals = 0;
+  peer_downloads = 0;
+  seed_downloads = 0;
+  seed_departures = 0;
+  peers_dt = 0;
+  seeds_dt = 0;
+  seed_target_dt = 0;
+  peer_pair_dt = 0;
+  arrivals_by_type.clear();
+}
+
+StabilityMonitor::StabilityMonitor(MonitorConfig config)
+    : config_(config),
+      bucket_width_(config.window / config.buckets),
+      full_mask_((std::uint64_t{1} << std::max(config.num_pieces, 1)) - 1),
+      state_(std::clamp(config.num_pieces, 1, 16)),
+      sub_(std::size_t{1} << std::clamp(config.num_pieces, 1, 16), 0),
+      sup_(std::size_t{1} << std::clamp(config.num_pieces, 1, 16), 0),
+      ring_(static_cast<std::size_t>(std::max(config.buckets, 1))) {
+  P2P_ASSERT_MSG(config_.num_pieces >= 1 && config_.num_pieces <= 16,
+                 "monitor supports K in [1, 16]");
+  P2P_ASSERT_MSG(std::isfinite(config_.window) && config_.window > 0,
+                 "monitor window must be positive and finite");
+  P2P_ASSERT_MSG(config_.buckets >= 1, "monitor needs at least one bucket");
+  P2P_ASSERT_MSG(
+      std::isfinite(config_.advice_every) && config_.advice_every > 0,
+      "advisory cadence must be positive and finite");
+  P2P_ASSERT_MSG(!std::isnan(config_.hyst_enter) &&
+                     !std::isnan(config_.hyst_exit) &&
+                     config_.hyst_enter >= config_.hyst_exit,
+                 "hysteresis needs hyst_enter >= hyst_exit");
+  P2P_ASSERT_MSG(config_.pinned_gamma >= 0,
+                 "pinned gamma must be positive (0 = estimate from the log)");
+}
+
+void StabilityMonitor::bump(std::uint64_t mask, std::int64_t delta) {
+  if (delta == 0) return;
+  // Pair-sum first: the identity uses the *old* subset/superset sums
+  // (the typecount_sim bump, minus the sampler bookkeeping).
+  pair_sum_s_ += delta * (sub_[mask] + sup_[mask]) + delta * delta;
+  std::uint64_t a = mask;
+  while (true) {
+    sup_[a] += delta;
+    if (a == 0) break;
+    a = (a - 1) & mask;
+  }
+  const std::uint64_t comp = full_mask_ & ~mask;
+  std::uint64_t extra = 0;
+  do {
+    sub_[mask | extra] += delta;
+    extra = (extra - comp) & comp;
+  } while (extra != 0);
+  state_.add(PieceSet(mask), delta);
+}
+
+StabilityMonitor::Bucket& StabilityMonitor::bucket_for_slot(
+    std::int64_t slot) {
+  Bucket& bucket = ring_[static_cast<std::size_t>(slot) % ring_.size()];
+  if (bucket.epoch != slot) bucket.reset(slot);
+  return bucket;
+}
+
+void StabilityMonitor::advance_time(double t) {
+  P2P_ASSERT(t >= time_);
+  while (time_ < t) {
+    const double slot_end = bucket_width_ * static_cast<double>(slot_ + 1);
+    if (time_ >= slot_end) {
+      ++slot_;
+      continue;
+    }
+    const double upto = std::min(t, slot_end);
+    const double dt = upto - time_;
+    Bucket& bucket = bucket_for_slot(slot_);
+    const double n = static_cast<double>(state_.total_peers());
+    const double s = static_cast<double>(state_.seeds());
+    bucket.duration += dt;
+    bucket.peers_dt += n * dt;
+    bucket.seeds_dt += s * dt;
+    if (n > 0) {
+      bucket.seed_target_dt += ((n - s) / n) * dt;
+      bucket.peer_pair_dt +=
+          ((n * n - static_cast<double>(pair_sum_s_)) / n) * dt;
+    }
+    time_ = upto;
+  }
+}
+
+void StabilityMonitor::apply(const SwarmEvent& event, const std::string& line,
+                             std::size_t line_number) {
+  Bucket& bucket = bucket_for_slot(slot_);
+  switch (event.kind) {
+    case SwarmEventKind::kArrive: {
+      bump(event.type, +1);
+      ++bucket.arrivals;
+      for (auto& [mask, count] : bucket.arrivals_by_type) {
+        if (mask == event.type) {
+          ++count;
+          return;
+        }
+      }
+      bucket.arrivals_by_type.emplace_back(event.type, 1);
+      return;
+    }
+    case SwarmEventKind::kDepart: {
+      if (state_.count(event.type) <= 0) {
+        monitor_fail("departure of type " + std::to_string(event.type) +
+                         " but no such peer is present",
+                     line, line_number);
+      }
+      if (event.type == full_mask_) ++bucket.seed_departures;
+      bump(event.type, -1);
+      return;
+    }
+    case SwarmEventKind::kPiece:
+    case SwarmEventKind::kSeed: {
+      if (state_.count(event.type) <= 0) {
+        monitor_fail("transfer to a peer of type " +
+                         std::to_string(event.type) +
+                         " but no such peer is present",
+                     line, line_number);
+      }
+      if (event.piece < 0 || event.piece >= config_.num_pieces ||
+          ((event.type >> event.piece) & 1U) != 0) {
+        monitor_fail("transfer delivers an invalid or already-held piece",
+                     line, line_number);
+      }
+      const std::uint64_t to = event.type | (std::uint64_t{1} << event.piece);
+      bump(event.type, -1);
+      bump(to, +1);
+      if (event.kind == SwarmEventKind::kPiece) {
+        ++bucket.peer_downloads;
+      } else {
+        ++bucket.seed_downloads;
+      }
+      return;
+    }
+  }
+  monitor_fail("unknown event kind", line, line_number);
+}
+
+MonitorEstimates StabilityMonitor::estimates() const {
+  MonitorEstimates est;
+  est.num_pieces = config_.num_pieces;
+  double coverage = 0, peers_dt = 0, seeds_dt = 0;
+  double seed_target_dt = 0, peer_pair_dt = 0;
+  std::int64_t arrivals = 0, peer_downloads = 0, seed_downloads = 0;
+  std::int64_t seed_departures = 0;
+  std::vector<std::int64_t> by_type(std::size_t{1} << config_.num_pieces, 0);
+  for (const Bucket& bucket : ring_) {
+    if (bucket.epoch < 0) continue;
+    coverage += bucket.duration;
+    peers_dt += bucket.peers_dt;
+    seeds_dt += bucket.seeds_dt;
+    seed_target_dt += bucket.seed_target_dt;
+    peer_pair_dt += bucket.peer_pair_dt;
+    arrivals += bucket.arrivals;
+    peer_downloads += bucket.peer_downloads;
+    seed_downloads += bucket.seed_downloads;
+    seed_departures += bucket.seed_departures;
+    for (const auto& [mask, count] : bucket.arrivals_by_type) {
+      by_type[mask] += count;
+    }
+  }
+  est.coverage = coverage;
+  est.lambda =
+      coverage > 0 ? static_cast<double>(arrivals) / coverage : kNaN;
+  est.us = seed_target_dt > 0
+               ? static_cast<double>(seed_downloads) / seed_target_dt
+               : kNaN;
+  est.mu = peer_pair_dt > 0
+               ? static_cast<double>(peer_downloads) / peer_pair_dt
+               : kNaN;
+  if (config_.pinned_gamma > 0) {
+    est.gamma = config_.pinned_gamma;
+  } else if (seeds_dt > 0) {
+    est.gamma = static_cast<double>(seed_departures) / seeds_dt;
+  } else {
+    // No peer-seed exposure: departures without dwell time mean
+    // immediate departure; zero of each means "cannot tell yet".
+    est.gamma = seed_departures > 0 ? kInfiniteRate : kNaN;
+  }
+  est.peers = state_.total_peers();
+  est.seeds = state_.seeds();
+  est.mean_peers = coverage > 0 ? peers_dt / coverage : kNaN;
+  if (coverage > 0) {
+    for (std::size_t mask = 0; mask < by_type.size(); ++mask) {
+      if (by_type[mask] > 0) {
+        est.arrivals.push_back(
+            {PieceSet(mask), static_cast<double>(by_type[mask]) / coverage});
+      }
+    }
+  }
+  return est;
+}
+
+Advisory StabilityMonitor::make_advisory(double t) {
+  Advisory advisory;
+  advisory.t = t;
+  advisory.events = events_;
+  advisory.estimates = estimates();
+  advisory.margin = kNaN;
+  advisory.us_required = kNaN;
+  advisory.us_gap = kNaN;
+  if (advisory.estimates.complete()) {
+    const MonitorEstimates& est = advisory.estimates;
+    const SwarmParamsView view{config_.num_pieces, est.us, est.mu, est.gamma,
+                               est.arrivals};
+    const StabilityReport report = classify(view);
+    advisory.classified = true;
+    advisory.raw_verdict = report.verdict;
+    // The altruistic branch has no finite margin; for hysteresis it is
+    // as deep inside (or outside) the region as a point can be.
+    advisory.margin =
+        report.altruistic_branch
+            ? (report.verdict == Stability::kPositiveRecurrent
+                   ? std::numeric_limits<double>::infinity()
+                   : -std::numeric_limits<double>::infinity())
+            : report.margin;
+    const analysis::SeedAdvice advice = analysis::seed_advice(view);
+    advisory.us_required = advice.us_required;
+    advisory.us_gap = advice.us_gap;
+    MonitorVerdict target = verdict_;
+    if (advisory.margin >= config_.hyst_enter) {
+      target = MonitorVerdict::kStable;
+    } else if (advisory.margin <= config_.hyst_exit) {
+      target = MonitorVerdict::kUnstable;
+    }
+    if (target != verdict_) {
+      if (verdict_ != MonitorVerdict::kEstimating) ++flips_;
+      verdict_ = target;
+    }
+  }
+  advisory.verdict = verdict_;
+  advisory.flips = flips_;
+  last_advisory_t_ = t;
+  advised_ = true;
+  return advisory;
+}
+
+void StabilityMonitor::feed(const SwarmEvent& event, const std::string& line,
+                            std::size_t line_number,
+                            const AdvisorySink& advise) {
+  if (!(std::isfinite(event.t) && event.t >= 0)) {
+    monitor_fail("timestamp must be finite and nonnegative", line,
+                 line_number);
+  }
+  if (saw_event_ && event.t < last_event_t_) {
+    monitor_fail("timestamp " + engine::format_number(event.t) +
+                     " goes backwards (previous event at " +
+                     engine::format_number(last_event_t_) + ")",
+                 line, line_number);
+  }
+  while (config_.advice_every * static_cast<double>(tick_) <= event.t) {
+    const double tick_t = config_.advice_every * static_cast<double>(tick_);
+    advance_time(tick_t);
+    const Advisory advisory = make_advisory(tick_t);
+    if (advise) advise(advisory);
+    ++tick_;
+  }
+  advance_time(event.t);
+  apply(event, line, line_number);
+  saw_event_ = true;
+  last_event_t_ = event.t;
+  ++events_;
+}
+
+void StabilityMonitor::finish(const AdvisorySink& advise) {
+  if (!saw_event_) return;
+  if (advised_ && last_advisory_t_ >= last_event_t_) return;
+  advance_time(last_event_t_);
+  const Advisory advisory = make_advisory(last_event_t_);
+  if (advise) advise(advisory);
+}
+
+}  // namespace p2p::service

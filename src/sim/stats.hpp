@@ -46,6 +46,11 @@ struct SwarmCounters {
   std::int64_t arrivals = 0;
   std::int64_t departures = 0;
   std::int64_t downloads = 0;
+  /// Downloads whose uploader was the fixed seed (the Us term of the
+  /// contact law). The event-log layer needs the attribution to tell a
+  /// `seed` transfer from a `piece` transfer, and the monitor's Us
+  /// estimator inverts exactly this count.
+  std::int64_t seed_downloads = 0;
   /// Contacts that transferred nothing. The type-count backend aggregates
   /// silent events away analytically and never materializes them, so its
   /// count stays 0 (see sim/typecount_sim.hpp).

@@ -203,6 +203,7 @@ void SwarmSim::do_seed_tick() {
   const int piece = policy_->select(needed, peers_[target].pieces, view(),
                                     rng_);
   P2P_ASSERT(needed.contains(piece));
+  ++counters_.seed_downloads;
   give_piece(target, piece);
 }
 

@@ -123,6 +123,7 @@ void TypeCountSim::do_seed_tick() {
           rng_.uniform_int(static_cast<std::uint64_t>(eligible)))));
   const PieceSet needed =
       PieceSet(c_mask).complement(params_.num_pieces());
+  ++counters_.seed_downloads;
   complete_download(c_mask, needed);
 }
 

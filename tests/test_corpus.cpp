@@ -24,6 +24,8 @@
 #include "engine/refine.hpp"
 #include "engine/scenario.hpp"
 #include "engine/sweep.hpp"
+#include "service/monitor.hpp"
+#include "sim/event_log.hpp"
 
 #ifndef P2P_EXPERIMENTS_DIR
 #error "test_corpus needs -DP2P_EXPERIMENTS_DIR=\"...\" (see CMakeLists)"
@@ -42,6 +44,13 @@ std::vector<std::filesystem::path> corpus_files(const std::string& ext) {
   }
   std::sort(files.begin(), files.end());
   return files;
+}
+
+/// Event logs (sim/event_log.hpp) share the .csv extension with sweep
+/// reports but carry their own schema; the sweep-schema loops skip them
+/// by their header signature.
+bool is_event_log(const std::vector<std::string>& columns) {
+  return columns == event_log_columns();
 }
 
 double cell_number(const Table& table, std::size_t row,
@@ -107,6 +116,7 @@ TEST(Corpus, EveryCsvParsesAndMatchesTheWriterSchema) {
     // The streaming reader path, like a corpus bigger than memory
     // would use.
     CsvReader reader(path.string());
+    if (is_event_log(reader.columns())) continue;  // own suite below
     const ReportSchema schema = validate_report_schema(reader.columns());
     std::vector<std::string> cells;
     std::size_t rows = 0;
@@ -147,6 +157,7 @@ TEST(Corpus, EveryJsonArchiveIsWellFormed) {
 TEST(Corpus, ArchivedGridsReclassifyFromTheirOwnBytes) {
   for (const auto& path : corpus_files(".csv")) {
     const Table table = read_csv_file(path.string());
+    if (is_event_log(table.columns())) continue;
     const ReportSchema schema = validate_report_schema(table.columns());
     // Adaptive archives are not cartesian tilings; they reclassify in
     // ArchivedBoxReportsReclassifyFromTheirOwnBytes instead.
@@ -191,6 +202,7 @@ TEST(Corpus, ArchivedBoxReportsReclassifyFromTheirOwnBytes) {
   std::size_t reports = 0, two_axis = 0;
   for (const auto& path : corpus_files(".csv")) {
     const Table table = read_csv_file(path.string());
+    if (is_event_log(table.columns())) continue;
     const ReportSchema schema = validate_report_schema(table.columns());
     if (!schema.has_boxes) continue;
     SCOPED_TRACE(path.filename().string());
@@ -294,6 +306,7 @@ TEST(Corpus, ArchivedFrontierPointsRederiveFromTheirRows) {
   std::size_t checked = 0;
   for (const auto& path : corpus_files(".csv")) {
     const Table table = read_csv_file(path.string());
+    if (is_event_log(table.columns())) continue;
     const ReportSchema schema = validate_report_schema(table.columns());
     if (schema.kind != ReportKind::kFrontier) continue;
     SCOPED_TRACE(path.filename().string());
@@ -469,6 +482,87 @@ TEST(Corpus, RegionGridReproducesItsArchivedFrontier) {
   }
   // Every archived frontier row's lambda appears in the region grid.
   EXPECT_EQ(matched, archived.num_rows());
+}
+
+std::vector<std::string> split_lines(const std::string& bytes) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start < bytes.size()) {
+    const auto pos = bytes.find('\n', start);
+    EXPECT_NE(pos, std::string::npos) << "unterminated final line";
+    if (pos == std::string::npos) break;
+    lines.push_back(bytes.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return lines;
+}
+
+TEST(Corpus, MonitorEventLogParsesWholeWithMonotoneTimestamps) {
+  // The committed frontier-crossing trace: every line parses under the
+  // strict event grammar, timestamps never go backwards, and all four
+  // event kinds actually occur (a trace without departures or seed
+  // uploads could not exercise the gamma / Us estimators it exists to
+  // feed).
+  const std::string bytes =
+      file_bytes(std::string(P2P_EXPERIMENTS_DIR) + "/monitor_events.csv");
+  ASSERT_FALSE(bytes.empty()) << "experiments/monitor_events.csv missing";
+  const std::vector<std::string> lines = split_lines(bytes);
+  ASSERT_GE(lines.size(), 2u);
+  EXPECT_EQ(lines[0] + "\n", event_log_csv_header());
+
+  double prev_t = 0;
+  std::size_t arrive = 0, depart = 0, piece = 0, seed = 0;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const SwarmEvent event = parse_event_line(lines[i], i + 1, 3);
+    EXPECT_GE(event.t, prev_t) << "line " << i + 1;
+    prev_t = event.t;
+    switch (event.kind) {
+      case SwarmEventKind::kArrive: ++arrive; break;
+      case SwarmEventKind::kDepart: ++depart; break;
+      case SwarmEventKind::kPiece: ++piece; break;
+      case SwarmEventKind::kSeed: ++seed; break;
+    }
+  }
+  EXPECT_GE(arrive, 1u);
+  EXPECT_GE(depart, 1u);
+  EXPECT_GE(piece, 1u);
+  EXPECT_GE(seed, 1u);
+}
+
+TEST(Corpus, MonitorAdvisoryStreamReplaysByteIdentically) {
+  // The monitor determinism contract, pinned end to end: replaying the
+  // committed event log through StabilityMonitor with the EXPERIMENTS.md
+  // configuration reproduces the committed advisory stream byte for
+  // byte — and the trace's two frontier crossings produce exactly two
+  // verdict flips under the default hysteresis.
+  const std::string dir = P2P_EXPERIMENTS_DIR;
+  const std::string events_bytes = file_bytes(dir + "/monitor_events.csv");
+  const std::string advice_bytes = file_bytes(dir + "/monitor_advice.jsonl");
+  ASSERT_FALSE(events_bytes.empty());
+  ASSERT_FALSE(advice_bytes.empty()) << "experiments/monitor_advice.jsonl";
+
+  // p2p_monitor --k 3 --in monitor_events.csv --window 40 --every 5
+  service::MonitorConfig config;
+  config.num_pieces = 3;
+  config.window = 40;
+  config.buckets = 64;
+  config.advice_every = 5;
+  service::StabilityMonitor monitor(config);
+
+  std::string out;
+  const service::AdvisorySink sink = [&](const service::Advisory& advisory) {
+    out += service::advisory_json_line(advisory);
+  };
+  const std::vector<std::string> lines = split_lines(events_bytes);
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    monitor.feed(parse_event_line(lines[i], i + 1, 3), lines[i], i + 1,
+                 sink);
+  }
+  monitor.finish(sink);
+
+  EXPECT_EQ(out, advice_bytes);
+  EXPECT_EQ(monitor.flips(), 2u);  // stable -> unstable -> stable
+  EXPECT_EQ(monitor.verdict(), service::MonitorVerdict::kStable);
 }
 
 }  // namespace

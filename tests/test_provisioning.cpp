@@ -1,0 +1,128 @@
+// analysis/provisioning.hpp: the closed-form seed-capacity planner the
+// seed_provisioning example prints and the live monitor's advisories
+// call. The formulas here have hand-derivable special cases (empty
+// arrivals), so the tests pin exact algebra, not just plumbing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/provisioning.hpp"
+#include "core/stability.hpp"
+
+namespace p2p::analysis {
+namespace {
+
+TEST(Provisioning, DwellRateConversionRoundTrips) {
+  EXPECT_EQ(dwell_to_depart_rate(0.0), kInfiniteRate);
+  EXPECT_EQ(depart_rate_to_dwell(kInfiniteRate), 0.0);
+  EXPECT_DOUBLE_EQ(dwell_to_depart_rate(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(depart_rate_to_dwell(2.0), 0.5);
+  for (const double dwell : {0.0, 0.25, 1.0, 8.0}) {
+    EXPECT_DOUBLE_EQ(depart_rate_to_dwell(dwell_to_depart_rate(dwell)),
+                     dwell);
+  }
+}
+
+TEST(ProvisioningDeathTest, ConversionDomainsAreEnforced) {
+  EXPECT_DEATH(dwell_to_depart_rate(-0.1), "finite and nonnegative");
+  EXPECT_DEATH(dwell_to_depart_rate(kInfiniteRate), "finite and nonnegative");
+  EXPECT_DEATH(depart_rate_to_dwell(0.0), "positive");
+  EXPECT_DEATH(depart_rate_to_dwell(-2.0), "positive");
+}
+
+TEST(Provisioning, EmptyArrivalRequirementIsTheClosedForm) {
+  // For the empty-arrival stream the per-piece threshold collapses to
+  // lambda < Us / (1 - mu/gamma), so Us* = lambda * (1 - mu/gamma).
+  for (const double lambda : {0.5, 2.0, 10.0}) {
+    for (const double mu_over_gamma : {0.0, 0.25, 0.5, 0.8}) {
+      const double mu = 1.0;
+      const double gamma =
+          mu_over_gamma == 0.0 ? kInfiniteRate : mu / mu_over_gamma;
+      const SwarmParams params(4, 0.0, mu, gamma, {{PieceSet{}, lambda}});
+      const SeedAdvice advice = seed_advice(params);
+      EXPECT_NEAR(advice.us_required, lambda * (1.0 - mu_over_gamma), 1e-12);
+      EXPECT_NEAR(advice.us_margin, -advice.us_required, 1e-12);
+      EXPECT_EQ(advice.us_gap, -advice.us_margin);
+    }
+  }
+}
+
+TEST(Provisioning, AdviceViewAndOwningOverloadsAgree) {
+  const SwarmParams params(3, 0.7, 1.0, 2.5,
+                           {{PieceSet{}, 1.2}, {PieceSet::single(1), 0.4}});
+  const SeedAdvice owning = seed_advice(params);
+  const SeedAdvice view = seed_advice(params.view());
+  EXPECT_EQ(owning.us_required, view.us_required);
+  EXPECT_EQ(owning.us_margin, view.us_margin);
+  EXPECT_EQ(owning.us_gap, view.us_gap);
+  // And the margin decomposition holds: margin = Us - required.
+  EXPECT_DOUBLE_EQ(owning.us_margin, 0.7 - owning.us_required);
+}
+
+TEST(Provisioning, GapIsZeroInsideTheRegionAndPositiveOutside) {
+  // lambda = 1, mu/gamma = 0.5 => Us* = 0.5.
+  const SwarmParams base(2, 1.0, 1.0, 2.0, {{PieceSet{}, 1.0}});
+  const SeedAdvice inside = seed_advice(base);
+  EXPECT_GT(inside.us_margin, 0);
+  EXPECT_EQ(inside.us_gap, 0);
+  const SeedAdvice outside = seed_advice(base.with_seed_rate(0.2));
+  EXPECT_LT(outside.us_margin, 0);
+  EXPECT_NEAR(outside.us_gap, 0.3, 1e-12);
+}
+
+TEST(Provisioning, CapacityPlanMatchesTheSolverElementwise) {
+  const int k = 8;
+  const double mu = 1.0;
+  const std::vector<double> loads = {0.5, 1.0, 2.0, 5.0};
+  const std::vector<double> dwells = {0.0, 0.25, 0.5, 1.0};
+  const CapacityPlan plan = seed_capacity_plan(k, mu, loads, dwells);
+  ASSERT_EQ(plan.loads, loads);
+  ASSERT_EQ(plan.dwells, dwells);
+  ASSERT_EQ(plan.us_required.size(), loads.size() * dwells.size());
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    for (std::size_t j = 0; j < dwells.size(); ++j) {
+      const SwarmParams params(k, 0.0, mu, dwell_to_depart_rate(dwells[j]),
+                               {{PieceSet{}, loads[i]}});
+      EXPECT_EQ(plan.at(i, j), min_stabilizing_seed_rate(params))
+          << "load " << loads[i] << " dwell " << dwells[j];
+    }
+  }
+  // The corollary column: dwell 1/mu reaches the altruistic branch, so
+  // the requirement vanishes (up to the strictness nudge) at any load.
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    EXPECT_LE(plan.at(i, dwells.size() - 1), 1e-300);
+  }
+  // And requirements tighten monotonically with load and loosen with
+  // dwell — the table's whole operational point.
+  for (std::size_t i = 0; i + 1 < loads.size(); ++i) {
+    EXPECT_LE(plan.at(i, 0), plan.at(i + 1, 0));
+  }
+  for (std::size_t j = 0; j + 1 < dwells.size(); ++j) {
+    EXPECT_GE(plan.at(0, j), plan.at(0, j + 1));
+  }
+}
+
+TEST(Provisioning, MinDwellByLoadInvertsTheEmptyArrivalThreshold) {
+  // Empty arrivals, fixed Us: stable iff lambda < Us / (1 - mu/gamma),
+  // so gamma* = mu / (1 - Us/lambda) and the minimum dwell is
+  // (1 - Us/lambda) / mu — 0 (no dwell needed) once Us >= lambda.
+  const int k = 8;
+  const double us = 0.5, mu = 1.0;
+  const std::vector<double> loads = {0.4, 1.0, 2.0, 5.0, 20.0};
+  const std::vector<double> dwells = min_dwell_by_load(k, us, mu, loads);
+  ASSERT_EQ(dwells.size(), loads.size());
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    if (loads[i] <= us) {
+      EXPECT_EQ(dwells[i], 0.0) << "load " << loads[i];
+    } else {
+      EXPECT_NEAR(dwells[i], (1.0 - us / loads[i]) / mu, 1e-9)
+          << "load " << loads[i];
+    }
+  }
+  // min_stabilizing_dwell agrees with the per-load table.
+  const SwarmParams params(k, us, mu, 2.0, {{PieceSet{}, 2.0}});
+  EXPECT_NEAR(min_stabilizing_dwell(params), (1.0 - us / 2.0) / mu, 1e-9);
+}
+
+}  // namespace
+}  // namespace p2p::analysis
